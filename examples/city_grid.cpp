@@ -1,0 +1,78 @@
+// General-graph extension (Chapter 6's open direction): a city block map
+// with building obstacles and one fast avenue. How much battery do kiosk
+// robots need as the street network changes shape?
+//
+// Uses the graph-generalized ω machinery — the same Eq.-(1.1) fixed point,
+// with graph-metric balls instead of lattice balls.
+#include <iostream>
+
+#include "graph/graph.h"
+#include "graph/graph_omega.h"
+#include "util/table.h"
+#include "viz/ascii.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace cmvrp;
+
+  const std::int64_t n = 14;
+  const Box city = Box::cube(Point{0, 0}, n);
+
+  // City blocks: 2x2 buildings on a regular pattern, leaving streets.
+  std::vector<Point> buildings;
+  for (std::int64_t bx = 1; bx < n - 2; bx += 4)
+    for (std::int64_t by = 1; by < n - 2; by += 4)
+      for (std::int64_t dx = 0; dx < 2; ++dx)
+        for (std::int64_t dy = 0; dy < 2; ++dy)
+          buildings.push_back(Point{bx + dx, by + dy});
+
+  // Demand: a market square and a stadium event.
+  DemandMap demand(2);
+  demand.set(Point{7, 7}, 90.0);
+  demand.set(Point{12, 3}, 40.0);
+
+  std::cout << "City map ('#' buildings, digits demand):\n";
+  DemandMap overlay = demand;
+  for (const auto& b : buildings) overlay.set(b, 0.0);
+  std::cout << render_field(city, [&](const Point& p) -> char {
+    for (const auto& b : buildings)
+      if (b == p) return '#';
+    if (demand.at(p) >= 90.0) return 'M';
+    if (demand.at(p) > 0.0) return 's';
+    return '.';
+  });
+
+  auto vecify = [](const SpatialGraph& sg, const DemandMap& d) {
+    std::vector<double> v(sg.points.size(), 0.0);
+    for (const auto& [p, val] : d) {
+      auto it = sg.index.find(p);
+      if (it != sg.index.end()) v[it->second] = val;
+    }
+    return v;
+  };
+
+  const SpatialGraph open_field = make_grid_graph(city);
+  const SpatialGraph blocked = make_grid_with_holes(city, buildings);
+  const SpatialGraph avenue =
+      make_weighted_roadways(city, /*highway_rows=*/{7}, /*side_cost=*/2);
+
+  Table t({"street network", "omega* (min battery scale)", "vs open field"});
+  const double w_open =
+      graph_omega_star_flow(open_field.graph, vecify(open_field, demand));
+  const double w_blocked =
+      graph_omega_star_flow(blocked.graph, vecify(blocked, demand));
+  const double w_avenue =
+      graph_omega_star_flow(avenue.graph, vecify(avenue, demand));
+  t.row().cell("open field (no buildings)").cell(w_open).cell(1.0);
+  t.row().cell("city blocks").cell(w_blocked).cell(w_blocked / w_open, 3);
+  t.row()
+      .cell("2x side streets + one avenue")
+      .cell(w_avenue)
+      .cell(w_avenue / w_open, 3);
+  t.print(std::cout);
+
+  std::cout << "\nBuildings push omega* up (fewer robots can reach the "
+               "market in time); slow side streets push it further even "
+               "with a fast avenue through the square.\n";
+  return 0;
+}

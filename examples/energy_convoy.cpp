@@ -1,0 +1,86 @@
+// Chapter 5: inter-vehicle energy transfers with high-capacity tanks.
+//
+// Reproduces §5.2.1's line example under both accounting models (fixed a₁
+// per transfer; variable a₂ per unit), comparing the paper's closed forms
+// with the exact step-by-step collector simulation, and contrasting the
+// per-vehicle requirement with and without transfers: transfers turn
+// "max demand" into "average demand" when C = ∞.
+#include <iostream>
+
+#include "core/offline_planner.h"
+#include "transfer/cube_collector.h"
+#include "transfer/line_collector.h"
+#include "util/table.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace cmvrp;
+
+  const std::int64_t n = 64;
+  std::cout << "Line of N = " << n << " vehicles, uniform demand d each "
+            << "(tanks C = infinity)\n\n";
+
+  Table t({"d", "model", "W formula (paper)", "W simulated", "peak tank",
+           "transfers"});
+  for (double d : {4.0, 16.0, 64.0}) {
+    const std::vector<double> lane(static_cast<std::size_t>(n), d);
+    const double total = d * static_cast<double>(n);
+    {
+      TransferParams p;
+      p.model = TransferCostModel::kFixed;
+      p.a1 = 1.0;
+      const double formula = line_collector_w_fixed(n, total, p.a1);
+      const double simulated = min_line_collector_w(lane, p);
+      const auto trace = simulate_line_collector(lane, simulated, p);
+      t.row()
+          .cell(d, 0)
+          .cell("fixed a1=1")
+          .cell(formula)
+          .cell(simulated)
+          .cell(trace.max_tank_level, 1)
+          .cell(trace.transfers);
+    }
+    {
+      TransferParams p;
+      p.model = TransferCostModel::kVariable;
+      p.a2 = 0.01;
+      const double formula = line_collector_w_variable(n, total, p.a2);
+      const double simulated = min_line_collector_w(lane, p);
+      const auto trace = simulate_line_collector(lane, simulated, p);
+      t.row()
+          .cell(d, 0)
+          .cell("var a2=.01")
+          .cell(formula)
+          .cell(simulated)
+          .cell(trace.max_tank_level, 1)
+          .cell(trace.transfers);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nW ~ d + O(1): transfers equalize the load (Θ(avg d)).\n\n";
+
+  // Skewed 2-D demand: pooling vs the transfer-free planner.
+  std::cout << "Skewed 2-D cube (one hot vertex), side 8:\n";
+  DemandMap hot(2);
+  hot.set(Point{3, 3}, 200.0);
+  hot.set(Point{6, 1}, 10.0);
+  TransferParams p;
+  p.model = TransferCostModel::kFixed;
+  p.a1 = 0.5;
+  const auto pooled = cube_collector_requirements(hot, 8, p);
+  const OfflinePlan plan = plan_offline(hot);
+
+  Table t2({"strategy", "per-vehicle W", "notes"});
+  t2.row()
+      .cell("no transfers (Lem. 2.2.5 plan)")
+      .cell(plan.max_energy())
+      .cell("helpers each carry a full chunk");
+  t2.row()
+      .cell("snake collector (transfers)")
+      .cell(pooled.required_w)
+      .cell("pool of 64 charges serves the hotspot");
+  t2.print(std::cout);
+  std::cout << "\nHigh-capacity tanks + transfers cut the per-vehicle "
+               "requirement toward the cube average (§5.2).\n";
+  return 0;
+}

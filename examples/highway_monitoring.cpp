@@ -1,0 +1,51 @@
+// Example 2 of the paper (§2.1.2, Figures 2.1(b) and 2.2): vehicles
+// monitoring traffic on a highway — demand d at every point of a line.
+//
+// The paper's closed form W₂ solves W(2W+1) = d, and capacity 2W₂
+// suffices via the "everyone walks to the nearest highway point" strategy.
+// This example computes W₂, cross-checks it against the library's ω
+// machinery, builds the actual offline plan, and reports how close the
+// realized per-vehicle energy is to the 2W₂ recipe.
+#include <iostream>
+
+#include "core/closed_forms.h"
+#include "core/cube_bound.h"
+#include "core/offline_planner.h"
+#include "core/omega.h"
+#include "util/table.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace cmvrp;
+
+  Table t({"d (demand/point)", "W2 (paper)", "2*W2 (suffices)",
+           "omega_line (exact)", "plan max energy", "plan ok"});
+
+  for (double d : {8.0, 32.0, 128.0, 512.0}) {
+    const std::int64_t len = 96;
+    const DemandMap demand = line_demand(len, d, Point{0, 0});
+
+    const double w2 = example_line_w2(d);
+    // Exact ω_T for the (finite) line via Eq. (1.1).
+    const Box line(Point{0, 0}, Point{len - 1, 0});
+    const double omega_line = omega_for_box(line, d * static_cast<double>(len));
+
+    const OfflinePlan plan = plan_offline(demand);
+    const PlanCheck check = verify_plan(plan, demand);
+
+    t.row()
+        .cell(d, 1)
+        .cell(w2)
+        .cell(2.0 * w2)
+        .cell(omega_line)
+        .cell(check.max_energy)
+        .cell_bool(check.ok);
+  }
+  t.print(std::cout);
+
+  std::cout
+      << "\nAs the paper notes (W² ~ d): W2 grows like sqrt(d); the exact\n"
+         "finite-line omega tracks it, and the constructive plan stays\n"
+         "within the Lemma 2.2.5 constant of that lower bound.\n";
+  return 0;
+}

@@ -1,0 +1,170 @@
+#include "broken/longevity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_map>
+
+#include "grid/neighborhood.h"
+#include "lp/simplex.h"
+#include "util/check.h"
+
+namespace cmvrp {
+
+LongevityMap::LongevityMap(int dim, double default_p)
+    : dim_(dim), default_p_(default_p) {
+  CMVRP_CHECK(dim >= 1 && dim <= Point::kMaxDim);
+  CMVRP_CHECK(default_p >= 0.0 && default_p <= 1.0);
+}
+
+void LongevityMap::set(const Point& p, double longevity) {
+  CMVRP_CHECK(p.dim() == dim_);
+  CMVRP_CHECK_MSG(longevity >= 0.0 && longevity <= 1.0,
+                  "longevity must be in [0,1]");
+  p_[p] = longevity;
+}
+
+double LongevityMap::at(const Point& p) const {
+  CMVRP_CHECK(p.dim() == dim_);
+  auto it = p_.find(p);
+  return it == p_.end() ? default_p_ : it->second;
+}
+
+namespace {
+
+// Distances from T for every vertex within radius `max_r`, by BFS.
+std::unordered_map<Point, std::int64_t, PointHash> distances_from(
+    const std::vector<Point>& t, std::int64_t max_r) {
+  std::unordered_map<Point, std::int64_t, PointHash> dist;
+  std::deque<Point> queue;
+  for (const auto& p : t) {
+    if (dist.emplace(p, 0).second) queue.push_back(p);
+  }
+  while (!queue.empty()) {
+    const Point p = queue.front();
+    queue.pop_front();
+    const std::int64_t dp = dist.at(p);
+    if (dp == max_r) continue;
+    for (const auto& q : p.unit_neighbors()) {
+      if (dist.emplace(q, dp + 1).second) queue.push_back(q);
+    }
+  }
+  return dist;
+}
+
+// Weighted neighborhood mass Σ_{i : dist(i,T) <= p_i · ω} p_i.
+double weighted_mass(
+    const std::unordered_map<Point, std::int64_t, PointHash>& dist,
+    const LongevityMap& longevity, double omega) {
+  double sum = 0.0;
+  for (const auto& [p, dp] : dist) {
+    const double pi = longevity.at(p);
+    if (static_cast<double>(dp) <= pi * omega + 1e-12) sum += pi;
+  }
+  return sum;
+}
+
+}  // namespace
+
+double broken_omega_for_set(const std::vector<Point>& t, const DemandMap& d,
+                            const LongevityMap& longevity) {
+  CMVRP_CHECK(!t.empty());
+  double s = 0.0;
+  for (const auto& p : t) s += d.at(p);
+  if (s == 0.0) return 0.0;
+
+  // Bracket ω. All longevities are <= 1, so the mass within radius ω is at
+  // most the mass of N_ω(T); conversely g(ω) = ω·mass(ω) >= ω·(mass at T
+  // itself) once any vertex of T has p > 0. March an upper bound upward.
+  double hi = 1.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto dist = distances_from(t, static_cast<std::int64_t>(hi) + 1);
+    if (hi * weighted_mass(dist, longevity, hi) >= s) break;
+    hi *= 2.0;
+    CMVRP_CHECK_MSG(hi < 1e15, "broken omega bracket diverged — is every "
+                               "nearby longevity zero?");
+  }
+  const auto dist = distances_from(t, static_cast<std::int64_t>(hi) + 1);
+  // g is increasing with upward jumps; bisect for inf{ω : g(ω) >= s}.
+  double lo = 0.0;
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid * weighted_mass(dist, longevity, mid) >= s)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return hi;
+}
+
+double broken_lower_bound_enumerate(const DemandMap& d,
+                                    const LongevityMap& longevity,
+                                    std::size_t max_support) {
+  const auto support = d.support();
+  CMVRP_CHECK(!support.empty());
+  CMVRP_CHECK_MSG(support.size() <= max_support,
+                  "support too large for enumeration");
+  double best = 0.0;
+  const std::size_t n = support.size();
+  std::vector<Point> subset;
+  for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << n); ++mask) {
+    subset.clear();
+    for (std::size_t i = 0; i < n; ++i)
+      if (mask & (std::uint64_t{1} << i)) subset.push_back(support[i]);
+    best = std::max(best, broken_omega_for_set(subset, d, longevity));
+  }
+  return best;
+}
+
+double broken_lp_value_at_radius(const DemandMap& d,
+                                 const LongevityMap& longevity,
+                                 std::int64_t r) {
+  CMVRP_CHECK(r >= 0);
+  const auto demands = d.support();
+  CMVRP_CHECK(!demands.empty());
+  auto supplier_set = neighborhood(demands, r);
+  std::vector<Point> suppliers(supplier_set.begin(), supplier_set.end());
+  std::sort(suppliers.begin(), suppliers.end());
+
+  // LP (4.2): min ω s.t. Σ_j f_ij <= p_i·ω, Σ_i f_ij >= d(j), arcs when
+  // ‖i-j‖ <= p_i·r.
+  LpProblem lp;
+  const std::size_t omega_var = lp.add_variable(1.0);
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> by_supplier(
+      suppliers.size());
+  std::vector<std::vector<std::size_t>> by_demand(demands.size());
+  for (std::size_t i = 0; i < suppliers.size(); ++i) {
+    const double pi = longevity.at(suppliers[i]);
+    for (std::size_t j = 0; j < demands.size(); ++j) {
+      if (static_cast<double>(l1_distance(suppliers[i], demands[j])) <=
+          pi * static_cast<double>(r) + 1e-12) {
+        const std::size_t v = lp.add_variable(0.0);
+        by_supplier[i].emplace_back(j, v);
+        by_demand[j].push_back(v);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < suppliers.size(); ++i) {
+    if (by_supplier[i].empty()) continue;
+    std::vector<std::pair<std::size_t, double>> row;
+    for (const auto& [j, v] : by_supplier[i]) {
+      (void)j;
+      row.emplace_back(v, 1.0);
+    }
+    row.emplace_back(omega_var, -longevity.at(suppliers[i]));
+    lp.add_constraint(row, LpRelation::kLessEqual, 0.0);
+  }
+  for (std::size_t j = 0; j < demands.size(); ++j) {
+    CMVRP_CHECK_MSG(!by_demand[j].empty(),
+                    "demand vertex unreachable at this radius");
+    std::vector<std::pair<std::size_t, double>> row;
+    for (std::size_t v : by_demand[j]) row.emplace_back(v, 1.0);
+    lp.add_constraint(row, LpRelation::kGreaterEqual, d.at(demands[j]));
+  }
+  const LpResult result = lp.solve();
+  CMVRP_CHECK_MSG(result.status == LpStatus::kOptimal,
+                  "LP (4.2) not optimal: " << to_string(result.status));
+  return result.objective;
+}
+
+}  // namespace cmvrp

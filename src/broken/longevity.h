@@ -1,0 +1,54 @@
+// Chapter 4: broken vehicles with longevity parameters.
+//
+// Vehicle i carries p_i ∈ [0,1] and breaks the moment it has spent a p_i
+// fraction of its initial energy. Theorem 4.1.1 generalizes Eq. (1.1): the
+// LP (4.1) lower bound on Woff-b is max_T ω_T with
+//   ω_T · Σ_{i ∈ N_{p_i·ω_T}(T)} p_i  =  Σ_{i∈T} d(i),
+// where i belongs to the weighted neighborhood when dist(i,T) ≤ p_i·ω.
+// §4.2 shows this bound can be loose by a factor ~r₁ (Figure 4.1).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "grid/demand_map.h"
+#include "grid/point.h"
+
+namespace cmvrp {
+
+// Sparse longevity assignment; unset vertices default to `default_p`.
+class LongevityMap {
+ public:
+  explicit LongevityMap(int dim, double default_p = 1.0);
+
+  int dim() const { return dim_; }
+  double default_p() const { return default_p_; }
+
+  void set(const Point& p, double longevity);
+  double at(const Point& p) const;
+
+ private:
+  int dim_;
+  double default_p_;
+  std::unordered_map<Point, double, PointHash> p_;
+};
+
+// ω_T of Theorem 4.1.1 for an explicit set T. The weighted neighborhood
+// sum is evaluated by BFS from T out to the trial radius.
+double broken_omega_for_set(const std::vector<Point>& t, const DemandMap& d,
+                            const LongevityMap& longevity);
+
+// max_T ω_T over all nonempty subsets of the demand support
+// (Theorem 4.1.1's lower bound on Woff-b; exponential — tiny supports).
+double broken_lower_bound_enumerate(const DemandMap& d,
+                                    const LongevityMap& longevity,
+                                    std::size_t max_support = 18);
+
+// Value of LP (4.2) at a fixed radius r via the simplex (tiny instances;
+// cross-validates the closed form of Theorem 4.1.1's proof).
+double broken_lp_value_at_radius(const DemandMap& d,
+                                 const LongevityMap& longevity,
+                                 std::int64_t r);
+
+}  // namespace cmvrp

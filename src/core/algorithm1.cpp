@@ -1,0 +1,100 @@
+#include "core/algorithm1.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "grid/box.h"
+#include "util/check.h"
+
+namespace cmvrp {
+namespace {
+
+bool is_power_of_two(std::int64_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+Algorithm1Result algorithm1(const DemandMap& d, std::int64_t n) {
+  CMVRP_CHECK_MSG(is_power_of_two(n), "Algorithm 1 requires n a power of 2");
+  const int dim = d.dim();
+  const Box domain = Box::cube(Point::origin(dim), n);
+  for (const auto& [p, v] : d) {
+    (void)v;
+    CMVRP_CHECK_MSG(domain.contains(p),
+                    "demand point outside [0,n)^l: " << p.to_string());
+  }
+
+  Algorithm1Result out;
+  double cells = 1.0;
+  for (int i = 0; i < dim; ++i) cells *= static_cast<double>(n);
+
+  const double big_d = d.max_demand();                    // D
+  const double avg_d = d.total() / cells;                 // D̂
+  const double ell = static_cast<double>(dim);
+
+  // Step 1-2: if n <= D̂ return min{D, 2·D̂ + ℓ·n}.
+  if (static_cast<double>(n) <= avg_d) {
+    out.estimate = std::min(big_d, 2.0 * avg_d + ell * static_cast<double>(n));
+    out.exit_rule = "n<=avg";
+    return out;
+  }
+  // Step 3-4: if D <= 1 return D (vehicles cannot even move).
+  if (big_d <= 1.0) {
+    out.estimate = big_d;
+    out.exit_rule = "D<=1";
+    return out;
+  }
+
+  // Step 5: w=2, d1 = d  (densified level-0 grid).
+  DenseGrid level(Box::cube(Point::origin(dim), n));
+  for (const auto& [p, v] : d) level.add(p, v);
+  out.cells_touched += static_cast<std::int64_t>(cells);
+
+  std::int64_t w = 2;
+  std::int64_t np = n / 2;
+  for (;;) {
+    // Step 6-7: if w = n return min{D, 2·D̂ + ℓ·n}.
+    if (w == n) {
+      out.estimate =
+          std::min(big_d, 2.0 * avg_d + ell * static_cast<double>(n));
+      out.final_w = w;
+      out.exit_rule = "w==n";
+      return out;
+    }
+    // Steps 8-9: aggregate 2^ℓ children into each parent cell.
+    DenseGrid next(Box::cube(Point::origin(dim), np));
+    next.box().for_each_point([&](const Point& parent) {
+      // Sum the 2^ℓ children of `parent` at the finer level.
+      Point lo = parent;
+      for (int i = 0; i < dim; ++i) lo[i] = parent[i] * 2;
+      double sum = 0.0;
+      Box::cube(lo, 2).for_each_point(
+          [&](const Point& c) { sum += level.at(c); });
+      next.set(parent, sum);
+    });
+    out.cells_touched += np > 0 ? static_cast<std::int64_t>(
+                                      std::pow(static_cast<double>(np * 2),
+                                               static_cast<double>(dim)))
+                                : 0;
+    level = std::move(next);
+
+    // Steps 10-12: if any w-cube demand exceeds w·(3w)^ℓ, double w.
+    const double threshold =
+        static_cast<double>(w) *
+        std::pow(3.0 * static_cast<double>(w), static_cast<double>(dim));
+    if (level.max_value() > threshold) {
+      w *= 2;
+      np /= 2;
+      continue;
+    }
+    // Steps 13-14.
+    out.estimate =
+        (2.0 * std::pow(3.0, static_cast<double>(dim)) + ell) *
+        static_cast<double>(w);
+    out.final_w = w;
+    out.exit_rule = "threshold";
+    return out;
+  }
+}
+
+}  // namespace cmvrp

@@ -1,0 +1,27 @@
+// Algorithm 1 (§2.3): the linear-time 2(2·3^ℓ+ℓ)-approximation of Woff.
+//
+// Implemented verbatim from the paper's pseudocode, generalized from ℓ = 2
+// to any supported ℓ: demands are aggregated over a dyadic hierarchy of
+// w-cubes, doubling w until no w-cube holds more than w·(3w)^ℓ demand.
+#pragma once
+
+#include <cstdint>
+
+#include "grid/dense_grid.h"
+#include "grid/demand_map.h"
+
+namespace cmvrp {
+
+struct Algorithm1Result {
+  double estimate = 0.0;      // the returned approximation of Woff
+  std::int64_t final_w = 0;   // the dyadic cube side at exit (0 when a
+                              // special case short-circuited the loop)
+  const char* exit_rule = ""; // which return statement fired (for tests)
+  std::int64_t cells_touched = 0;  // work counter: must be O(n^ℓ)
+};
+
+// `d` must be supported on [0, n)^ℓ with n a power of two. D and D̂ are
+// the max and average demand of §2.3 (average over all n^ℓ cells).
+Algorithm1Result algorithm1(const DemandMap& d, std::int64_t n);
+
+}  // namespace cmvrp

@@ -1,0 +1,27 @@
+#include "core/bounds.h"
+
+#include <cmath>
+
+#include "core/cube_bound.h"
+#include "core/offline_planner.h"
+#include "util/check.h"
+
+namespace cmvrp {
+
+OffBounds offline_bounds(const DemandMap& d, double cells) {
+  CMVRP_CHECK(cells > 0.0);
+  OffBounds out;
+  out.upper_factor = 2.0 * std::pow(3.0, static_cast<double>(d.dim())) +
+                     static_cast<double>(d.dim());
+  out.max_demand = d.max_demand();
+  out.avg_demand = d.total() / cells;
+  if (d.empty()) return out;
+
+  const OfflinePlan plan = plan_offline(d);
+  out.omega_c = plan.bound.omega_c;
+  out.upper = plan.capacity_bound;
+  out.plan_energy = plan.max_energy();
+  return out;
+}
+
+}  // namespace cmvrp

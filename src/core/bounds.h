@@ -1,0 +1,25 @@
+// Bundled Woff bounds (Theorem 1.4.1, Properties 2.3.1–2.3.3) for
+// benchmarks and examples.
+#pragma once
+
+#include <cstdint>
+
+#include "grid/demand_map.h"
+
+namespace cmvrp {
+
+struct OffBounds {
+  double omega_c = 0.0;        // cube lower bound ω_c <= Woff (Cor. 2.2.7)
+  double upper = 0.0;          // (2·3^ℓ + ℓ)·ω_c >= Woff (Lem. 2.2.5)
+  double plan_energy = 0.0;    // realized max energy of the Lem. 2.2.5 plan
+  double max_demand = 0.0;     // D  (Woff <= D, Property 2.3.1)
+  double avg_demand = 0.0;     // D̂ over `cells` (D̂ <= Woff, Property 2.3.1)
+  double upper_factor = 0.0;   // 2·3^ℓ + ℓ
+};
+
+// `cells` is the number of grid cells used for the average D̂ (Properties
+// 2.3.1–2.3.3 are stated on the n^ℓ grid); pass the demand support's
+// bounding-box volume when no natural grid applies.
+OffBounds offline_bounds(const DemandMap& d, double cells);
+
+}  // namespace cmvrp

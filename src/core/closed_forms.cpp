@@ -1,0 +1,55 @@
+#include "core/closed_forms.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cmvrp {
+
+double solve_increasing(double (*f)(double, const void*), const void* ctx,
+                        double target, double hi_hint) {
+  CMVRP_CHECK(target >= 0.0);
+  if (target == 0.0) return 0.0;
+  double lo = 0.0;
+  double hi = hi_hint > 0.0 ? hi_hint : 1.0;
+  while (f(hi, ctx) < target) {
+    hi *= 2.0;
+    CMVRP_CHECK_MSG(hi < 1e300, "solve_increasing: no bracket found");
+  }
+  for (int iter = 0; iter < 200 && (hi - lo) > 1e-12 * (1.0 + hi); ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (f(mid, ctx) < target)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double example_square_w1(double a, double d) {
+  CMVRP_CHECK(a > 0.0 && d >= 0.0);
+  struct Ctx {
+    double a;
+  } ctx{a};
+  auto f = [](double w, const void* c) {
+    const double a_ = static_cast<const Ctx*>(c)->a;
+    return w * (2.0 * w + a_) * (2.0 * w + a_);
+  };
+  return solve_increasing(f, &ctx, d * a * a, std::max(1.0, d));
+}
+
+double example_line_w2(double d) {
+  CMVRP_CHECK(d >= 0.0);
+  // W(2W+1) = d  =>  W = (-1 + sqrt(1 + 8d)) / 4.
+  return (-1.0 + std::sqrt(1.0 + 8.0 * d)) / 4.0;
+}
+
+double example_point_w3(double d) {
+  CMVRP_CHECK(d >= 0.0);
+  auto f = [](double w, const void*) {
+    return w * (2.0 * w + 1.0) * (2.0 * w + 1.0);
+  };
+  return solve_increasing(f, nullptr, d, std::max(1.0, std::cbrt(d)));
+}
+
+}  // namespace cmvrp

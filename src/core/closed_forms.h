@@ -1,0 +1,28 @@
+// Closed forms for the three worked examples of §2.1 (Figure 2.1).
+//
+//   W₁ : W·(2W + a)² = d·a²   — demand d on every point of an a×a square
+//   W₂ : W·(2W + 1)  = d      — demand d on every point of a line (ℓ = 2)
+//   W₃ : W·(2W + 1)² = d      — demand d at a single point (ℓ = 2)
+//
+// Each is the unique positive root of an increasing polynomial; we expose
+// the roots plus the paper's accompanying sufficiency factors (2W₂ and 3W₃
+// strategies of Figures 2.2 and 2.3).
+#pragma once
+
+namespace cmvrp {
+
+// Unique positive root of W(2W + a)^2 = d·a^2 (Example 1, square side a).
+double example_square_w1(double a, double d);
+
+// Unique positive root of W(2W + 1) = d (Example 2, line).
+double example_line_w2(double d);
+
+// Unique positive root of W(2W + 1)^2 = d (Example 3, point).
+double example_point_w3(double d);
+
+// Generic: the unique positive root of a strictly increasing continuous
+// f with f(0) <= target, via bracketed bisection.
+double solve_increasing(double (*f)(double, const void*), const void* ctx,
+                        double target, double hi_hint = 1.0);
+
+}  // namespace cmvrp

@@ -1,0 +1,131 @@
+#include "core/laminar.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <set>
+
+#include "util/check.h"
+
+namespace cmvrp {
+namespace {
+
+// Connected components (unit-edge adjacency) of `points`.
+std::vector<std::vector<Point>> components_of(const PointSet& points) {
+  std::vector<std::vector<Point>> out;
+  PointSet visited;
+  for (const auto& seed : points) {
+    if (visited.count(seed)) continue;
+    std::vector<Point> comp;
+    std::deque<Point> queue{seed};
+    visited.insert(seed);
+    while (!queue.empty()) {
+      const Point p = queue.front();
+      queue.pop_front();
+      comp.push_back(p);
+      for (const auto& q : p.unit_neighbors()) {
+        if (points.count(q) && visited.insert(q).second) queue.push_back(q);
+      }
+    }
+    std::sort(comp.begin(), comp.end());
+    out.push_back(std::move(comp));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<WeightedSet> laminar_decomposition(const AlphaMap& alpha) {
+  for (const auto& [p, v] : alpha) {
+    (void)p;
+    CMVRP_CHECK_MSG(v >= 0.0, "alpha must be non-negative");
+  }
+  // Distinct positive values, ascending; band k spans (v_{k-1}, v_k].
+  std::set<double> values;
+  for (const auto& [p, v] : alpha) {
+    (void)p;
+    if (v > 0.0) values.insert(v);
+  }
+  std::vector<WeightedSet> out;
+  double below = 0.0;
+  for (double level : values) {
+    // Super-level set {i : α_i >= level}.
+    PointSet super;
+    for (const auto& [p, v] : alpha)
+      if (v >= level - 1e-15) super.insert(p);
+    const double band = level - below;
+    for (auto& comp : components_of(super))
+      out.push_back(WeightedSet{std::move(comp), band});
+    below = level;
+  }
+  return out;
+}
+
+double weight_of_supersets(const std::vector<WeightedSet>& h,
+                           const std::vector<Point>& s) {
+  CMVRP_CHECK(!s.empty());
+  double total = 0.0;
+  for (const auto& ws : h) {
+    // `members` is sorted: subset test via binary search per element.
+    bool contains_all = true;
+    for (const auto& p : s) {
+      if (!std::binary_search(ws.members.begin(), ws.members.end(), p)) {
+        contains_all = false;
+        break;
+      }
+    }
+    if (contains_all) total += ws.weight;
+  }
+  return total;
+}
+
+AlphaMap reconstruct_alpha(const std::vector<WeightedSet>& h) {
+  AlphaMap alpha;
+  for (const auto& ws : h)
+    for (const auto& p : ws.members) alpha[p] += ws.weight;
+  return alpha;
+}
+
+bool is_laminar(const std::vector<WeightedSet>& h) {
+  for (std::size_t a = 0; a < h.size(); ++a) {
+    for (std::size_t b = a + 1; b < h.size(); ++b) {
+      const auto& x = h[a].members;
+      const auto& y = h[b].members;
+      std::vector<Point> inter;
+      std::set_intersection(x.begin(), x.end(), y.begin(), y.end(),
+                            std::back_inserter(inter));
+      if (inter.empty()) continue;
+      if (inter.size() != x.size() && inter.size() != y.size()) return false;
+    }
+  }
+  return true;
+}
+
+double lp22_objective(const AlphaMap& alpha, const DemandMap& d,
+                      std::int64_t r) {
+  CMVRP_CHECK(r >= 0);
+  double total = 0.0;
+  for (const auto& [j, dj] : d) {
+    double ball_min = std::numeric_limits<double>::infinity();
+    for (const auto& i : l1_ball_points(j, r)) {
+      auto it = alpha.find(i);
+      ball_min = std::min(ball_min, it == alpha.end() ? 0.0 : it->second);
+      if (ball_min == 0.0) break;
+    }
+    total += dj * ball_min;
+  }
+  return total;
+}
+
+double lp23_objective(const std::vector<WeightedSet>& h, const DemandMap& d,
+                      std::int64_t r) {
+  CMVRP_CHECK(r >= 0);
+  double total = 0.0;
+  for (const auto& [j, dj] : d) {
+    const auto ball = l1_ball_points(j, r);
+    total += dj * weight_of_supersets(h, ball);
+  }
+  return total;
+}
+
+}  // namespace cmvrp

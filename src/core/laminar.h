@@ -1,0 +1,59 @@
+// Lemma 2.2.1's dual construction (Figures 2.4 and 2.5).
+//
+// The lemma's proof turns a feasible dual solution (α_i)_{i∈Z^ℓ} of
+// LP (2.4) into a weighting h of *sets*: for a simply connected T,
+//   h(T) = max{0, min_{i∈T} α_i − max_{i∈N₁(T)\T} α_i},
+// built by repeatedly peeling the maximal plateaus of α (the paper's
+// Figure 2.5 walk-through). Equivalently — and this is how we compute it —
+// h charges each connected component C of every super-level set
+// {i : α_i ≥ t} with the height of its value band. The construction
+// satisfies, and our tests verify:
+//   (1) α_i = Σ_{T ∋ i} h(T)                       (pointwise recovery)
+//   (2) Σ_T h(T)·|T| = Σ_i α_i                     (mass preservation)
+//   (3) min_{i∈N_r(j)} α_i = Σ_{T ⊇ N_r(j)} h(T)   (the lemma's key step)
+//   (4) the support of h is laminar (nested or disjoint).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "grid/demand_map.h"
+#include "grid/neighborhood.h"
+#include "grid/point.h"
+
+namespace cmvrp {
+
+// A finitely-supported α : Z^ℓ → R≥0 (zero elsewhere).
+using AlphaMap = std::unordered_map<Point, double, PointHash>;
+
+struct WeightedSet {
+  std::vector<Point> members;  // sorted, unique
+  double weight = 0.0;         // h(T) > 0
+};
+
+// The full decomposition: every connected component of every super-level
+// band, with its band height. O(values × support) with BFS components.
+std::vector<WeightedSet> laminar_decomposition(const AlphaMap& alpha);
+
+// Σ_{T ⊇ S} h(T) for a query set S — the right side of property (3).
+double weight_of_supersets(const std::vector<WeightedSet>& h,
+                           const std::vector<Point>& s);
+
+// Reconstructs α_i = Σ_{T ∋ i} h(T) (property (1)); used by tests.
+AlphaMap reconstruct_alpha(const std::vector<WeightedSet>& h);
+
+// True when every pair of sets is nested or disjoint (property (4)).
+bool is_laminar(const std::vector<WeightedSet>& h);
+
+// Objective of LP (2.2): Σ_j d(j) · min_{i: ‖i−j‖ ≤ r} α_i. The minimum
+// over the ball treats unset α entries as 0.
+double lp22_objective(const AlphaMap& alpha, const DemandMap& d,
+                      std::int64_t r);
+
+// Objective of LP (2.3): Σ_j d(j) · Σ_{T ⊇ N_r(j)} h(T). Lemma 2.2.1 says
+// this equals lp22_objective on the decomposition of the same α.
+double lp23_objective(const std::vector<WeightedSet>& h, const DemandMap& d,
+                      std::int64_t r);
+
+}  // namespace cmvrp

@@ -1,0 +1,203 @@
+#include "core/offline_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace cmvrp {
+
+double OfflinePlan::max_energy() const {
+  double m = 0.0;
+  for (const auto& a : assignments) m = std::max(m, a.energy());
+  return m;
+}
+
+double OfflinePlan::total_energy() const {
+  double s = 0.0;
+  for (const auto& a : assignments) s += a.energy();
+  return s;
+}
+
+namespace {
+
+// Maps a point to the corner of its partition cube (cubes of side s,
+// anchored at `anchor`).
+Point cube_corner(const Point& p, const Point& anchor, std::int64_t s) {
+  Point c = p;
+  for (int i = 0; i < p.dim(); ++i) {
+    std::int64_t off = p[i] - anchor[i];
+    // Floor division for possibly negative offsets.
+    std::int64_t q = off >= 0 ? off / s : -((-off + s - 1) / s);
+    c[i] = anchor[i] + q * s;
+  }
+  return c;
+}
+
+}  // namespace
+
+OfflinePlan plan_offline(const DemandMap& d) {
+  CMVRP_CHECK_MSG(!d.empty(), "plan_offline with empty demand");
+  const int dim = d.dim();
+
+  OfflinePlan plan;
+  plan.bound = cube_bound(d);
+  const double omega_c = plan.bound.omega_c;
+  const std::int64_t s = plan.bound.cube_side;
+  const double three_l = std::pow(3.0, static_cast<double>(dim));
+  plan.in_place_budget = three_l * omega_c;
+  plan.capacity_bound =
+      (2.0 * three_l + static_cast<double>(dim)) * omega_c;
+
+  const Point anchor = d.bounding_box().lo();
+  const double b = plan.in_place_budget;
+  CMVRP_CHECK_MSG(b > 0.0, "non-empty demand must give positive budget");
+
+  // Group demand points by cube.
+  std::map<std::vector<std::int64_t>, std::vector<Point>> cubes;
+  for (const auto& p : d.support()) {
+    const Point corner = cube_corner(p, anchor, s);
+    std::vector<std::int64_t> key(static_cast<std::size_t>(dim));
+    for (int i = 0; i < dim; ++i) key[static_cast<std::size_t>(i)] = corner[i];
+    cubes[key].push_back(p);
+  }
+
+  for (auto& [key, points] : cubes) {
+    Point corner = Point::origin(dim);
+    for (int i = 0; i < dim; ++i) corner[i] = key[static_cast<std::size_t>(i)];
+    const Box cube = Box::cube(corner, s);
+
+    std::sort(points.begin(), points.end());
+
+    // Stage 1: every demand vertex is served in place up to B by its own
+    // vehicle; leftovers become chunks of size <= B.
+    struct Chunk {
+      Point at;
+      double amount;
+    };
+    std::vector<Chunk> chunks;
+    std::unordered_map<Point, VehicleAssignment, PointHash> by_home;
+    for (const auto& x : points) {
+      const double dx = d.at(x);
+      const double in_place = std::min(dx, b);
+      VehicleAssignment a;
+      a.home = x;
+      a.serve_at_home = in_place;
+      by_home.emplace(x, a);
+      double rem = dx - in_place;
+      while (rem > 1e-12) {
+        const double piece = std::min(rem, b);
+        chunks.push_back(Chunk{x, piece});
+        rem -= piece;
+      }
+    }
+
+    // Stage 2: assign each chunk a distinct vehicle of this cube. By
+    // Cor. 2.2.7, Σ⌈(d(x)-B)/B⌉ <= cube demand / B <= s^ℓ, so the cube's
+    // own vehicles always suffice. Chunks are matched to the nearest free
+    // vehicle (greedy, deterministic) to keep realized travel small.
+    if (!chunks.empty()) {
+      std::vector<Point> pool = cube.points();
+      std::vector<bool> used(pool.size(), false);
+      CMVRP_CHECK_MSG(chunks.size() <= pool.size(),
+                      "chunk count " << chunks.size() << " exceeds vehicles "
+                                     << pool.size() << " in cube "
+                                     << cube.to_string());
+      std::sort(chunks.begin(), chunks.end(),
+                [](const Chunk& a, const Chunk& c) {
+                  if (a.amount != c.amount) return a.amount > c.amount;
+                  return a.at < c.at;
+                });
+      for (const auto& chunk : chunks) {
+        std::size_t best = pool.size();
+        std::int64_t best_dist = 0;
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+          if (used[i]) continue;
+          const std::int64_t dist = l1_distance(pool[i], chunk.at);
+          if (best == pool.size() || dist < best_dist) {
+            best = i;
+            best_dist = dist;
+          }
+        }
+        CMVRP_CHECK(best < pool.size());
+        used[best] = true;
+        auto it = by_home.find(pool[best]);
+        if (it == by_home.end()) {
+          VehicleAssignment a;
+          a.home = pool[best];
+          it = by_home.emplace(pool[best], a).first;
+        }
+        VehicleAssignment& a = it->second;
+        CMVRP_CHECK_MSG(!a.remote.has_value(),
+                        "vehicle assigned two remote chunks");
+        a.remote = chunk.at;
+        a.serve_remote = chunk.amount;
+        a.travel = best_dist;
+      }
+    }
+
+    for (auto& [home, a] : by_home) {
+      (void)home;
+      if (a.energy() > 0.0) plan.assignments.push_back(a);
+    }
+  }
+
+  std::sort(plan.assignments.begin(), plan.assignments.end(),
+            [](const VehicleAssignment& a, const VehicleAssignment& c) {
+              return a.home < c.home;
+            });
+  return plan;
+}
+
+PlanCheck verify_plan(const OfflinePlan& plan, const DemandMap& d,
+                      double capacity) {
+  PlanCheck check;
+  if (capacity < 0.0) capacity = plan.capacity_bound;
+  const double tol = 1e-6;
+
+  DemandMap served(d.dim());
+  std::unordered_map<Point, int, PointHash> seen_home;
+  for (const auto& a : plan.assignments) {
+    if (a.serve_at_home < -tol || a.serve_remote < -tol) {
+      check.issue = "negative service amount";
+      return check;
+    }
+    if (++seen_home[a.home] > 1) {
+      check.issue = "vehicle at " + a.home.to_string() + " planned twice";
+      return check;
+    }
+    if (a.remote.has_value()) {
+      if (a.travel != l1_distance(a.home, *a.remote)) {
+        check.issue = "travel distance inconsistent for vehicle at " +
+                      a.home.to_string();
+        return check;
+      }
+    } else if (a.travel != 0 || a.serve_remote != 0.0) {
+      check.issue = "remote work without a remote vertex";
+      return check;
+    }
+    if (a.serve_at_home > 0.0) served.add(a.home, a.serve_at_home);
+    if (a.remote.has_value() && a.serve_remote > 0.0)
+      served.add(*a.remote, a.serve_remote);
+    check.max_energy = std::max(check.max_energy, a.energy());
+    if (a.energy() > capacity + tol) {
+      check.issue = "vehicle at " + a.home.to_string() +
+                    " exceeds capacity: " + std::to_string(a.energy());
+      return check;
+    }
+  }
+  for (const auto& x : d.support()) {
+    if (served.at(x) + tol < d.at(x)) {
+      check.issue = "demand at " + x.to_string() + " undercovered: " +
+                    std::to_string(served.at(x)) + " of " +
+                    std::to_string(d.at(x));
+      return check;
+    }
+  }
+  check.ok = true;
+  return check;
+}
+
+}  // namespace cmvrp

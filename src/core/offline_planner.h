@@ -1,0 +1,59 @@
+// Constructive offline solution realizing Lemma 2.2.5.
+//
+// Partition Z^ℓ into ⌈ω_c⌉-cubes; inside each cube every vehicle first
+// serves up to B = 3^ℓ·ω_c demand at its own vertex, then at most one
+// vehicle per leftover "chunk" (≤ B demand) travels to the chunk's vertex
+// and serves it. Corollary 2.2.7 guarantees the chunk count never exceeds
+// the vehicles available, so every vehicle's energy stays below
+// (2·3^ℓ + ℓ)·ω_c — the paper's upper bound, realized as an executable plan.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cube_bound.h"
+#include "grid/demand_map.h"
+#include "grid/point.h"
+
+namespace cmvrp {
+
+struct VehicleAssignment {
+  Point home;                  // the vehicle's depot vertex
+  double serve_at_home = 0.0;  // energy spent on jobs at `home`
+  std::optional<Point> remote; // vertex the vehicle relocates to (if any)
+  double serve_remote = 0.0;   // energy spent on jobs at `remote`
+  std::int64_t travel = 0;     // L1 distance home -> remote
+
+  double energy() const {
+    return serve_at_home + serve_remote + static_cast<double>(travel);
+  }
+};
+
+struct OfflinePlan {
+  CubeBound bound;              // ω_c and the partition side used
+  double in_place_budget = 0.0; // B = 3^ℓ·ω_c
+  double capacity_bound = 0.0;  // (2·3^ℓ + ℓ)·ω_c (paper's Lemma 2.2.5)
+  std::vector<VehicleAssignment> assignments;  // only vehicles with work
+
+  double max_energy() const;
+  double total_energy() const;
+};
+
+// Builds the Lemma 2.2.5 plan. `d` must be non-empty.
+OfflinePlan plan_offline(const DemandMap& d);
+
+struct PlanCheck {
+  bool ok = false;
+  std::string issue;        // empty when ok
+  double max_energy = 0.0;  // realized Woff upper bound of the plan
+};
+
+// Validates a plan against the demand map: full coverage, consistent
+// travel distances, per-vehicle energy within `capacity` (defaults to the
+// plan's own capacity_bound), and one assignment per vehicle.
+PlanCheck verify_plan(const OfflinePlan& plan, const DemandMap& d,
+                      double capacity = -1.0);
+
+}  // namespace cmvrp

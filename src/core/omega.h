@@ -1,0 +1,58 @@
+// ω_T and ω* — the paper's central quantities (Eq. 1.1, Lemma 2.2.3).
+//
+// For a nonempty finite T ⊆ Z^ℓ with total demand S = Σ_{x∈T} d(x),
+//   g(ω) = ω · |N_⌊ω⌋(T)|
+// is piecewise linear and increasing with upward jumps at integers, so we
+// define  ω_T = inf{ω ≥ 0 : g(ω) ≥ S}  (the unique root of g(ω) = S when
+// the crossing is not at a jump). ω* = max over nonempty T of ω_T; by
+// Lemma 2.2.3 it equals the radius fixed point of LP (2.1).
+//
+// Three independent computations of ω* are provided and cross-checked in
+// tests:
+//   * subset enumeration (exponential; tiny supports only),
+//   * LP (2.1) via the simplex at a fixed radius + fixed-point search,
+//   * max-flow feasibility oracle + fixed-point search (the workhorse).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "grid/box.h"
+#include "grid/demand_map.h"
+#include "grid/point.h"
+
+namespace cmvrp {
+
+// ω_T for an explicit point set T (BFS-based |N_r(T)|).
+double omega_for_set(const std::vector<Point>& t, const DemandMap& d);
+
+// ω_T for a box T whose demand sum is `demand_sum` (exact DP counts; no
+// dependence on the demand map beyond the sum).
+double omega_for_box(const Box& t, double demand_sum);
+
+// ω* by enumerating all nonempty subsets of the demand support.
+// Requires support_size() <= max_support (work is 2^support).
+double omega_star_enumerate(const DemandMap& d, std::size_t max_support = 20);
+
+// Value of LP (2.1) at a fixed integer radius r, via the simplex on the
+// explicit flow formulation. Exponential in nothing, but the LP has
+// |N_r(support)| · |support| flow variables — keep instances small.
+double lp_value_at_radius(const DemandMap& d, std::int64_t r);
+
+// Value of LP (2.1) at fixed radius via the max-flow oracle (scales to much
+// larger instances; tolerance on ω).
+double flow_value_at_radius(const DemandMap& d, std::int64_t r,
+                            double tol = 1e-6);
+
+// ω* as the radius fixed point ω = ω(⌊ω⌋) of Lemma 2.2.3, where ω(r) is
+// evaluated by `value_at_radius`. Exposed with the flow oracle bound in by
+// default; tests also bind the LP and enumeration oracles.
+double omega_star_fixed_point(
+    const DemandMap& d,
+    const std::function<double(const DemandMap&, std::int64_t)>&
+        value_at_radius);
+
+double omega_star_flow(const DemandMap& d);
+
+}  // namespace cmvrp

@@ -1,0 +1,107 @@
+#include "flow/dinic.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "util/check.h"
+
+namespace cmvrp {
+
+Dinic::Dinic(std::size_t num_nodes) : graph_(num_nodes) {}
+
+std::size_t Dinic::add_edge(std::size_t u, std::size_t v,
+                            std::int64_t capacity) {
+  CMVRP_CHECK(u < graph_.size() && v < graph_.size());
+  CMVRP_CHECK(capacity >= 0);
+  CMVRP_CHECK_MSG(u != v, "self-loop edges are not supported");
+  const std::size_t iu = graph_[u].size();
+  const std::size_t iv = graph_[v].size();
+  graph_[u].push_back(Edge{v, iv, capacity, capacity});
+  graph_[v].push_back(Edge{u, iu, 0, 0});
+  edge_index_.emplace_back(u, iu);
+  return edge_index_.size() - 1;
+}
+
+bool Dinic::bfs(std::size_t s, std::size_t t) {
+  level_.assign(graph_.size(), -1);
+  std::deque<std::size_t> queue;
+  level_[s] = 0;
+  queue.push_back(s);
+  while (!queue.empty()) {
+    const std::size_t v = queue.front();
+    queue.pop_front();
+    for (const Edge& e : graph_[v]) {
+      if (e.cap > 0 && level_[e.to] < 0) {
+        level_[e.to] = level_[v] + 1;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+std::int64_t Dinic::dfs(std::size_t v, std::size_t t, std::int64_t pushed) {
+  if (v == t) return pushed;
+  for (std::size_t& i = iter_[v]; i < graph_[v].size(); ++i) {
+    Edge& e = graph_[v][i];
+    if (e.cap > 0 && level_[v] < level_[e.to]) {
+      const std::int64_t d = dfs(e.to, t, std::min(pushed, e.cap));
+      if (d > 0) {
+        e.cap -= d;
+        graph_[e.to][e.rev].cap += d;
+        return d;
+      }
+    }
+  }
+  return 0;
+}
+
+std::int64_t Dinic::max_flow(std::size_t s, std::size_t t) {
+  CMVRP_CHECK(s < graph_.size() && t < graph_.size() && s != t);
+  source_ = s;
+  std::int64_t flow = 0;
+  const std::int64_t inf = std::numeric_limits<std::int64_t>::max();
+  while (bfs(s, t)) {
+    iter_.assign(graph_.size(), 0);
+    for (;;) {
+      const std::int64_t pushed = dfs(s, t, inf);
+      if (pushed == 0) break;
+      flow += pushed;
+    }
+  }
+  return flow;
+}
+
+std::int64_t Dinic::flow_on(std::size_t id) const {
+  CMVRP_CHECK(id < edge_index_.size());
+  const auto [u, i] = edge_index_[id];
+  const Edge& e = graph_[u][i];
+  return e.original - e.cap;
+}
+
+std::int64_t Dinic::capacity_on(std::size_t id) const {
+  CMVRP_CHECK(id < edge_index_.size());
+  const auto [u, i] = edge_index_[id];
+  return graph_[u][i].original;
+}
+
+std::vector<bool> Dinic::min_cut_side() const {
+  std::vector<bool> side(graph_.size(), false);
+  std::deque<std::size_t> queue;
+  side[source_] = true;
+  queue.push_back(source_);
+  while (!queue.empty()) {
+    const std::size_t v = queue.front();
+    queue.pop_front();
+    for (const Edge& e : graph_[v]) {
+      if (e.cap > 0 && !side[e.to]) {
+        side[e.to] = true;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return side;
+}
+
+}  // namespace cmvrp

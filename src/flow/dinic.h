@@ -1,0 +1,54 @@
+// Dinic maximum flow.
+//
+// Used as the exact oracle behind LP (2.1): for fixed radius r and trial
+// capacity ω, "can supplies ω at every vehicle vertex cover all demands
+// within distance r?" is a bipartite feasibility question that max-flow
+// answers exactly. Capacities are int64; fractional inputs are scaled by
+// the caller (see transportation.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cmvrp {
+
+class Dinic {
+ public:
+  explicit Dinic(std::size_t num_nodes);
+
+  std::size_t num_nodes() const { return graph_.size(); }
+
+  // Adds a directed edge u -> v with the given capacity; returns an edge id
+  // usable with flow_on() / capacity_on().
+  std::size_t add_edge(std::size_t u, std::size_t v, std::int64_t capacity);
+
+  // Computes max flow from s to t. May be called once per instance.
+  std::int64_t max_flow(std::size_t s, std::size_t t);
+
+  // Flow pushed through edge `id` (after max_flow).
+  std::int64_t flow_on(std::size_t id) const;
+  std::int64_t capacity_on(std::size_t id) const;
+
+  // Nodes reachable from s in the residual graph (the min-cut S-side);
+  // valid after max_flow.
+  std::vector<bool> min_cut_side() const;
+
+ private:
+  struct Edge {
+    std::size_t to;
+    std::size_t rev;       // index of the reverse edge in graph_[to]
+    std::int64_t cap;      // residual capacity
+    std::int64_t original; // original capacity (0 for reverse edges)
+  };
+
+  bool bfs(std::size_t s, std::size_t t);
+  std::int64_t dfs(std::size_t v, std::size_t t, std::int64_t pushed);
+
+  std::vector<std::vector<Edge>> graph_;
+  std::vector<std::pair<std::size_t, std::size_t>> edge_index_;  // id -> (u, i)
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+  std::size_t source_ = 0;
+};
+
+}  // namespace cmvrp

@@ -1,0 +1,64 @@
+#include "flow/earthmover.h"
+
+#include <cmath>
+
+#include "flow/min_cost_flow.h"
+#include "util/check.h"
+
+namespace cmvrp {
+
+EarthmoverResult earthmover(const DemandMap& supply, const DemandMap& demand,
+                            double scale) {
+  CMVRP_CHECK(supply.dim() == demand.dim());
+  CMVRP_CHECK(scale > 0.0);
+  const auto suppliers = supply.support();
+  const auto demands = demand.support();
+  EarthmoverResult out;
+  if (demands.empty()) {
+    out.feasible = true;
+    return out;
+  }
+  if (suppliers.empty()) return out;
+
+  const std::size_t src = 0, sink = 1, sbase = 2;
+  const std::size_t dbase = sbase + suppliers.size();
+  MinCostFlow flow(dbase + demands.size());
+
+  std::int64_t total_demand = 0;
+  for (std::size_t j = 0; j < demands.size(); ++j) {
+    const auto dj = static_cast<std::int64_t>(
+        std::ceil(demand.at(demands[j]) * scale - 1e-9));
+    flow.add_edge(dbase + j, sink, dj, 0);
+    total_demand += dj;
+  }
+  for (std::size_t i = 0; i < suppliers.size(); ++i) {
+    const auto si = static_cast<std::int64_t>(
+        std::floor(supply.at(suppliers[i]) * scale + 1e-9));
+    flow.add_edge(src, sbase + i, si, 0);
+  }
+  std::vector<std::vector<std::size_t>> arc(suppliers.size());
+  for (std::size_t i = 0; i < suppliers.size(); ++i) {
+    arc[i].reserve(demands.size());
+    for (std::size_t j = 0; j < demands.size(); ++j) {
+      arc[i].push_back(flow.add_edge(sbase + i, dbase + j, INT64_MAX / 4,
+                                     l1_distance(suppliers[i], demands[j])));
+    }
+  }
+
+  const auto r = flow.min_cost_flow(src, sink, total_demand);
+  out.feasible = r.flow >= total_demand;
+  out.cost = static_cast<double>(r.cost) / scale;
+  if (out.feasible) {
+    for (std::size_t i = 0; i < suppliers.size(); ++i) {
+      for (std::size_t j = 0; j < demands.size(); ++j) {
+        const auto f = flow.flow_on(arc[i][j]);
+        if (f > 0)
+          out.moves.push_back(EarthmoverResult::Move{
+              suppliers[i], demands[j], static_cast<double>(f) / scale});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cmvrp

@@ -1,0 +1,35 @@
+// Earthmover (optimal transportation) cost on the grid, via min-cost flow.
+//
+// §2.2 contrasts LP (2.1) with the classical Transportation Problem [15]:
+// there, supplies are *given* and the objective is the cheapest move plan.
+// This module provides that classical quantity — the minimum total
+// energy·distance to reshape a supply distribution into a demand
+// distribution under the L1 metric — used by the transfer benches as the
+// "how far must energy physically move" yardstick.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/demand_map.h"
+#include "grid/point.h"
+
+namespace cmvrp {
+
+struct EarthmoverResult {
+  bool feasible = false;   // total supply >= total demand
+  double cost = 0.0;       // Σ amount · L1-distance, at the optimum
+  struct Move {
+    Point from, to;
+    double amount;
+  };
+  std::vector<Move> moves;
+};
+
+// Supplies and demands are sparse non-negative maps on the same grid.
+// Arcs connect every supply to every demand (complete bipartite, L1
+// costs); amounts are scaled to integers by `scale`.
+EarthmoverResult earthmover(const DemandMap& supply, const DemandMap& demand,
+                            double scale = 1 << 16);
+
+}  // namespace cmvrp

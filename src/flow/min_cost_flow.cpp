@@ -1,0 +1,93 @@
+#include "flow/min_cost_flow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/check.h"
+
+namespace cmvrp {
+
+MinCostFlow::MinCostFlow(std::size_t num_nodes) : graph_(num_nodes) {}
+
+std::size_t MinCostFlow::add_edge(std::size_t u, std::size_t v,
+                                  std::int64_t capacity, std::int64_t cost) {
+  CMVRP_CHECK(u < graph_.size() && v < graph_.size() && u != v);
+  CMVRP_CHECK(capacity >= 0);
+  CMVRP_CHECK_MSG(cost >= 0, "negative edge costs are not supported");
+  const std::size_t iu = graph_[u].size();
+  const std::size_t iv = graph_[v].size();
+  graph_[u].push_back(Edge{v, iv, capacity, cost, capacity});
+  graph_[v].push_back(Edge{u, iu, 0, -cost, 0});
+  edge_index_.emplace_back(u, iu);
+  return edge_index_.size() - 1;
+}
+
+MinCostFlow::Result MinCostFlow::min_cost_flow(std::size_t s, std::size_t t,
+                                               std::int64_t limit) {
+  CMVRP_CHECK(s < graph_.size() && t < graph_.size() && s != t);
+  const std::int64_t inf = std::numeric_limits<std::int64_t>::max();
+  const std::size_t n = graph_.size();
+  std::vector<std::int64_t> potential(n, 0);  // all costs >= 0: zero init OK
+  Result result;
+
+  while (result.flow < limit) {
+    // Dijkstra with reduced costs.
+    std::vector<std::int64_t> dist(n, inf);
+    std::vector<std::pair<std::size_t, std::size_t>> parent(
+        n, {SIZE_MAX, SIZE_MAX});
+    using Item = std::pair<std::int64_t, std::size_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    dist[s] = 0;
+    pq.emplace(0, s);
+    while (!pq.empty()) {
+      auto [d, v] = pq.top();
+      pq.pop();
+      if (d > dist[v]) continue;
+      for (std::size_t i = 0; i < graph_[v].size(); ++i) {
+        const Edge& e = graph_[v][i];
+        if (e.cap <= 0) continue;
+        const std::int64_t nd = d + e.cost + potential[v] - potential[e.to];
+        if (nd < dist[e.to]) {
+          dist[e.to] = nd;
+          parent[e.to] = {v, i};
+          pq.emplace(nd, e.to);
+        }
+      }
+    }
+    if (dist[t] == inf) break;  // no more augmenting paths
+
+    for (std::size_t v = 0; v < n; ++v)
+      if (dist[v] < inf) potential[v] += dist[v];
+
+    // Bottleneck along the path.
+    std::int64_t push = limit - result.flow;
+    for (std::size_t v = t; v != s;) {
+      const auto [pv, pi] = parent[v];
+      push = std::min(push, graph_[pv][pi].cap);
+      v = pv;
+    }
+    // Apply.
+    std::int64_t path_cost = 0;
+    for (std::size_t v = t; v != s;) {
+      const auto [pv, pi] = parent[v];
+      Edge& e = graph_[pv][pi];
+      e.cap -= push;
+      graph_[e.to][e.rev].cap += push;
+      path_cost += e.cost;
+      v = pv;
+    }
+    result.flow += push;
+    result.cost += push * path_cost;
+  }
+  return result;
+}
+
+std::int64_t MinCostFlow::flow_on(std::size_t id) const {
+  CMVRP_CHECK(id < edge_index_.size());
+  const auto [u, i] = edge_index_[id];
+  const Edge& e = graph_[u][i];
+  return e.original - e.cap;
+}
+
+}  // namespace cmvrp

@@ -1,0 +1,45 @@
+// Minimum-cost flow by successive shortest augmenting paths with
+// Johnson potentials (Bellman–Ford bootstrap, Dijkstra thereafter).
+//
+// Used for optimal transportation plans: once a capacity ω is fixed, the
+// cheapest supply→demand assignment (earthmover plan, §2.2's discussion of
+// the Transportation Problem) routes each unit along minimal L1 distance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cmvrp {
+
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(std::size_t num_nodes);
+
+  std::size_t add_edge(std::size_t u, std::size_t v, std::int64_t capacity,
+                       std::int64_t cost);
+
+  // Sends up to `limit` units from s to t, minimizing total cost.
+  // Returns {flow_sent, total_cost}.
+  struct Result {
+    std::int64_t flow = 0;
+    std::int64_t cost = 0;
+  };
+  Result min_cost_flow(std::size_t s, std::size_t t,
+                       std::int64_t limit = INT64_MAX);
+
+  std::int64_t flow_on(std::size_t id) const;
+
+ private:
+  struct Edge {
+    std::size_t to;
+    std::size_t rev;
+    std::int64_t cap;
+    std::int64_t cost;
+    std::int64_t original;
+  };
+
+  std::vector<std::vector<Edge>> graph_;
+  std::vector<std::pair<std::size_t, std::size_t>> edge_index_;
+};
+
+}  // namespace cmvrp

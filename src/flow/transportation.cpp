@@ -1,0 +1,124 @@
+#include "flow/transportation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "flow/dinic.h"
+#include "grid/neighborhood.h"
+#include "util/check.h"
+
+namespace cmvrp {
+namespace {
+
+struct Bipartite {
+  std::vector<Point> suppliers;                 // N_r(support)
+  std::vector<Point> demands;                   // support
+  std::vector<std::vector<std::size_t>> arcs;   // supplier -> demand indices
+};
+
+Bipartite build_bipartite(const DemandMap& d, std::int64_t r) {
+  Bipartite g;
+  g.demands = d.support();
+  CMVRP_CHECK_MSG(!g.demands.empty(), "transportation with empty demand");
+  auto supplier_set = neighborhood(g.demands, r);
+  g.suppliers.assign(supplier_set.begin(), supplier_set.end());
+  std::sort(g.suppliers.begin(), g.suppliers.end());
+
+  g.arcs.resize(g.suppliers.size());
+  // Index demands for O(1) membership while scanning each supplier's ball.
+  std::unordered_map<Point, std::size_t, PointHash> demand_index;
+  for (std::size_t j = 0; j < g.demands.size(); ++j)
+    demand_index.emplace(g.demands[j], j);
+  for (std::size_t i = 0; i < g.suppliers.size(); ++i) {
+    // Enumerating the ball around each supplier costs |ball| per supplier;
+    // cheaper than all-pairs when r is small relative to the support.
+    if (l1_ball_volume(d.dim(), r) <
+        static_cast<std::int64_t>(g.demands.size())) {
+      for (const auto& q : l1_ball_points(g.suppliers[i], r)) {
+        auto it = demand_index.find(q);
+        if (it != demand_index.end()) g.arcs[i].push_back(it->second);
+      }
+    } else {
+      for (std::size_t j = 0; j < g.demands.size(); ++j)
+        if (l1_distance(g.suppliers[i], g.demands[j]) <= r)
+          g.arcs[i].push_back(j);
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+TransportationResult transportation_feasible(const DemandMap& d,
+                                             std::int64_t r, double omega,
+                                             double scale) {
+  CMVRP_CHECK(r >= 0);
+  CMVRP_CHECK(omega >= 0.0);
+  CMVRP_CHECK(scale > 0.0);
+  const Bipartite g = build_bipartite(d, r);
+
+  // Node layout: 0 = source, 1 = sink, then suppliers, then demands.
+  const std::size_t src = 0, sink = 1;
+  const std::size_t supplier_base = 2;
+  const std::size_t demand_base = supplier_base + g.suppliers.size();
+  Dinic flow(demand_base + g.demands.size());
+
+  const auto cap_omega = static_cast<std::int64_t>(std::floor(omega * scale));
+  std::int64_t total_demand = 0;
+  std::vector<std::size_t> demand_edges(g.demands.size());
+  for (std::size_t j = 0; j < g.demands.size(); ++j) {
+    // Demands round *up*: feasibility must not be granted by truncation.
+    const auto dj = static_cast<std::int64_t>(
+        std::ceil(d.at(g.demands[j]) * scale - 1e-9));
+    demand_edges[j] = flow.add_edge(demand_base + j, sink, dj);
+    total_demand += dj;
+  }
+  std::vector<std::vector<std::size_t>> arc_edges(g.suppliers.size());
+  for (std::size_t i = 0; i < g.suppliers.size(); ++i) {
+    flow.add_edge(src, supplier_base + i, cap_omega);
+    arc_edges[i].reserve(g.arcs[i].size());
+    for (std::size_t j : g.arcs[i]) {
+      arc_edges[i].push_back(
+          flow.add_edge(supplier_base + i, demand_base + j, cap_omega));
+    }
+  }
+
+  const std::int64_t sent = flow.max_flow(src, sink);
+  TransportationResult result;
+  result.feasible = sent >= total_demand;
+  if (result.feasible) {
+    for (std::size_t i = 0; i < g.suppliers.size(); ++i) {
+      for (std::size_t a = 0; a < g.arcs[i].size(); ++a) {
+        const std::int64_t f = flow.flow_on(arc_edges[i][a]);
+        if (f > 0) {
+          result.plan.push_back(TransportationPlanEntry{
+              g.suppliers[i], g.demands[g.arcs[i][a]],
+              static_cast<double>(f) / scale});
+        }
+      }
+    }
+  }
+  return result;
+}
+
+double min_feasible_omega(const DemandMap& d, std::int64_t r, double tol) {
+  CMVRP_CHECK(tol > 0.0);
+  if (d.empty()) return 0.0;
+  // Upper bracket: the max single-vertex demand always suffices at r >= 0?
+  // No — one supplier may serve many demand points. A safe upper bound is
+  // the total demand (a single vertex could, at worst, owe everything).
+  double lo = 0.0, hi = d.total();
+  // Feasibility is monotone in ω.
+  CMVRP_CHECK(transportation_feasible(d, r, hi).feasible);
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    if (transportation_feasible(d, r, mid).feasible)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return hi;
+}
+
+}  // namespace cmvrp

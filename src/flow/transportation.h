@@ -1,0 +1,42 @@
+// Radius-constrained transportation feasibility — the combinatorial heart
+// of LP (2.1).
+//
+// Given demand d(·) and a radius r, every lattice vertex within N_r of the
+// demand support is a potential supplier with capacity ω. Feasibility of a
+// given ω is a bipartite max-flow question; the minimal feasible ω is the
+// LP value max_T Σ_T d / |N_r(T)| (Lemma 2.2.2). This module provides the
+// feasibility oracle and the minimal-ω search, exact up to a caller-chosen
+// tolerance via capacity scaling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/demand_map.h"
+#include "grid/point.h"
+
+namespace cmvrp {
+
+struct TransportationPlanEntry {
+  Point from;     // supplier vertex
+  Point to;       // demand vertex
+  double amount;  // energy shipped
+};
+
+struct TransportationResult {
+  bool feasible = false;
+  std::vector<TransportationPlanEntry> plan;  // only filled when feasible
+};
+
+// Can per-vertex supply ω cover d within radius r? Demands, supplies and
+// flows are scaled to integers by `scale` (default keeps ~1e-6 resolution).
+TransportationResult transportation_feasible(const DemandMap& d,
+                                             std::int64_t r, double omega,
+                                             double scale = 1 << 20);
+
+// Minimal ω feasible at radius r, via monotone bisection of the oracle.
+// `tol` is the absolute tolerance on ω.
+double min_feasible_omega(const DemandMap& d, std::int64_t r,
+                          double tol = 1e-6);
+
+}  // namespace cmvrp

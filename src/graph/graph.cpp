@@ -1,0 +1,119 @@
+#include "graph/graph.h"
+
+#include "grid/neighborhood.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace cmvrp {
+
+bool Graph::connected() const {
+  if (adj_.empty()) return true;
+  std::vector<bool> seen(adj_.size(), false);
+  std::deque<std::size_t> queue{0};
+  seen[0] = true;
+  std::size_t reached = 1;
+  while (!queue.empty()) {
+    const std::size_t v = queue.front();
+    queue.pop_front();
+    for (const auto& arc : adj_[v]) {
+      if (!seen[arc.to]) {
+        seen[arc.to] = true;
+        ++reached;
+        queue.push_back(arc.to);
+      }
+    }
+  }
+  return reached == adj_.size();
+}
+
+namespace {
+
+SpatialGraph make_vertices(const Box& box) {
+  SpatialGraph sg;
+  box.for_each_point([&](const Point& p) {
+    sg.index.emplace(p, sg.points.size());
+    sg.points.push_back(p);
+  });
+  sg.graph = Graph(sg.points.size());
+  return sg;
+}
+
+}  // namespace
+
+SpatialGraph make_grid_graph(const Box& box) {
+  SpatialGraph sg = make_vertices(box);
+  for (std::size_t v = 0; v < sg.points.size(); ++v) {
+    // Add each undirected edge once: toward +1 along every axis.
+    for (int axis = 0; axis < box.dim(); ++axis) {
+      const Point q = sg.points[v].translated(axis, 1);
+      auto it = sg.index.find(q);
+      if (it != sg.index.end()) sg.graph.add_edge(v, it->second);
+    }
+  }
+  return sg;
+}
+
+SpatialGraph make_grid_with_holes(const Box& box,
+                                  const std::vector<Point>& holes) {
+  PointSet blocked(holes.begin(), holes.end());
+  SpatialGraph sg;
+  box.for_each_point([&](const Point& p) {
+    if (blocked.count(p)) return;
+    sg.index.emplace(p, sg.points.size());
+    sg.points.push_back(p);
+  });
+  sg.graph = Graph(sg.points.size());
+  for (std::size_t v = 0; v < sg.points.size(); ++v) {
+    for (int axis = 0; axis < box.dim(); ++axis) {
+      const Point q = sg.points[v].translated(axis, 1);
+      auto it = sg.index.find(q);
+      if (it != sg.index.end()) sg.graph.add_edge(v, it->second);
+    }
+  }
+  return sg;
+}
+
+SpatialGraph make_torus(std::int64_t n) {
+  CMVRP_CHECK(n >= 3);
+  const Box box = Box::cube(Point{0, 0}, n);
+  SpatialGraph sg = make_vertices(box);
+  for (std::size_t v = 0; v < sg.points.size(); ++v) {
+    // The +1 step along each axis (with wrap) names every undirected edge
+    // exactly once, since no two vertices share the same +1 neighbor on an
+    // axis (n >= 3 keeps the wrap edge distinct).
+    for (int axis = 0; axis < 2; ++axis) {
+      Point q = sg.points[v].translated(axis, 1);
+      if (q[axis] == n) q[axis] = 0;  // wrap
+      sg.graph.add_edge(v, sg.index.at(q));
+    }
+  }
+  return sg;
+}
+
+SpatialGraph make_weighted_roadways(
+    const Box& box, const std::vector<std::int64_t>& highway_rows,
+    std::int64_t side_cost) {
+  CMVRP_CHECK(box.dim() == 2);
+  CMVRP_CHECK(side_cost >= 1);
+  std::vector<std::int64_t> highways = highway_rows;
+  std::sort(highways.begin(), highways.end());
+  SpatialGraph sg = make_vertices(box);
+  for (std::size_t v = 0; v < sg.points.size(); ++v) {
+    const Point& p = sg.points[v];
+    const bool on_highway =
+        std::binary_search(highways.begin(), highways.end(), p[1]);
+    for (int axis = 0; axis < 2; ++axis) {
+      const Point q = p.translated(axis, 1);
+      auto it = sg.index.find(q);
+      if (it == sg.index.end()) continue;
+      const bool horizontal = axis == 0;
+      const std::int64_t len =
+          (horizontal && on_highway) ? 1 : side_cost;
+      sg.graph.add_edge(v, it->second, len);
+    }
+  }
+  return sg;
+}
+
+}  // namespace cmvrp

@@ -1,0 +1,79 @@
+// General-graph substrate — the paper's Chapter 6 future-work direction:
+// "We have only discussed the case where the underlying graph is a grid.
+//  It would be nice to have results for graphs in general."
+//
+// Vertices are dense indices; edges carry positive integer lengths (the
+// paper's travel costs). Builders cover the cases the extension benches
+// exercise: plain grids (to cross-check against the lattice code paths),
+// grids with obstacle holes, tori (no boundary), and weighted roadways.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "grid/box.h"
+#include "grid/point.h"
+#include "util/check.h"
+
+namespace cmvrp {
+
+class Graph {
+ public:
+  explicit Graph(std::size_t num_vertices) : adj_(num_vertices) {}
+
+  std::size_t num_vertices() const { return adj_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  void add_edge(std::size_t u, std::size_t v, std::int64_t length = 1) {
+    CMVRP_CHECK(u < adj_.size() && v < adj_.size() && u != v);
+    CMVRP_CHECK_MSG(length > 0, "edge lengths must be positive");
+    adj_[u].push_back({v, length});
+    adj_[v].push_back({u, length});
+    ++num_edges_;
+  }
+
+  struct Arc {
+    std::size_t to;
+    std::int64_t length;
+  };
+  const std::vector<Arc>& neighbors(std::size_t v) const {
+    CMVRP_CHECK(v < adj_.size());
+    return adj_[v];
+  }
+
+  bool connected() const;
+
+ private:
+  std::vector<std::vector<Arc>> adj_;
+  std::size_t num_edges_ = 0;
+};
+
+// A graph over the lattice points of `box` (unit 2ℓ-adjacency), plus the
+// vertex <-> point correspondence so results can be compared with the
+// grid-native code paths.
+struct SpatialGraph {
+  Graph graph{0};
+  std::vector<Point> points;                             // vertex -> point
+  std::unordered_map<Point, std::size_t, PointHash> index;  // point -> vertex
+};
+
+// The full grid over `box`.
+SpatialGraph make_grid_graph(const Box& box);
+
+// Grid with the given vertices removed (obstacles); edges incident to a
+// hole disappear. The remainder must stay connected for the ω machinery.
+SpatialGraph make_grid_with_holes(const Box& box,
+                                  const std::vector<Point>& holes);
+
+// n×n torus: the grid with wrap-around edges (no boundary effects).
+SpatialGraph make_torus(std::int64_t n);
+
+// Grid whose horizontal edges on selected rows ("highways") have length 1
+// while all other edges have length `side_cost` — a weighted-roadway
+// variant showing the machinery is not tied to unit lengths.
+SpatialGraph make_weighted_roadways(const Box& box,
+                                    const std::vector<std::int64_t>& highway_rows,
+                                    std::int64_t side_cost);
+
+}  // namespace cmvrp

@@ -1,0 +1,218 @@
+#include "graph/graph_omega.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "flow/dinic.h"
+#include "util/check.h"
+
+namespace cmvrp {
+namespace {
+
+constexpr std::int64_t kUnreachable = std::numeric_limits<std::int64_t>::max();
+
+}  // namespace
+
+std::vector<std::int64_t> graph_distances(
+    const Graph& g, const std::vector<std::size_t>& seeds) {
+  CMVRP_CHECK(!seeds.empty());
+  std::vector<std::int64_t> dist(g.num_vertices(), kUnreachable);
+  using Item = std::pair<std::int64_t, std::size_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  for (std::size_t s : seeds) {
+    CMVRP_CHECK(s < g.num_vertices());
+    if (dist[s] != 0) {
+      dist[s] = 0;
+      pq.emplace(0, s);
+    }
+  }
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[v]) continue;
+    for (const auto& arc : g.neighbors(v)) {
+      const std::int64_t nd = d + arc.length;
+      if (nd < dist[arc.to]) {
+        dist[arc.to] = nd;
+        pq.emplace(nd, arc.to);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::int64_t> graph_distances(const Graph& g, std::size_t src) {
+  return graph_distances(g, std::vector<std::size_t>{src});
+}
+
+std::int64_t graph_ball_size(const Graph& g,
+                             const std::vector<std::size_t>& t,
+                             std::int64_t r) {
+  CMVRP_CHECK(r >= 0);
+  const auto dist = graph_distances(g, t);
+  std::int64_t count = 0;
+  for (auto d : dist)
+    if (d != kUnreachable && d <= r) ++count;
+  return count;
+}
+
+double graph_omega_for_set(const Graph& g,
+                           const std::vector<std::size_t>& t,
+                           const std::vector<double>& demand) {
+  CMVRP_CHECK(!t.empty());
+  CMVRP_CHECK(demand.size() == g.num_vertices());
+  double s = 0.0;
+  for (std::size_t v : t) s += demand[v];
+  if (s == 0.0) return 0.0;
+
+  const auto dist = graph_distances(g, t);
+  // Ball sizes grow only at the distinct finite distance values; walk the
+  // piecewise-linear g(ω) = ω·|B_⌊ω⌋(T)| exactly as on the lattice.
+  std::vector<std::int64_t> finite;
+  for (auto d : dist)
+    if (d != kUnreachable) finite.push_back(d);
+  std::sort(finite.begin(), finite.end());
+  auto ball_at = [&](std::int64_t k) -> double {
+    return static_cast<double>(
+        std::upper_bound(finite.begin(), finite.end(), k) - finite.begin());
+  };
+  const auto max_dist = finite.back();
+  for (std::int64_t k = 0;; ++k) {
+    const double vol = ball_at(k);
+    CMVRP_CHECK(vol >= 1.0);
+    const double lo = static_cast<double>(k) * vol;
+    const double hi = (static_cast<double>(k) + 1.0) * vol;
+    if (s < lo) return static_cast<double>(k);
+    if (s < hi) return s / vol;
+    if (k > max_dist) {
+      // Whole component reachable; g grows linearly with slope |V_comp|.
+      return s / vol;
+    }
+  }
+}
+
+double graph_omega_star_enumerate(const Graph& g,
+                                  const std::vector<double>& demand,
+                                  std::size_t max_support) {
+  CMVRP_CHECK(demand.size() == g.num_vertices());
+  std::vector<std::size_t> support;
+  for (std::size_t v = 0; v < demand.size(); ++v)
+    if (demand[v] > 0.0) support.push_back(v);
+  CMVRP_CHECK(!support.empty());
+  CMVRP_CHECK_MSG(support.size() <= max_support,
+                  "support too large: " << support.size());
+  double best = 0.0;
+  std::vector<std::size_t> subset;
+  for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << support.size());
+       ++mask) {
+    subset.clear();
+    for (std::size_t i = 0; i < support.size(); ++i)
+      if (mask & (std::uint64_t{1} << i)) subset.push_back(support[i]);
+    best = std::max(best, graph_omega_for_set(g, subset, demand));
+  }
+  return best;
+}
+
+double graph_flow_value_at_radius(const Graph& g,
+                                  const std::vector<double>& demand,
+                                  std::int64_t r, double tol) {
+  CMVRP_CHECK(r >= 0);
+  CMVRP_CHECK(tol > 0.0);
+  CMVRP_CHECK(demand.size() == g.num_vertices());
+  std::vector<std::size_t> demand_vertices;
+  double total = 0.0;
+  for (std::size_t v = 0; v < demand.size(); ++v)
+    if (demand[v] > 0.0) {
+      demand_vertices.push_back(v);
+      total += demand[v];
+    }
+  CMVRP_CHECK(!demand_vertices.empty());
+
+  // Suppliers: vertices within distance r of the support. Arcs: supplier i
+  // serves demand j when dist(i, j) <= r.
+  const auto to_support = graph_distances(g, demand_vertices);
+  std::vector<std::size_t> suppliers;
+  for (std::size_t v = 0; v < g.num_vertices(); ++v)
+    if (to_support[v] != kUnreachable && to_support[v] <= r)
+      suppliers.push_back(v);
+
+  std::vector<std::vector<bool>> arc(suppliers.size());
+  for (std::size_t i = 0; i < suppliers.size(); ++i) {
+    const auto dist = graph_distances(g, suppliers[i]);
+    arc[i].resize(demand_vertices.size());
+    for (std::size_t j = 0; j < demand_vertices.size(); ++j)
+      arc[i][j] = dist[demand_vertices[j]] != kUnreachable &&
+                  dist[demand_vertices[j]] <= r;
+  }
+
+  const double scale = 1 << 20;
+  auto feasible = [&](double omega) {
+    const std::size_t src = 0, sink = 1, sbase = 2;
+    const std::size_t dbase = sbase + suppliers.size();
+    Dinic flow(dbase + demand_vertices.size());
+    const auto cap = static_cast<std::int64_t>(std::floor(omega * scale));
+    std::int64_t total_scaled = 0;
+    for (std::size_t j = 0; j < demand_vertices.size(); ++j) {
+      const auto dj = static_cast<std::int64_t>(
+          std::ceil(demand[demand_vertices[j]] * scale - 1e-9));
+      flow.add_edge(dbase + j, sink, dj);
+      total_scaled += dj;
+    }
+    for (std::size_t i = 0; i < suppliers.size(); ++i) {
+      flow.add_edge(src, sbase + i, cap);
+      for (std::size_t j = 0; j < demand_vertices.size(); ++j)
+        if (arc[i][j]) flow.add_edge(sbase + i, dbase + j, cap);
+    }
+    return flow.max_flow(src, sink) >= total_scaled;
+  };
+
+  double lo = 0.0, hi = total;
+  CMVRP_CHECK_MSG(feasible(hi), "demand must be coverable at omega = total");
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    if (feasible(mid))
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return hi;
+}
+
+double graph_omega_star_flow(const Graph& g,
+                             const std::vector<double>& demand) {
+  // Identical fixed-point walk to the lattice version (Lemma 2.2.3).
+  std::int64_t k = 0;
+  double vk = graph_flow_value_at_radius(g, demand, 0);
+  for (;;) {
+    if (vk < static_cast<double>(k) + 1.0)
+      return std::max(vk, static_cast<double>(k));
+    const double vnext = graph_flow_value_at_radius(g, demand, k + 1);
+    CMVRP_CHECK_MSG(vnext <= vk + 1e-6, "value must be non-increasing");
+    ++k;
+    vk = vnext;
+    CMVRP_CHECK_MSG(k < (std::int64_t{1} << 24), "fixed point diverged");
+  }
+}
+
+double graph_ball_lower_bound(const Graph& g,
+                              const std::vector<double>& demand,
+                              std::int64_t max_radius) {
+  CMVRP_CHECK(demand.size() == g.num_vertices());
+  CMVRP_CHECK(max_radius >= 0);
+  double best = 0.0;
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    if (demand[v] <= 0.0) continue;
+    const auto dist = graph_distances(g, v);
+    for (std::int64_t k = 0; k <= max_radius; ++k) {
+      std::vector<std::size_t> ball;
+      for (std::size_t u = 0; u < g.num_vertices(); ++u)
+        if (dist[u] != kUnreachable && dist[u] <= k) ball.push_back(u);
+      best = std::max(best, graph_omega_for_set(g, ball, demand));
+    }
+  }
+  return best;
+}
+
+}  // namespace cmvrp

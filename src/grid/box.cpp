@@ -1,0 +1,32 @@
+#include "grid/box.h"
+
+#include <limits>
+#include <sstream>
+
+namespace cmvrp {
+
+std::int64_t Box::volume() const {
+  std::int64_t v = 1;
+  for (int i = 0; i < dim(); ++i) {
+    const std::int64_t s = side(i);
+    CMVRP_CHECK_MSG(v <= std::numeric_limits<std::int64_t>::max() / s,
+                    "box volume overflows int64");
+    v *= s;
+  }
+  return v;
+}
+
+std::vector<Point> Box::points() const {
+  std::vector<Point> out;
+  out.reserve(static_cast<std::size_t>(volume()));
+  for_each_point([&out](const Point& p) { out.push_back(p); });
+  return out;
+}
+
+std::string Box::to_string() const {
+  std::ostringstream os;
+  os << '[' << lo_.to_string() << " .. " << hi_.to_string() << ']';
+  return os.str();
+}
+
+}  // namespace cmvrp

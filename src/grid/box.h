@@ -1,0 +1,97 @@
+// Axis-aligned lattice boxes (the ℓ-cubes of Corollaries 2.2.6/2.2.7 are
+// boxes with equal side lengths).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grid/point.h"
+#include "util/check.h"
+
+namespace cmvrp {
+
+class Box {
+ public:
+  // Inclusive corners: the box contains all x with lo[i] <= x[i] <= hi[i].
+  Box(Point lo, Point hi) : lo_(lo), hi_(hi) {
+    CMVRP_CHECK(lo.dim() == hi.dim());
+    for (int i = 0; i < lo.dim(); ++i) CMVRP_CHECK(lo[i] <= hi[i]);
+  }
+
+  // The cube with corner `corner` and `side` lattice points per axis.
+  static Box cube(Point corner, std::int64_t side) {
+    CMVRP_CHECK(side >= 1);
+    Point hi = corner;
+    for (int i = 0; i < corner.dim(); ++i) hi[i] = corner[i] + side - 1;
+    return Box(corner, hi);
+  }
+
+  int dim() const { return lo_.dim(); }
+  const Point& lo() const { return lo_; }
+  const Point& hi() const { return hi_; }
+
+  // Number of lattice points along axis i.
+  std::int64_t side(int i) const { return hi_[i] - lo_[i] + 1; }
+
+  std::vector<std::int64_t> sides() const {
+    std::vector<std::int64_t> s;
+    s.reserve(static_cast<std::size_t>(dim()));
+    for (int i = 0; i < dim(); ++i) s.push_back(side(i));
+    return s;
+  }
+
+  // Total number of lattice points (checked against overflow).
+  std::int64_t volume() const;
+
+  bool contains(const Point& p) const {
+    CMVRP_CHECK(p.dim() == dim());
+    for (int i = 0; i < dim(); ++i)
+      if (p[i] < lo_[i] || p[i] > hi_[i]) return false;
+    return true;
+  }
+
+  // L1 distance from p to the box (0 when inside).
+  std::int64_t l1_distance_to(const Point& p) const {
+    CMVRP_CHECK(p.dim() == dim());
+    std::int64_t d = 0;
+    for (int i = 0; i < dim(); ++i) {
+      if (p[i] < lo_[i])
+        d += lo_[i] - p[i];
+      else if (p[i] > hi_[i])
+        d += p[i] - hi_[i];
+    }
+    return d;
+  }
+
+  // Enumerate all lattice points in lexicographic order. Intended for
+  // small boxes (tests, per-cube planning); volume() must fit memory.
+  std::vector<Point> points() const;
+
+  // Visit all points without materializing them.
+  template <typename Fn>
+  void for_each_point(Fn&& fn) const {
+    Point p = lo_;
+    const int d = dim();
+    for (;;) {
+      fn(static_cast<const Point&>(p));
+      int axis = d - 1;
+      while (axis >= 0) {
+        if (p[axis] < hi_[axis]) {
+          ++p[axis];
+          break;
+        }
+        p[axis] = lo_[axis];
+        --axis;
+      }
+      if (axis < 0) break;
+    }
+  }
+
+  std::string to_string() const;
+
+ private:
+  Point lo_, hi_;
+};
+
+}  // namespace cmvrp

@@ -1,0 +1,157 @@
+#include "grid/dense_grid.h"
+
+#include <algorithm>
+
+namespace cmvrp {
+
+DenseGrid::DenseGrid(const Box& box) : box_(box) {
+  const std::int64_t vol = box.volume();
+  CMVRP_CHECK_MSG(vol <= (std::int64_t{1} << 31),
+                  "dense grid too large: " << vol << " cells");
+  data_.assign(static_cast<std::size_t>(vol), 0.0);
+}
+
+DenseGrid DenseGrid::from_demand(const DemandMap& d) {
+  return from_demand(d, d.bounding_box());
+}
+
+DenseGrid DenseGrid::from_demand(const DemandMap& d, const Box& box) {
+  DenseGrid g(box);
+  for (const auto& [p, v] : d) {
+    CMVRP_CHECK_MSG(box.contains(p), "demand point " << p.to_string()
+                                                     << " outside grid box");
+    g.add(p, v);
+  }
+  return g;
+}
+
+double DenseGrid::total() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double DenseGrid::max_value() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, v);
+  return m;
+}
+
+PrefixSums::PrefixSums(const DenseGrid& grid)
+    : box_(grid.box()), sides_(grid.box_.sides()) {
+  const int dim = box_.dim();
+  // Shape with a zero-border on the low side of each axis.
+  std::size_t total = 1;
+  for (auto s : sides_) total *= static_cast<std::size_t>(s + 1);
+  ps_.assign(total, 0.0);
+
+  // Strides of the padded array.
+  std::vector<std::size_t> stride(static_cast<std::size_t>(dim), 1);
+  for (int i = dim - 2; i >= 0; --i)
+    stride[static_cast<std::size_t>(i)] =
+        stride[static_cast<std::size_t>(i + 1)] *
+        static_cast<std::size_t>(sides_[static_cast<std::size_t>(i + 1)] + 1);
+
+  // Copy values into the padded array (offset +1 per axis).
+  box_.for_each_point([&](const Point& p) {
+    std::size_t idx = 0;
+    for (int i = 0; i < dim; ++i)
+      idx += static_cast<std::size_t>(p[i] - box_.lo()[i] + 1) *
+             stride[static_cast<std::size_t>(i)];
+    ps_[idx] = grid.at(p);
+  });
+
+  // Accumulate along each axis in turn.
+  for (int axis = 0; axis < dim; ++axis) {
+    const std::size_t st = stride[static_cast<std::size_t>(axis)];
+    const auto len = static_cast<std::size_t>(
+        sides_[static_cast<std::size_t>(axis)] + 1);
+    // Iterate over all positions where the axis coordinate is >= 1 and add
+    // the value at coordinate-1. Walk the flat array: an index's coordinate
+    // along `axis` is (idx / st) % len.
+    for (std::size_t idx = 0; idx < ps_.size(); ++idx) {
+      const std::size_t coord = (idx / st) % len;
+      if (coord >= 1) ps_[idx] += ps_[idx - st];
+    }
+  }
+}
+
+double PrefixSums::prefix_at(const std::vector<std::int64_t>& idx) const {
+  // idx[i] in [0, side_i]; returns sum over the first idx[i] cells per axis.
+  const int dim = box_.dim();
+  std::size_t flat = 0;
+  for (int i = 0; i < dim; ++i) {
+    flat = flat * static_cast<std::size_t>(sides_[static_cast<std::size_t>(i)] + 1) +
+           static_cast<std::size_t>(idx[static_cast<std::size_t>(i)]);
+  }
+  return ps_[flat];
+}
+
+double PrefixSums::box_sum(const Box& query) const {
+  CMVRP_CHECK(query.dim() == box_.dim());
+  const int dim = box_.dim();
+  // Clip to the grid box; empty intersection sums to zero.
+  std::vector<std::int64_t> lo(static_cast<std::size_t>(dim)),
+      hi(static_cast<std::size_t>(dim));
+  for (int i = 0; i < dim; ++i) {
+    lo[static_cast<std::size_t>(i)] =
+        std::max(query.lo()[i], box_.lo()[i]) - box_.lo()[i];
+    hi[static_cast<std::size_t>(i)] =
+        std::min(query.hi()[i], box_.hi()[i]) - box_.lo()[i];
+    if (lo[static_cast<std::size_t>(i)] > hi[static_cast<std::size_t>(i)])
+      return 0.0;
+  }
+  // Inclusion–exclusion over the 2^dim corners.
+  double sum = 0.0;
+  std::vector<std::int64_t> corner(static_cast<std::size_t>(dim));
+  for (unsigned mask = 0; mask < (1u << dim); ++mask) {
+    int sign = 1;
+    for (int i = 0; i < dim; ++i) {
+      if (mask & (1u << i)) {
+        corner[static_cast<std::size_t>(i)] = lo[static_cast<std::size_t>(i)];
+        sign = -sign;
+      } else {
+        corner[static_cast<std::size_t>(i)] =
+            hi[static_cast<std::size_t>(i)] + 1;
+      }
+    }
+    sum += sign * prefix_at(corner);
+  }
+  return sum;
+}
+
+double PrefixSums::max_cube_sum(std::int64_t side) const {
+  CMVRP_CHECK(side >= 1);
+  const int dim = box_.dim();
+  // Window corner ranges; if the cube is larger than the grid along an
+  // axis, use the single clipped window that covers the whole axis.
+  std::vector<std::int64_t> lo(static_cast<std::size_t>(dim)),
+      hi(static_cast<std::size_t>(dim));
+  for (int i = 0; i < dim; ++i) {
+    lo[static_cast<std::size_t>(i)] = box_.lo()[i];
+    hi[static_cast<std::size_t>(i)] = box_.hi()[i] - side + 1;
+    if (hi[static_cast<std::size_t>(i)] < lo[static_cast<std::size_t>(i)])
+      hi[static_cast<std::size_t>(i)] = lo[static_cast<std::size_t>(i)];
+  }
+  double best = 0.0;
+  std::vector<std::int64_t> cur = lo;
+  for (;;) {
+    Point corner = Point::origin(dim);
+    for (int i = 0; i < dim; ++i) corner[i] = cur[static_cast<std::size_t>(i)];
+    best = std::max(best, box_sum(Box::cube(corner, side)));
+    int axis = dim - 1;
+    while (axis >= 0) {
+      auto& c = cur[static_cast<std::size_t>(axis)];
+      if (c < hi[static_cast<std::size_t>(axis)]) {
+        ++c;
+        break;
+      }
+      c = lo[static_cast<std::size_t>(axis)];
+      --axis;
+    }
+    if (axis < 0) break;
+  }
+  return best;
+}
+
+}  // namespace cmvrp

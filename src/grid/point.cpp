@@ -1,0 +1,18 @@
+#include "grid/point.h"
+
+#include <sstream>
+
+namespace cmvrp {
+
+std::string Point::to_string() const {
+  std::ostringstream os;
+  os << '(';
+  for (int i = 0; i < dim_; ++i) {
+    if (i > 0) os << ", ";
+    os << coords_[static_cast<std::size_t>(i)];
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace cmvrp

@@ -1,0 +1,274 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace cmvrp {
+
+const char* to_string(LpStatus s) {
+  switch (s) {
+    case LpStatus::kOptimal:
+      return "optimal";
+    case LpStatus::kInfeasible:
+      return "infeasible";
+    case LpStatus::kUnbounded:
+      return "unbounded";
+  }
+  return "?";
+}
+
+std::size_t LpProblem::add_variable(double objective_coeff) {
+  obj_.push_back(objective_coeff);
+  return obj_.size() - 1;
+}
+
+void LpProblem::add_constraint(
+    const std::vector<std::pair<std::size_t, double>>& coeffs, LpRelation rel,
+    double rhs) {
+  for (const auto& [var, coeff] : coeffs) {
+    (void)coeff;
+    CMVRP_CHECK_MSG(var < obj_.size(), "constraint references unknown var");
+  }
+  rows_.push_back(Row{coeffs, rel, rhs});
+}
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Full-tableau simplex working state.
+struct Tableau {
+  std::size_t m;                        // rows (constraints)
+  std::size_t n;                        // columns (all variables)
+  std::vector<std::vector<double>> a;   // m x n
+  std::vector<double> b;                // m
+  std::vector<std::size_t> basis;       // m, column basic in each row
+  std::size_t pivots = 0;
+
+  void pivot(std::size_t row, std::size_t col) {
+    const double piv = a[row][col];
+    CMVRP_CHECK(std::abs(piv) > kEps);
+    const double inv = 1.0 / piv;
+    for (auto& v : a[row]) v *= inv;
+    b[row] *= inv;
+    a[row][col] = 1.0;  // cancel roundoff
+    for (std::size_t r = 0; r < m; ++r) {
+      if (r == row) continue;
+      const double f = a[r][col];
+      if (std::abs(f) < kEps) {
+        a[r][col] = 0.0;
+        continue;
+      }
+      for (std::size_t c = 0; c < n; ++c) a[r][c] -= f * a[row][c];
+      a[r][col] = 0.0;
+      b[r] -= f * b[row];
+    }
+    basis[row] = col;
+    ++pivots;
+  }
+
+  // Minimize cost'x over the current feasible tableau; `allowed[j]` gates
+  // which columns may enter (used to lock out artificials in phase 2).
+  // Returns false if unbounded.
+  bool optimize(const std::vector<double>& cost,
+                const std::vector<bool>& allowed) {
+    for (;;) {
+      // Reduced costs: r_j = c_j - c_B B^{-1} a_j. With a full tableau the
+      // matrix is already B^{-1}A, so r_j = c_j - Σ_i c_{basis[i]} a[i][j].
+      std::size_t enter = n;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!allowed[j]) continue;
+        double r = cost[j];
+        for (std::size_t i = 0; i < m; ++i) {
+          const double cb = cost[basis[i]];
+          if (cb != 0.0) r -= cb * a[i][j];
+        }
+        if (r < -kEps) {  // Bland: first improving column
+          enter = j;
+          break;
+        }
+      }
+      if (enter == n) return true;  // optimal
+
+      // Ratio test, Bland tie-break on smallest basis column.
+      std::size_t leave = m;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < m; ++i) {
+        if (a[i][enter] > kEps) {
+          const double ratio = b[i] / a[i][enter];
+          if (ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps &&
+               (leave == m || basis[i] < basis[leave]))) {
+            best_ratio = ratio;
+            leave = i;
+          }
+        }
+      }
+      if (leave == m) return false;  // unbounded
+      pivot(leave, enter);
+    }
+  }
+};
+
+}  // namespace
+
+LpResult LpProblem::solve() const {
+  const std::size_t nv = obj_.size();
+  const std::size_t m = rows_.size();
+
+  // Column layout: [0, nv) structural, then one slack/surplus per
+  // inequality, then one artificial per row that needs it.
+  std::size_t n = nv;
+  std::vector<std::size_t> slack_col(m, SIZE_MAX);
+  for (std::size_t k = 0; k < m; ++k)
+    if (rows_[k].rel != LpRelation::kEqual) slack_col[k] = n++;
+
+  // Build rows with b >= 0 (flip signs where needed).
+  std::vector<std::vector<double>> a(m, std::vector<double>(n, 0.0));
+  std::vector<double> b(m, 0.0);
+  std::vector<double> row_sign(m, 1.0);
+  for (std::size_t k = 0; k < m; ++k) {
+    const Row& row = rows_[k];
+    std::vector<double> dense(n, 0.0);
+    for (const auto& [var, coeff] : row.coeffs) dense[var] += coeff;
+    if (row.rel == LpRelation::kLessEqual) dense[slack_col[k]] = 1.0;
+    if (row.rel == LpRelation::kGreaterEqual) dense[slack_col[k]] = -1.0;
+    double rhs = row.rhs;
+    if (rhs < 0.0) {
+      for (auto& v : dense) v = -v;
+      rhs = -rhs;
+      row_sign[k] = -1.0;
+    }
+    a[k] = std::move(dense);
+    b[k] = rhs;
+  }
+
+  // Identity-forming columns: a slack with +1 after sign flip can seed the
+  // basis; everything else gets an artificial.
+  std::vector<std::size_t> art_col(m, SIZE_MAX);
+  std::vector<std::size_t> basis(m, SIZE_MAX);
+  std::size_t num_art = 0;
+  for (std::size_t k = 0; k < m; ++k) {
+    const bool have_identity =
+        slack_col[k] != SIZE_MAX && a[k][slack_col[k]] > 0.5;
+    if (have_identity) {
+      basis[k] = slack_col[k];
+    } else {
+      art_col[k] = n + num_art;
+      ++num_art;
+    }
+  }
+  if (num_art > 0) {
+    for (std::size_t k = 0; k < m; ++k) {
+      a[k].resize(n + num_art, 0.0);
+      if (art_col[k] != SIZE_MAX) {
+        a[k][art_col[k]] = 1.0;
+        basis[k] = art_col[k];
+      }
+    }
+    n += num_art;
+  }
+
+  Tableau t;
+  t.m = m;
+  t.n = n;
+  t.a = std::move(a);
+  t.b = std::move(b);
+  t.basis = std::move(basis);
+
+  LpResult result;
+
+  // Phase 1: drive artificials to zero.
+  if (num_art > 0) {
+    std::vector<double> phase1_cost(n, 0.0);
+    for (std::size_t k = 0; k < m; ++k)
+      if (art_col[k] != SIZE_MAX) phase1_cost[art_col[k]] = 1.0;
+    std::vector<bool> allowed(n, true);
+    const bool bounded = t.optimize(phase1_cost, allowed);
+    CMVRP_CHECK_MSG(bounded, "phase-1 LP cannot be unbounded");
+    double art_sum = 0.0;
+    for (std::size_t i = 0; i < m; ++i)
+      if (phase1_cost[t.basis[i]] != 0.0) art_sum += t.b[i];
+    if (art_sum > 1e-7) {
+      result.status = LpStatus::kInfeasible;
+      result.pivots = t.pivots;
+      return result;
+    }
+    // Pivot residual artificials out of the basis when possible.
+    for (std::size_t i = 0; i < m; ++i) {
+      if (art_col[i] == SIZE_MAX) continue;
+      const std::size_t bc = t.basis[i];
+      const bool is_art = phase1_cost[bc] != 0.0;
+      if (!is_art) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (phase1_cost[j] != 0.0) continue;  // skip other artificials
+        if (std::abs(t.a[i][j]) > kEps) {
+          t.pivot(i, j);
+          break;
+        }
+      }
+    }
+  }
+
+  // Phase 2: real objective (converted to minimization).
+  std::vector<double> cost(n, 0.0);
+  for (std::size_t j = 0; j < nv; ++j)
+    cost[j] = maximize_ ? -obj_[j] : obj_[j];
+  std::vector<bool> allowed(n, true);
+  for (std::size_t k = 0; k < m; ++k)
+    if (art_col[k] != SIZE_MAX) allowed[art_col[k]] = false;
+
+  if (!t.optimize(cost, allowed)) {
+    result.status = LpStatus::kUnbounded;
+    result.pivots = t.pivots;
+    return result;
+  }
+
+  result.status = LpStatus::kOptimal;
+  result.x.assign(nv, 0.0);
+  for (std::size_t i = 0; i < m; ++i)
+    if (t.basis[i] < nv) result.x[t.basis[i]] = t.b[i];
+
+  double z = 0.0;
+  for (std::size_t j = 0; j < nv; ++j) z += cost[j] * result.x[j];
+  result.objective = maximize_ ? -z : z;
+
+  // Duals from the reduced cost of each row's initial identity column:
+  //   +e_i column:  y_i = c_j - r_j        (c_j = 0 for slacks/artificials)
+  //   -e_i column:  y_i = r_j - c_j
+  // then undo the row sign flip and the minimization conversion.
+  result.duals.assign(m, 0.0);
+  for (std::size_t k = 0; k < m; ++k) {
+    std::size_t ref = SIZE_MAX;
+    double col_dir = 1.0;  // direction of the identity column: +e_i or -e_i
+    if (art_col[k] != SIZE_MAX) {
+      ref = art_col[k];  // artificials always entered as +e_i
+    } else {
+      ref = slack_col[k];
+      // Slack direction after the sign flip: +1 for (<=, b>=0) and
+      // (>=, b<0); -1 otherwise.
+      const bool le = rows_[k].rel == LpRelation::kLessEqual;
+      const bool flipped = row_sign[k] < 0.0;
+      col_dir = (le != flipped) ? 1.0 : -1.0;
+    }
+    double r = cost[ref];
+    for (std::size_t i = 0; i < m; ++i) {
+      const double cb = cost[t.basis[i]];
+      if (cb != 0.0) r -= cb * t.a[i][ref];
+    }
+    // cost[ref] is 0 for slack and (phase-2) artificial columns, so the
+    // identity-column rule gives y = -r for +e_i and y = +r for -e_i.
+    double y = (col_dir > 0.0) ? cost[ref] - r : r - cost[ref];
+    y *= row_sign[k];
+    if (maximize_) y = -y;
+    result.duals[k] = y;
+  }
+
+  result.pivots = t.pivots;
+  return result;
+}
+
+}  // namespace cmvrp

@@ -1,0 +1,86 @@
+#include "online/pairing.h"
+
+#include "util/check.h"
+
+namespace cmvrp {
+
+CubePairing::CubePairing(int dim, Point anchor, std::int64_t side)
+    : dim_(dim), anchor_(anchor), side_(side) {
+  CMVRP_CHECK(anchor.dim() == dim);
+  CMVRP_CHECK_MSG(side >= 1, "cube side must be positive");
+}
+
+std::int64_t CubePairing::cube_volume() const {
+  std::int64_t v = 1;
+  for (int i = 0; i < dim_; ++i) v *= side_;
+  return v;
+}
+
+Point CubePairing::cube_corner(const Point& p) const {
+  CMVRP_CHECK(p.dim() == dim_);
+  Point c = p;
+  for (int i = 0; i < dim_; ++i) {
+    const std::int64_t off = p[i] - anchor_[i];
+    const std::int64_t q =
+        off >= 0 ? off / side_ : -((-off + side_ - 1) / side_);
+    c[i] = anchor_[i] + q * side_;
+  }
+  return c;
+}
+
+std::int64_t CubePairing::snake_index(const Point& p) const {
+  const Point corner = cube_corner(p);
+  // Boustrophedon mixed-radix index: axis 0 runs fastest, and each axis's
+  // sweep direction reverses with the parity of the *true* offsets of all
+  // higher axes, making consecutive indices grid-adjacent in any dimension.
+  std::int64_t index = 0;
+  std::int64_t parity_above = 0;
+  for (int i = dim_ - 1; i >= 0; --i) {
+    std::int64_t o = p[i] - corner[i];
+    CMVRP_CHECK(o >= 0 && o < side_);
+    if (parity_above % 2 == 1) o = side_ - 1 - o;  // reversed sweep
+    index = index * side_ + o;
+    parity_above += p[i] - corner[i];
+  }
+  return index;
+}
+
+Point CubePairing::snake_vertex(const Point& corner, std::int64_t k) const {
+  CMVRP_CHECK(k >= 0 && k < cube_volume());
+  // Unpack the mixed-radix digits (axis 0 least significant).
+  std::vector<std::int64_t> digits(static_cast<std::size_t>(dim_));
+  std::int64_t rest = k;
+  for (int i = 0; i < dim_; ++i) {
+    digits[static_cast<std::size_t>(i)] = rest % side_;
+    rest /= side_;
+  }
+  // digits[i] is the (possibly reversed) offset of axis i; undo reversals
+  // top-down since reversal of axis i depends on true offsets of axes > i.
+  Point p = corner;
+  std::int64_t parity_above = 0;
+  for (int i = dim_ - 1; i >= 0; --i) {
+    std::int64_t o = digits[static_cast<std::size_t>(i)];
+    if (parity_above % 2 == 1) o = side_ - 1 - o;
+    p[i] = corner[i] + o;
+    parity_above += o;
+  }
+  return p;
+}
+
+Point CubePairing::partner(const Point& p) const {
+  const std::int64_t k = snake_index(p);
+  const std::int64_t mate = k ^ 1;
+  if (mate >= cube_volume()) return p;  // odd singleton
+  return snake_vertex(cube_corner(p), mate);
+}
+
+std::vector<Point> CubePairing::primaries_in_cube(const Point& corner) const {
+  std::vector<Point> out;
+  const std::int64_t vol = cube_volume();
+  out.reserve(static_cast<std::size_t>((vol + 1) / 2));
+  for (std::int64_t k = 0; k < vol; k += 2)
+    out.push_back(snake_vertex(corner, k));
+  return out;
+}
+
+}  // namespace cmvrp

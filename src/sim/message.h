@@ -1,0 +1,69 @@
+// Protocol messages of §3.2.3–§3.2.4.
+//
+// Phase I uses query/reply pairs tagged with the initiator identity (plus
+// a sequence number, as the paper's `init` discussion suggests, so repeat
+// computations by the same vehicle stay distinct). Phase II uses a single
+// move message carrying the destination. `existing` heartbeats support the
+// monitoring ring of §3.2.5.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+
+#include "grid/point.h"
+
+namespace cmvrp {
+
+// Identity of one diffusing computation: (initiating vehicle, sequence).
+struct InitTag {
+  std::size_t vehicle = SIZE_MAX;
+  std::uint64_t seq = 0;
+
+  friend bool operator==(const InitTag& a, const InitTag& b) {
+    return a.vehicle == b.vehicle && a.seq == b.seq;
+  }
+  friend bool operator!=(const InitTag& a, const InitTag& b) {
+    return !(a == b);
+  }
+};
+
+inline constexpr InitTag kNoInit{};
+
+// Phase I: "are you (or do you know) an idle vehicle?" — (init, p).
+struct QueryMsg {
+  InitTag init;
+};
+
+// Phase I: reply (flag, p).
+struct ReplyMsg {
+  bool flag = false;
+  InitTag init;
+};
+
+// Phase II: relay toward the found idle vehicle; `dest` is the vertex the
+// idle vehicle must occupy (the done vehicle's serving position).
+struct MoveMsg {
+  Point dest;
+  InitTag init;
+};
+
+// §3.2.5 monitoring: periodic liveness beacon.
+struct ExistingMsg {};
+
+using Message = std::variant<QueryMsg, ReplyMsg, MoveMsg, ExistingMsg>;
+
+inline const char* message_kind(const Message& m) {
+  switch (m.index()) {
+    case 0:
+      return "query";
+    case 1:
+      return "reply";
+    case 2:
+      return "move";
+    case 3:
+      return "existing";
+  }
+  return "?";
+}
+
+}  // namespace cmvrp

@@ -1,0 +1,88 @@
+// Message transport implementing the paper's communication model (§3.2):
+//   * free (no energy cost), reliable, unaltered delivery,
+//   * arbitrary finite per-message delay,
+//   * per-channel FIFO ("messages sent from P to Q arrive in order sent"),
+//   * unbounded input buffers (receivers are invoked per message).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "sim/event_queue.h"
+#include "sim/message.h"
+#include "util/rng.h"
+
+namespace cmvrp {
+
+struct NetworkStats {
+  std::uint64_t queries = 0;
+  std::uint64_t replies = 0;
+  std::uint64_t moves = 0;
+  std::uint64_t heartbeats = 0;
+
+  std::uint64_t total() const { return queries + replies + moves + heartbeats; }
+};
+
+class Network {
+ public:
+  // Deliveries receive (to, from, message).
+  using Receiver =
+      std::function<void(std::size_t, std::size_t, const Message&)>;
+
+  Network(EventQueue& queue, Rng rng, SimTime max_delay)
+      : queue_(queue), rng_(std::move(rng)), max_delay_(max_delay) {
+    CMVRP_CHECK(max_delay >= 0);
+  }
+
+  void set_receiver(Receiver r) { receiver_ = std::move(r); }
+
+  // Sends m from -> to with a random delay in [1, 1 + max_delay], clamped
+  // so the channel stays FIFO.
+  void send(std::size_t from, std::size_t to, Message m) {
+    CMVRP_CHECK_MSG(receiver_, "network has no receiver bound");
+    count(m);
+    const SimTime delay =
+        1 + static_cast<SimTime>(
+                max_delay_ > 0
+                    ? rng_.next_below(static_cast<std::uint64_t>(max_delay_) + 1)
+                    : 0);
+    SimTime at = queue_.now() + delay;
+    auto& last = last_delivery_[{from, to}];
+    if (at <= last) at = last + 1;  // preserve per-channel ordering
+    last = at;
+    queue_.schedule(at, [this, from, to, m = std::move(m)]() {
+      receiver_(to, from, m);
+    });
+  }
+
+  const NetworkStats& stats() const { return stats_; }
+
+ private:
+  void count(const Message& m) {
+    switch (m.index()) {
+      case 0:
+        ++stats_.queries;
+        break;
+      case 1:
+        ++stats_.replies;
+        break;
+      case 2:
+        ++stats_.moves;
+        break;
+      case 3:
+        ++stats_.heartbeats;
+        break;
+    }
+  }
+
+  EventQueue& queue_;
+  Rng rng_;
+  SimTime max_delay_;
+  Receiver receiver_;
+  NetworkStats stats_;
+  std::map<std::pair<std::size_t, std::size_t>, SimTime> last_delivery_;
+};
+
+}  // namespace cmvrp

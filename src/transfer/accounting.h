@@ -1,0 +1,28 @@
+// Inter-vehicle energy transfer accounting (Chapter 5).
+//
+// Two models: fixed — a₁ energy per transfer regardless of amount; and
+// variable — a₂ ≪ 1 energy per unit transferred. Tanks may hold up to C
+// (possibly ∞) even when the initial charge W is smaller (§5.2).
+#pragma once
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace cmvrp {
+
+enum class TransferCostModel { kFixed, kVariable };
+
+struct TransferParams {
+  TransferCostModel model = TransferCostModel::kFixed;
+  double a1 = 1.0;    // fixed cost per transfer
+  double a2 = 0.01;   // variable cost per unit (must be < 1/2 for §5.2.1)
+  double tank_capacity = std::numeric_limits<double>::infinity();  // C
+
+  double transfer_cost(double amount) const {
+    CMVRP_CHECK(amount >= 0.0);
+    return model == TransferCostModel::kFixed ? a1 : a2 * amount;
+  }
+};
+
+}  // namespace cmvrp

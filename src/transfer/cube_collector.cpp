@@ -1,0 +1,52 @@
+#include "transfer/cube_collector.h"
+
+#include <algorithm>
+#include <map>
+
+#include "grid/box.h"
+#include "online/pairing.h"
+#include "transfer/line_collector.h"
+#include "util/check.h"
+
+namespace cmvrp {
+
+CubeCollectorResult cube_collector_requirements(const DemandMap& d,
+                                                std::int64_t side,
+                                                const TransferParams& params) {
+  CMVRP_CHECK(!d.empty());
+  CMVRP_CHECK(side >= 1);
+  CubeCollectorResult out;
+  out.cube_side = side;
+
+  // Group demand by cube, then lay each cube's demand along its snake
+  // order and reuse the §5.2.1 line simulation verbatim.
+  const CubePairing pairing(d.dim(), d.bounding_box().lo(), side);
+  std::map<std::vector<std::int64_t>, std::vector<double>> cubes;
+  for (const auto& p : d.support()) {
+    const Point corner = pairing.cube_corner(p);
+    std::vector<std::int64_t> key(static_cast<std::size_t>(d.dim()));
+    for (int i = 0; i < d.dim(); ++i)
+      key[static_cast<std::size_t>(i)] = corner[i];
+    auto& lane = cubes[key];
+    if (lane.empty())
+      lane.assign(static_cast<std::size_t>(pairing.cube_volume()), 0.0);
+    lane[static_cast<std::size_t>(pairing.snake_index(p))] += d.at(p);
+  }
+
+  for (const auto& [key, lane] : cubes) {
+    (void)key;
+    ++out.cubes;
+    double cube_demand = 0.0;
+    for (double v : lane) cube_demand += v;
+    const double w = min_line_collector_w(lane, params);
+    if (w > out.required_w) {
+      out.required_w = w;
+      out.binding_cube_demand = cube_demand;
+    }
+    const auto trace = simulate_line_collector(lane, w, params);
+    out.max_tank_level = std::max(out.max_tank_level, trace.max_tank_level);
+  }
+  return out;
+}
+
+}  // namespace cmvrp

@@ -1,0 +1,36 @@
+// A constructive offline strategy *with* transfers: per partition cube,
+// one collector vehicle walks the cube's snake path (every consecutive
+// vertex adjacent — the same walk that defines the Chapter 3 pairing),
+// pooling all charges, then walks it back distributing each vertex's
+// demand. This is §5.2.1's line strategy lifted to cubes: a cube of side s
+// is a "line" of length s^ℓ under the snake order.
+//
+// It realizes W_trans-off = Θ(avg cube demand) + O(1) overheads, which the
+// Chapter 5 benches compare against the transfer-free Lemma 2.2.5 planner:
+// transfers replace the *max*-demand dependence with the *average*.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/demand_map.h"
+#include "transfer/accounting.h"
+
+namespace cmvrp {
+
+struct CubeCollectorResult {
+  double required_w = 0.0;       // max over cubes of the per-cube min W
+  double binding_cube_demand = 0.0;
+  std::int64_t cube_side = 1;
+  std::int64_t cubes = 0;
+  double max_tank_level = 0.0;   // C needed by the pooling strategy
+};
+
+// Runs the snake collector in every cube of side `side` (anchored at the
+// demand bounding box) and returns the max per-vehicle initial charge any
+// cube requires. All vehicles of a cube start with the same W.
+CubeCollectorResult cube_collector_requirements(const DemandMap& d,
+                                                std::int64_t side,
+                                                const TransferParams& params);
+
+}  // namespace cmvrp

@@ -1,0 +1,130 @@
+#include "transfer/line_collector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cmvrp {
+
+double line_collector_w_fixed(std::int64_t n, double total_demand,
+                              double a1) {
+  CMVRP_CHECK(n >= 2);
+  const double nn = static_cast<double>(n);
+  return (a1 * (2.0 * nn - 3.0) + (2.0 * nn - 2.0) + total_demand) / nn;
+}
+
+double line_collector_w_variable(std::int64_t n, double total_demand,
+                                 double a2) {
+  CMVRP_CHECK(n >= 2);
+  CMVRP_CHECK_MSG(a2 < 0.5, "variable cost must satisfy a2 < 1/2");
+  const double nn = static_cast<double>(n);
+  return (2.0 * nn - 2.0 + total_demand) /
+         (nn - 2.0 * a2 * nn + 3.0 * a2);
+}
+
+LineCollectorTrace simulate_line_collector(const std::vector<double>& demand,
+                                           double w,
+                                           const TransferParams& params) {
+  const auto n = static_cast<std::int64_t>(demand.size());
+  CMVRP_CHECK_MSG(n >= 2, "collector route needs at least two vertices");
+  for (double d : demand) CMVRP_CHECK(d >= 0.0);
+
+  LineCollectorTrace trace;
+  trace.initial_w = w;
+
+  // Vehicle charges; collector is index 0 (the paper's vehicle 1).
+  std::vector<double> charge(demand.size(), w);
+  double tank = charge[0];
+  bool feasible = true;
+  double consumed = 0.0;
+
+  auto spend = [&](double amount) {
+    tank -= amount;
+    consumed += amount;
+    if (tank < -1e-9) feasible = false;
+  };
+  // A transfer of `amount` into the tank; the overhead is paid from the
+  // *combined* pool (the donor pays it before handing over, equivalently).
+  auto collect = [&](std::size_t idx) {
+    const double amount = charge[idx];
+    if (params.model == TransferCostModel::kFixed) {
+      spend(params.a1 - amount);  // gain amount, pay a1
+    } else {
+      spend(params.a2 * amount - amount);
+    }
+    charge[idx] = 0.0;
+    ++trace.transfers;
+    trace.max_tank_level = std::max(trace.max_tank_level, tank);
+    CMVRP_CHECK_MSG(tank <= params.tank_capacity + 1e-9,
+                    "tank capacity C exceeded");
+  };
+  auto deposit = [&](std::size_t idx, double amount) {
+    spend(amount + params.transfer_cost(amount));
+    charge[idx] += amount;
+    ++trace.transfers;
+  };
+
+  trace.max_tank_level = tank;
+
+  // Sweep right: 0 -> n-1, collecting from 1..n-2.
+  for (std::int64_t x = 1; x <= n - 1; ++x) {
+    spend(1.0);  // one step of travel
+    ++trace.distance;
+    if (x <= n - 2) collect(static_cast<std::size_t>(x));
+  }
+  // Exchange with vehicle n-1 (paper's vehicle N): collect its charge and
+  // leave exactly its local demand. Counted as one transfer.
+  {
+    const std::size_t last = static_cast<std::size_t>(n - 1);
+    const double need = demand[last];
+    const double delta = charge[last] - need;  // usually positive
+    if (params.model == TransferCostModel::kFixed) {
+      spend(params.a1 - delta);
+    } else {
+      spend(params.a2 * std::abs(delta) - delta);
+    }
+    charge[last] = need;
+    ++trace.transfers;
+    trace.max_tank_level = std::max(trace.max_tank_level, tank);
+    CMVRP_CHECK_MSG(tank <= params.tank_capacity + 1e-9,
+                    "tank capacity C exceeded");
+  }
+  // Sweep left: n-1 -> 0, depositing demands at n-2..1.
+  for (std::int64_t x = n - 2; x >= 0; --x) {
+    spend(1.0);
+    ++trace.distance;
+    if (x >= 1) deposit(static_cast<std::size_t>(x), demand[static_cast<std::size_t>(x)]);
+  }
+  // Vehicle 0 keeps its own demand locally.
+  spend(0.0);
+  const double own_need = demand[0];
+  trace.slack = tank - own_need;
+  if (trace.slack < -1e-9) feasible = false;
+
+  // Everyone now serves locally; service energy is part of demand and was
+  // budgeted above. Total consumed = travel + transfer overhead (+ the
+  // demand amounts remain *in* vehicles, not consumed by the collector).
+  trace.total_consumed = consumed;
+  trace.feasible = feasible;
+  return trace;
+}
+
+double min_line_collector_w(const std::vector<double>& demand,
+                            const TransferParams& params, double tol) {
+  CMVRP_CHECK(tol > 0.0);
+  double lo = 0.0;
+  double hi = 1.0;
+  while (!simulate_line_collector(demand, hi, params).feasible) {
+    hi *= 2.0;
+    CMVRP_CHECK_MSG(hi < 1e15, "collector never became feasible");
+  }
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    if (simulate_line_collector(demand, mid, params).feasible)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return hi;
+}
+
+}  // namespace cmvrp

@@ -1,0 +1,48 @@
+// §5.2.1: the high-capacity-tank collector on a line of N vertices.
+//
+// Vehicle 1 sweeps right, collecting the full charge of vehicles 2…N−1;
+// exchanges with vehicle N so N keeps exactly its local demand; then
+// sweeps back distributing per-vertex demands. Total transfers: 2N−3;
+// distance: 2N−2. The paper's closed forms for the minimal initial charge
+// W (with tank capacity C = ∞):
+//   fixed:    W = (a₁(2N−3) + (2N−2) + Σd) / N
+//   variable: W = (2N−2 + Σd) / (N − 2a₂N + 3a₂)
+// Both are Θ(avg d) — transfers turn the *max*-based requirement into an
+// *average*-based one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "transfer/accounting.h"
+
+namespace cmvrp {
+
+// The paper's closed forms.
+double line_collector_w_fixed(std::int64_t n, double total_demand, double a1);
+double line_collector_w_variable(std::int64_t n, double total_demand,
+                                 double a2);
+
+struct LineCollectorTrace {
+  double initial_w = 0.0;        // per-vehicle starting charge
+  double total_consumed = 0.0;   // travel + transfer overhead + service
+  double max_tank_level = 0.0;   // peak charge carried by vehicle 1
+  std::int64_t transfers = 0;    // must equal 2N−3
+  std::int64_t distance = 0;     // must equal 2N−2
+  bool feasible = false;         // never ran out of energy mid-route
+  double slack = 0.0;            // energy left over at the end (≥ 0 when
+                                 // initial_w is exactly sufficient: ~0)
+};
+
+// Executes the §5.2.1 strategy step by step with per-vehicle initial
+// charge w and per-vertex demands d[0..N-1]; validates the closed forms.
+LineCollectorTrace simulate_line_collector(const std::vector<double>& demand,
+                                           double w,
+                                           const TransferParams& params);
+
+// Minimal feasible initial charge found by bisection over the simulator —
+// must match the closed forms to simulation granularity.
+double min_line_collector_w(const std::vector<double>& demand,
+                            const TransferParams& params, double tol = 1e-7);
+
+}  // namespace cmvrp

@@ -1,0 +1,66 @@
+#include "transfer/theorem51.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/cube_bound.h"
+#include "grid/dense_grid.h"
+#include "util/check.h"
+
+namespace cmvrp {
+
+double relay_decay(double w, std::int64_t dist) {
+  CMVRP_CHECK(w > 0.0 && dist >= 0);
+  if (w <= 1.0) return dist == 0 ? w : 0.0;  // cannot even move a step
+  return w * std::pow(1.0 - 1.0 / w, static_cast<double>(dist));
+}
+
+double max_energy_into_square(double w, std::int64_t s) {
+  CMVRP_CHECK(w > 0.0 && s >= 1);
+  const double ss = static_cast<double>(s);
+  return w * (ss * ss + 4.0 * w * w + 4.0 * ss * w - 8.0 * w - 4.0 * ss + 4.0);
+}
+
+double wtrans_lower_bound_for_square(double demand_sum, std::int64_t s) {
+  CMVRP_CHECK(demand_sum >= 0.0);
+  if (demand_sum == 0.0) return 0.0;
+  double lo = 0.0, hi = 1.0;
+  while (max_energy_into_square(hi, s) < demand_sum) {
+    hi *= 2.0;
+    CMVRP_CHECK(hi < 1e15);
+  }
+  for (int iter = 0; iter < 200 && hi - lo > 1e-10 * (1.0 + hi); ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (max_energy_into_square(mid, s) >= demand_sum)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return hi;
+}
+
+TransferBounds transfer_bounds(const DemandMap& d) {
+  CMVRP_CHECK_MSG(d.dim() == 2, "Theorem 5.1.1 is stated for l = 2");
+  TransferBounds out;
+  if (d.empty()) return out;
+
+  const CubeBound cb = cube_bound(d);
+  out.omega_c = cb.omega_c;
+  out.woff_upper = (2.0 * 9.0 + 2.0) * cb.omega_c;
+
+  const DenseGrid grid = DenseGrid::from_demand(d);
+  const PrefixSums ps(grid);
+  std::int64_t max_side = std::max(grid.box().side(0), grid.box().side(1));
+  for (std::int64_t s = 1; s <= max_side; ++s) {
+    const double m = ps.max_cube_sum(s);
+    if (m <= 0.0) continue;
+    const double w = wtrans_lower_bound_for_square(m, s);
+    if (w > out.wtrans_lower) {
+      out.wtrans_lower = w;
+      out.binding_side = s;
+    }
+  }
+  return out;
+}
+
+}  // namespace cmvrp

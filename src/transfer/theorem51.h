@@ -1,0 +1,41 @@
+// Theorem 5.1.1: W_trans-off = Θ(Woff)  (ℓ = 2, as in the paper).
+//
+// Core fact: a vehicle of capacity W relaying energy over distance D
+// delivers at most W(1 − 1/W)^D of it — travel eats a 1/W fraction per
+// step no matter how transfers are scheduled or charged. Summing this
+// decay over all vehicles outside an s×s square T bounds the energy that
+// can ever enter T:
+//   E_in(W, s) = W·(s² + 4W² + 4sW − 8W − 4s + 4),
+// which must cover Σ_{x∈T} d(x); the resulting minimal W is Ω(ω_T), hence
+// Ω(Woff) over all squares, while W_trans-off ≤ Woff trivially.
+#pragma once
+
+#include <cstdint>
+
+#include "grid/demand_map.h"
+
+namespace cmvrp {
+
+// Energy surviving a relay of `w` units over `dist` steps: w(1-1/w)^dist.
+double relay_decay(double w, std::int64_t dist);
+
+// The paper's bound on the total energy that can reach an s×s square when
+// every vehicle starts with w.
+double max_energy_into_square(double w, std::int64_t s);
+
+// Minimal w with max_energy_into_square(w, s) >= demand (bisection).
+double wtrans_lower_bound_for_square(double demand_sum, std::int64_t s);
+
+struct TransferBounds {
+  double wtrans_lower = 0.0;  // max over squares of the Thm 5.1.1 bound
+  double woff_upper = 0.0;    // (2·3^ℓ+ℓ)·ω_c — W_trans-off ≤ Woff ≤ this
+  double omega_c = 0.0;       // ω_c for reference
+  std::int64_t binding_side = 1;
+};
+
+// Evaluates both sides of Theorem 5.1.1 on a demand map (2-D): the
+// transfer-aware lower bound (scanning all squares via prefix sums) and
+// the transfer-free upper bound. Their ratio stays Θ(1) per the theorem.
+TransferBounds transfer_bounds(const DemandMap& d);
+
+}  // namespace cmvrp

@@ -1,0 +1,49 @@
+// Runtime invariant checks that stay on in release builds.
+//
+// The library uses exceptions only for programmer errors and malformed
+// inputs (per the paper's model, the algorithms themselves never "fail" —
+// infeasibility is a reported result, not an exception).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cmvrp {
+
+// Thrown when a CMVRP_CHECK fails or an API precondition is violated.
+class check_error : public std::logic_error {
+ public:
+  explicit check_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw check_error(os.str());
+}
+
+}  // namespace detail
+}  // namespace cmvrp
+
+// Always-on check. Use for API preconditions and internal invariants.
+#define CMVRP_CHECK(expr)                                               \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::cmvrp::detail::check_failed(#expr, __FILE__, __LINE__, "");     \
+  } while (0)
+
+// Check with an explanatory message (streamed into a string).
+#define CMVRP_CHECK_MSG(expr, msg)                                      \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream cmvrp_check_os_;                               \
+      cmvrp_check_os_ << msg;                                           \
+      ::cmvrp::detail::check_failed(#expr, __FILE__, __LINE__,          \
+                                    cmvrp_check_os_.str());             \
+    }                                                                   \
+  } while (0)

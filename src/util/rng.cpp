@@ -1,0 +1,115 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cmvrp {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // xoshiro must not start in the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  CMVRP_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (0ULL - bound) % bound;
+  for (;;) {
+    std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::next_int(std::int64_t lo, std::int64_t hi) {
+  CMVRP_CHECK(lo <= hi);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next_u64());
+  }
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_double() {
+  // 53 high-quality bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_double(double lo, double hi) {
+  CMVRP_CHECK(lo <= hi);
+  return lo + (hi - lo) * next_double();
+}
+
+bool Rng::next_bool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double Rng::next_gaussian() {
+  if (have_gaussian_) {
+    have_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  const double u2 = next_double();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  const double two_pi = 6.283185307179586476925286766559;
+  spare_gaussian_ = mag * std::sin(two_pi * u2);
+  have_gaussian_ = true;
+  return mag * std::cos(two_pi * u2);
+}
+
+std::size_t Rng::next_weighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    CMVRP_CHECK(w >= 0.0);
+    total += w;
+  }
+  CMVRP_CHECK(total > 0.0);
+  double x = next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical slack: land on the last bucket
+}
+
+Rng Rng::split() {
+  return Rng(next_u64() ^ 0xdeadbeefcafef00dULL);
+}
+
+}  // namespace cmvrp

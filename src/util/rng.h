@@ -1,0 +1,61 @@
+// Deterministic, seedable pseudo-random generator (xoshiro256**),
+// seeded through splitmix64 per the reference recommendation.
+//
+// Every stochastic component of the library (workload generators, message
+// delays, tie-breaking) takes an explicit Rng so whole experiments replay
+// bit-for-bit from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cmvrp {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Uniform over all 64-bit values.
+  std::uint64_t next_u64();
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double next_double();
+
+  // Uniform double in [lo, hi).
+  double next_double(double lo, double hi);
+
+  // Bernoulli with success probability p (clamped to [0, 1]).
+  bool next_bool(double p = 0.5);
+
+  // Approximately standard normal (Box–Muller, one value per call).
+  double next_gaussian();
+
+  // Sample an index from non-negative weights (sum must be > 0).
+  std::size_t next_weighted(const std::vector<double>& weights);
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Derive an independent child generator (for per-component streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace cmvrp

@@ -1,0 +1,85 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace cmvrp {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  CMVRP_CHECK(!headers_.empty());
+}
+
+Table& Table::row() {
+  if (!rows_.empty()) {
+    CMVRP_CHECK_MSG(rows_.back().size() == headers_.size(),
+                    "previous row has " << rows_.back().size()
+                                        << " cells, expected "
+                                        << headers_.size());
+  }
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  CMVRP_CHECK_MSG(!rows_.empty(), "cell() before row()");
+  CMVRP_CHECK_MSG(rows_.back().size() < headers_.size(), "row overflow");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return cell(os.str());
+}
+
+Table& Table::cell_bool(bool value) { return cell(value ? "yes" : "no"); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  auto print_sep = [&] {
+    os << '+';
+    for (auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto print_row = [&](const std::vector<std::string>& r) {
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < r.size() ? r[c] : std::string();
+      os << ' ' << v << std::string(widths[c] - v.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& r : rows_) print_row(r);
+  print_sep();
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace cmvrp

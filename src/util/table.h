@@ -1,0 +1,39 @@
+// ASCII table printer for benchmark output.
+//
+// The paper has no numeric tables of its own, so every bench prints
+// paper-claim vs. measured rows through this printer to make the
+// comparison legible and uniform across experiments.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cmvrp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Begin a new row; subsequent add_* calls fill cells left to right.
+  Table& row();
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(std::int64_t value);
+  Table& cell(std::uint64_t value);
+  Table& cell(int value);
+  Table& cell(double value, int precision = 4);
+  Table& cell_bool(bool value);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cmvrp

@@ -1,0 +1,37 @@
+#include "viz/ascii.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace cmvrp {
+
+std::string render_demand(const DemandMap& d, const Box& view) {
+  const double peak = d.max_demand();
+  return render_field(view, [&](const Point& p) -> char {
+    const double v = d.at(p);
+    if (v <= 0.0) return '.';
+    if (peak <= 0.0) return '.';
+    if (v >= peak) return '#';
+    const int bucket = 1 + static_cast<int>(8.0 * v / peak);
+    return static_cast<char>('0' + std::min(bucket, 9));
+  });
+}
+
+std::string render_plan(const OfflinePlan& plan, const Box& view) {
+  std::unordered_map<Point, char, PointHash> glyph;
+  for (const auto& a : plan.assignments) {
+    if (a.remote.has_value()) {
+      glyph[a.home] = '>';
+      glyph[*a.remote] = '*';
+    } else if (a.serve_at_home > 0.0) {
+      // Do not overwrite a remote-target marker.
+      glyph.emplace(a.home, 'o');
+    }
+  }
+  return render_field(view, [&](const Point& p) -> char {
+    auto it = glyph.find(p);
+    return it == glyph.end() ? '.' : it->second;
+  });
+}
+
+}  // namespace cmvrp

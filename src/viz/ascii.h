@@ -1,0 +1,38 @@
+// ASCII rendering of 2-D fields — demand maps, plans, vehicle states.
+//
+// The paper's figures are all small 2-D schematics (Fig 2.1–2.3, 4.1);
+// these helpers let examples and debugging sessions print the same
+// pictures directly from live data structures.
+#pragma once
+
+#include <string>
+
+#include "core/offline_planner.h"
+#include "grid/box.h"
+#include "grid/demand_map.h"
+
+namespace cmvrp {
+
+// Demand heat map: '.' for zero, '1'-'9' scaled to max, '#' for the peak.
+// Row 0 is the top (highest y), matching the paper's figures.
+std::string render_demand(const DemandMap& d, const Box& view);
+
+// Overlays plan movement: 'o' vehicles serving in place, '*' remote
+// targets, '>' vehicles that relocate, '.' idle ground.
+std::string render_plan(const OfflinePlan& plan, const Box& view);
+
+// Renders an arbitrary field of glyphs produced by a callback.
+template <typename Fn>
+std::string render_field(const Box& view, Fn&& glyph_at) {
+  CMVRP_CHECK(view.dim() == 2);
+  std::string out;
+  for (std::int64_t y = view.hi()[1]; y >= view.lo()[1]; --y) {
+    for (std::int64_t x = view.lo()[0]; x <= view.hi()[0]; ++x) {
+      out.push_back(glyph_at(Point{x, y}));
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace cmvrp

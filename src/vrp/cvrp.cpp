@@ -1,0 +1,120 @@
+#include "vrp/cvrp.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace cmvrp {
+namespace {
+
+std::int64_t route_length(const CvrpInstance& inst,
+                          const std::vector<std::size_t>& order) {
+  if (order.empty()) return 0;
+  std::int64_t len = l1_distance(inst.depot, inst.customers[order.front()]);
+  for (std::size_t i = 0; i + 1 < order.size(); ++i)
+    len += l1_distance(inst.customers[order[i]],
+                       inst.customers[order[i + 1]]);
+  len += l1_distance(inst.customers[order.back()], inst.depot);
+  return len;
+}
+
+}  // namespace
+
+CvrpSolution clarke_wright(const CvrpInstance& inst) {
+  const std::size_t n = inst.customers.size();
+  CMVRP_CHECK(inst.demands.size() == n);
+  for (double d : inst.demands)
+    CMVRP_CHECK_MSG(d >= 0.0 && d <= inst.vehicle_capacity,
+                    "customer demand exceeds vehicle capacity");
+
+  // Start with one route per customer.
+  std::vector<std::vector<std::size_t>> routes(n);
+  std::vector<double> loads(n, 0.0);
+  std::vector<std::size_t> route_of(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    routes[i] = {i};
+    loads[i] = inst.demands[i];
+    route_of[i] = i;
+  }
+
+  // Savings s(i,j) = d(depot,i) + d(depot,j) - d(i,j), descending.
+  struct Saving {
+    std::int64_t value;
+    std::size_t i, j;
+  };
+  std::vector<Saving> savings;
+  savings.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const std::int64_t s = l1_distance(inst.depot, inst.customers[i]) +
+                             l1_distance(inst.depot, inst.customers[j]) -
+                             l1_distance(inst.customers[i], inst.customers[j]);
+      savings.push_back({s, i, j});
+    }
+  }
+  std::sort(savings.begin(), savings.end(), [](const Saving& a, const Saving& b) {
+    if (a.value != b.value) return a.value > b.value;
+    if (a.i != b.i) return a.i < b.i;
+    return a.j < b.j;
+  });
+
+  // Merge route endpoints while capacity allows.
+  for (const auto& s : savings) {
+    if (s.value <= 0) break;
+    const std::size_t ri = route_of[s.i], rj = route_of[s.j];
+    if (ri == rj) continue;
+    if (loads[ri] + loads[rj] > inst.vehicle_capacity) continue;
+    auto& a = routes[ri];
+    auto& b = routes[rj];
+    if (a.empty() || b.empty()) continue;
+    // i must be an endpoint of its route and j of its route.
+    const bool i_front = a.front() == s.i, i_back = a.back() == s.i;
+    const bool j_front = b.front() == s.j, j_back = b.back() == s.j;
+    if (!(i_front || i_back) || !(j_front || j_back)) continue;
+    // Orient a so that i is at the back, b so that j is at the front.
+    if (i_front && !i_back) std::reverse(a.begin(), a.end());
+    if (j_back && !j_front) std::reverse(b.begin(), b.end());
+    if (a.back() != s.i || b.front() != s.j) continue;
+    // Merge b into a.
+    for (std::size_t c : b) {
+      a.push_back(c);
+      route_of[c] = ri;
+    }
+    loads[ri] += loads[rj];
+    b.clear();
+    loads[rj] = 0.0;
+  }
+
+  CvrpSolution out;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (routes[r].empty()) continue;
+    CvrpRoute route;
+    route.customers = routes[r];
+    route.load = loads[r];
+    route.length = route_length(inst, routes[r]);
+    out.total_length += route.length;
+    out.routes.push_back(std::move(route));
+  }
+  return out;
+}
+
+bool cvrp_solution_valid(const CvrpInstance& inst,
+                         const CvrpSolution& sol) {
+  std::vector<int> visits(inst.customers.size(), 0);
+  for (const auto& r : sol.routes) {
+    double load = 0.0;
+    for (std::size_t c : r.customers) {
+      if (c >= inst.customers.size()) return false;
+      ++visits[c];
+      load += inst.demands[c];
+    }
+    if (load > inst.vehicle_capacity + 1e-9) return false;
+    if (std::abs(load - r.load) > 1e-9) return false;
+    if (route_length(inst, r.customers) != r.length) return false;
+  }
+  return std::all_of(visits.begin(), visits.end(),
+                     [](int v) { return v == 1; });
+}
+
+}  // namespace cmvrp

@@ -1,0 +1,39 @@
+// Clarke–Wright savings for the central-depot Capacitated VRP — the
+// classic heuristic the paper's §1.1 survey cites [4], included as a
+// reference implementation and baseline substrate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/point.h"
+
+namespace cmvrp {
+
+struct CvrpInstance {
+  Point depot;
+  std::vector<Point> customers;
+  std::vector<double> demands;  // parallel to customers
+  double vehicle_capacity = 0.0;
+};
+
+struct CvrpRoute {
+  std::vector<std::size_t> customers;  // visit order (customer indices)
+  double load = 0.0;
+  std::int64_t length = 0;  // depot -> … -> depot, L1
+};
+
+struct CvrpSolution {
+  std::vector<CvrpRoute> routes;
+  std::int64_t total_length = 0;
+};
+
+// Clarke–Wright parallel savings; every customer demand must fit a
+// vehicle. Routes never exceed capacity.
+CvrpSolution clarke_wright(const CvrpInstance& instance);
+
+// Checks coverage and capacity; used by tests and benches.
+bool cvrp_solution_valid(const CvrpInstance& instance,
+                         const CvrpSolution& solution);
+
+}  // namespace cmvrp

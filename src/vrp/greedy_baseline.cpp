@@ -1,0 +1,69 @@
+#include "vrp/greedy_baseline.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace cmvrp {
+
+GreedyResult run_greedy_baseline(const Box& region, double w,
+                                 const std::vector<Job>& jobs) {
+  CMVRP_CHECK(w >= 0.0);
+  struct V {
+    Point pos;
+    double spent = 0.0;
+  };
+  std::vector<V> vehicles;
+  vehicles.reserve(static_cast<std::size_t>(region.volume()));
+  region.for_each_point([&](const Point& p) { vehicles.push_back({p, 0.0}); });
+
+  GreedyResult out;
+  for (const auto& job : jobs) {
+    std::size_t best = SIZE_MAX;
+    std::int64_t best_dist = std::numeric_limits<std::int64_t>::max();
+    for (std::size_t i = 0; i < vehicles.size(); ++i) {
+      const std::int64_t dist = l1_distance(vehicles[i].pos, job.position);
+      const double need = static_cast<double>(dist) + 1.0;
+      if (w - vehicles[i].spent + 1e-12 < need) continue;
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = i;
+      }
+    }
+    if (best == SIZE_MAX) {
+      ++out.jobs_failed;
+      continue;
+    }
+    V& v = vehicles[best];
+    v.spent += static_cast<double>(best_dist) + 1.0;
+    v.pos = job.position;
+    out.total_travel += static_cast<std::uint64_t>(best_dist);
+    ++out.jobs_served;
+  }
+  for (const auto& v : vehicles)
+    out.max_energy_spent = std::max(out.max_energy_spent, v.spent);
+  out.all_served = out.jobs_failed == 0;
+  return out;
+}
+
+double greedy_min_capacity(const Box& region, const std::vector<Job>& jobs,
+                           double tol) {
+  CMVRP_CHECK(tol > 0.0);
+  CMVRP_CHECK(!jobs.empty());
+  double lo = 0.0, hi = 2.0;
+  while (!run_greedy_baseline(region, hi, jobs).all_served) {
+    hi *= 2.0;
+    CMVRP_CHECK_MSG(hi < 1e12, "greedy baseline never succeeded");
+  }
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    if (run_greedy_baseline(region, mid, jobs).all_served)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return hi;
+}
+
+}  // namespace cmvrp

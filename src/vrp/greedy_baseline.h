@@ -1,0 +1,37 @@
+// Centralized greedy baseline for the CMVRP online problem.
+//
+// The paper has no empirical comparator; this baseline (ours, not the
+// paper's) gives the benches a context point: an omniscient dispatcher
+// that sends, for every arriving job, the nearest vehicle that still has
+// enough energy to walk there and serve. It ignores the paper's pairing
+// discipline and travel-reserve accounting, so it can strand energy far
+// from future demand — the benches quantify how much capacity that costs
+// relative to the Chapter 3 strategy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/box.h"
+#include "grid/point.h"
+#include "workload/generators.h"
+
+namespace cmvrp {
+
+struct GreedyResult {
+  bool all_served = false;
+  std::uint64_t jobs_served = 0;
+  std::uint64_t jobs_failed = 0;
+  double max_energy_spent = 0.0;
+  std::uint64_t total_travel = 0;
+};
+
+// Vehicles occupy every vertex of `region` with capacity `w`.
+GreedyResult run_greedy_baseline(const Box& region, double w,
+                                 const std::vector<Job>& jobs);
+
+// Minimal sufficient capacity for the greedy dispatcher (bisection).
+double greedy_min_capacity(const Box& region, const std::vector<Job>& jobs,
+                           double tol = 0.05);
+
+}  // namespace cmvrp

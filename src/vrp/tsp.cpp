@@ -1,0 +1,139 @@
+#include "vrp/tsp.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace cmvrp {
+
+std::int64_t tour_length(const std::vector<Point>& pts,
+                         const std::vector<std::size_t>& order) {
+  CMVRP_CHECK(order.size() == pts.size());
+  if (pts.size() < 2) return 0;
+  std::int64_t len = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const std::size_t j = (i + 1) % order.size();
+    len += l1_distance(pts[order[i]], pts[order[j]]);
+  }
+  return len;
+}
+
+Tour tsp_nearest_neighbor(const std::vector<Point>& pts, std::size_t start) {
+  CMVRP_CHECK(!pts.empty());
+  CMVRP_CHECK(start < pts.size());
+  Tour tour;
+  std::vector<bool> used(pts.size(), false);
+  tour.order.push_back(start);
+  used[start] = true;
+  while (tour.order.size() < pts.size()) {
+    const Point& cur = pts[tour.order.back()];
+    std::size_t best = SIZE_MAX;
+    std::int64_t best_dist = std::numeric_limits<std::int64_t>::max();
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (used[i]) continue;
+      const std::int64_t dist = l1_distance(cur, pts[i]);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = i;
+      }
+    }
+    tour.order.push_back(best);
+    used[best] = true;
+  }
+  tour.length = tour_length(pts, tour.order);
+  return tour;
+}
+
+Tour tsp_two_opt(const std::vector<Point>& pts, Tour tour) {
+  CMVRP_CHECK(tour.order.size() == pts.size());
+  const std::size_t n = pts.size();
+  if (n < 4) {
+    tour.length = tour_length(pts, tour.order);
+    return tour;
+  }
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t i = 0; i + 1 < n && !improved; ++i) {
+      for (std::size_t j = i + 2; j < n && !improved; ++j) {
+        if (i == 0 && j == n - 1) continue;  // same edge
+        const auto a = tour.order[i];
+        const auto b = tour.order[i + 1];
+        const auto c = tour.order[j];
+        const auto d = tour.order[(j + 1) % n];
+        const std::int64_t before =
+            l1_distance(pts[a], pts[b]) + l1_distance(pts[c], pts[d]);
+        const std::int64_t after =
+            l1_distance(pts[a], pts[c]) + l1_distance(pts[b], pts[d]);
+        if (after < before) {
+          std::reverse(tour.order.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                       tour.order.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+          improved = true;
+        }
+      }
+    }
+  }
+  tour.length = tour_length(pts, tour.order);
+  return tour;
+}
+
+Tour tsp_held_karp(const std::vector<Point>& pts) {
+  const std::size_t n = pts.size();
+  CMVRP_CHECK_MSG(n >= 1 && n <= 15, "Held-Karp limited to n <= 15");
+  Tour tour;
+  if (n == 1) {
+    tour.order = {0};
+    return tour;
+  }
+  const std::int64_t inf = std::numeric_limits<std::int64_t>::max() / 4;
+  const std::size_t full = std::size_t{1} << (n - 1);  // subsets of 1..n-1
+  // dp[mask][v]: best path 0 -> … -> v visiting exactly mask (v in mask).
+  std::vector<std::vector<std::int64_t>> dp(full,
+                                            std::vector<std::int64_t>(n, inf));
+  std::vector<std::vector<std::size_t>> parent(
+      full, std::vector<std::size_t>(n, SIZE_MAX));
+  for (std::size_t v = 1; v < n; ++v)
+    dp[std::size_t{1} << (v - 1)][v] = l1_distance(pts[0], pts[v]);
+  for (std::size_t mask = 1; mask < full; ++mask) {
+    for (std::size_t v = 1; v < n; ++v) {
+      if (!(mask & (std::size_t{1} << (v - 1)))) continue;
+      const std::int64_t base = dp[mask][v];
+      if (base >= inf) continue;
+      for (std::size_t w = 1; w < n; ++w) {
+        if (mask & (std::size_t{1} << (w - 1))) continue;
+        const std::size_t next = mask | (std::size_t{1} << (w - 1));
+        const std::int64_t cand = base + l1_distance(pts[v], pts[w]);
+        if (cand < dp[next][w]) {
+          dp[next][w] = cand;
+          parent[next][w] = v;
+        }
+      }
+    }
+  }
+  std::int64_t best = inf;
+  std::size_t best_v = SIZE_MAX;
+  for (std::size_t v = 1; v < n; ++v) {
+    const std::int64_t cand = dp[full - 1][v] + l1_distance(pts[v], pts[0]);
+    if (cand < best) {
+      best = cand;
+      best_v = v;
+    }
+  }
+  // Reconstruct.
+  std::vector<std::size_t> rev;
+  std::size_t mask = full - 1, v = best_v;
+  while (v != SIZE_MAX) {
+    rev.push_back(v);
+    const std::size_t pv = parent[mask][v];
+    mask &= ~(std::size_t{1} << (v - 1));
+    v = pv;
+  }
+  tour.order.push_back(0);
+  for (auto it = rev.rbegin(); it != rev.rend(); ++it)
+    tour.order.push_back(*it);
+  tour.length = best;
+  return tour;
+}
+
+}  // namespace cmvrp

@@ -1,0 +1,34 @@
+// Classic TSP heuristics over the L1 metric — baselines from the VRP
+// lineage the paper reviews in §1.1 (Dantzig–Ramser, Clarke–Wright era).
+//
+// Used by the CVRP baseline below and by benches as a context point:
+// classic tour-length objectives versus the paper's per-vehicle energy
+// objective.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/point.h"
+
+namespace cmvrp {
+
+struct Tour {
+  std::vector<std::size_t> order;  // permutation of point indices
+  std::int64_t length = 0;         // closed-tour L1 length
+};
+
+std::int64_t tour_length(const std::vector<Point>& pts,
+                         const std::vector<std::size_t>& order);
+
+// Nearest-neighbour construction from `start`.
+Tour tsp_nearest_neighbor(const std::vector<Point>& pts,
+                          std::size_t start = 0);
+
+// 2-opt local search until no improving exchange remains (first-improve).
+Tour tsp_two_opt(const std::vector<Point>& pts, Tour initial);
+
+// Held–Karp exact DP; n <= 15.
+Tour tsp_held_karp(const std::vector<Point>& pts);
+
+}  // namespace cmvrp

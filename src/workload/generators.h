@@ -1,0 +1,75 @@
+// Workload generators: the paper's worked examples (Fig 2.1), the Smart
+// Dust motivation (§1.2), and stress shapes for the bound benchmarks.
+//
+// Two layers:
+//   * demand maps  — static d(·) for the offline machinery, and
+//   * job streams  — ordered arrival sequences (§1.3) for the online
+//     simulator; stream_from_demand expands a map into unit jobs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/box.h"
+#include "grid/demand_map.h"
+#include "grid/point.h"
+#include "util/rng.h"
+
+namespace cmvrp {
+
+struct Job {
+  Point position;
+  // Arrival index; the model only requires t_1 < t_2 < … and gaps long
+  // enough for the protocol to quiesce (§3.2), so an index suffices.
+  std::int64_t index = 0;
+};
+
+// --- static demand shapes -------------------------------------------------
+
+// Fig 2.1(a): demand `d` at every point of the a×a square with corner at
+// `corner` (2-D).
+DemandMap square_demand(std::int64_t a, double d, Point corner);
+
+// Fig 2.1(b): demand `d` at every point of a length-`len` axis-aligned
+// horizontal line starting at `start` (2-D).
+DemandMap line_demand(std::int64_t len, double d, Point start);
+
+// Fig 2.1(c): demand `d` at the single point `p`.
+DemandMap point_demand(double d, Point p);
+
+// `count` unit demands dropped uniformly in `box`.
+DemandMap uniform_demand(const Box& box, std::int64_t count, Rng& rng);
+
+// `clusters` Gaussian hotspots inside `box`, `count` unit demands total.
+DemandMap clustered_demand(const Box& box, int clusters, std::int64_t count,
+                           double sigma, Rng& rng);
+
+// Demand proportional to distance-decay around a "fault line" — the
+// earthquake-monitoring flavour of §2.1.3 on a larger support.
+DemandMap ridge_demand(const Box& box, double peak, Rng& rng);
+
+// --- job streams ------------------------------------------------------------
+
+// Expands an integer-valued demand map into unit jobs. Order:
+//   kSorted      — lexicographic sweep (deterministic),
+//   kShuffled    — uniformly random permutation,
+//   kRoundRobin  — cycles across positions (adversarial for pair energy,
+//                  the arrival pattern of the Fig 4.1 example).
+enum class ArrivalOrder { kSorted, kShuffled, kRoundRobin };
+
+std::vector<Job> stream_from_demand(const DemandMap& d, ArrivalOrder order,
+                                    Rng& rng);
+
+// Smart-Dust event stream: `count` events, each a random walk step from
+// the previous hotspot with occasional jumps — models moving phenomena
+// (§1.2) while keeping integral demands.
+std::vector<Job> smart_dust_stream(const Box& box, std::int64_t count,
+                                   double jump_probability, Rng& rng);
+
+// The alternating two-point stream of §4.2: jobs arrive i, j, i, j, …
+std::vector<Job> alternating_stream(Point i, Point j, std::int64_t total);
+
+// Demand map induced by a job stream (d(x) = #jobs at x).
+DemandMap demand_of_stream(const std::vector<Job>& jobs, int dim);
+
+}  // namespace cmvrp

@@ -1,0 +1,114 @@
+#include "workload/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace cmvrp {
+namespace {
+
+// Strips comments/whitespace; returns false for blank lines.
+bool clean_line(std::string& line) {
+  const auto hash = line.find('#');
+  if (hash != std::string::npos) line.erase(hash);
+  const auto first = line.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return false;
+  const auto last = line.find_last_not_of(" \t\r");
+  line = line.substr(first, last - first + 1);
+  return true;
+}
+
+Point parse_point(std::istringstream& is, int dim, std::size_t line_no) {
+  Point p = Point::origin(dim);
+  for (int i = 0; i < dim; ++i) {
+    std::int64_t c = 0;
+    CMVRP_CHECK_MSG(static_cast<bool>(is >> c),
+                    "line " << line_no << ": expected " << dim
+                            << " integer coordinates");
+    p[i] = c;
+  }
+  return p;
+}
+
+}  // namespace
+
+DemandMap load_demand(std::istream& in, int dim) {
+  DemandMap d(dim);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!clean_line(line)) continue;
+    std::istringstream is(line);
+    const Point p = parse_point(is, dim, line_no);
+    double value = 0.0;
+    CMVRP_CHECK_MSG(static_cast<bool>(is >> value),
+                    "line " << line_no << ": expected a demand value");
+    CMVRP_CHECK_MSG(value >= 0.0,
+                    "line " << line_no << ": demand must be >= 0");
+    std::string extra;
+    CMVRP_CHECK_MSG(!(is >> extra),
+                    "line " << line_no << ": trailing tokens");
+    d.add(p, value);
+  }
+  return d;
+}
+
+DemandMap load_demand_file(const std::string& path, int dim) {
+  std::ifstream in(path);
+  CMVRP_CHECK_MSG(in.good(), "cannot open demand file: " << path);
+  return load_demand(in, dim);
+}
+
+void save_demand(std::ostream& out, const DemandMap& d) {
+  out << "# cmvrp demand, dim=" << d.dim() << "\n";
+  for (const auto& p : d.support()) {
+    for (int i = 0; i < d.dim(); ++i) out << p[i] << ' ';
+    out << d.at(p) << "\n";
+  }
+}
+
+void save_demand_file(const std::string& path, const DemandMap& d) {
+  std::ofstream out(path);
+  CMVRP_CHECK_MSG(out.good(), "cannot open for writing: " << path);
+  save_demand(out, d);
+}
+
+std::vector<Job> load_jobs(std::istream& in, int dim) {
+  std::vector<Job> jobs;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!clean_line(line)) continue;
+    std::istringstream is(line);
+    const Point p = parse_point(is, dim, line_no);
+    std::string extra;
+    CMVRP_CHECK_MSG(!(is >> extra),
+                    "line " << line_no << ": trailing tokens");
+    jobs.push_back(Job{p, static_cast<std::int64_t>(jobs.size())});
+  }
+  return jobs;
+}
+
+std::vector<Job> load_jobs_file(const std::string& path, int dim) {
+  std::ifstream in(path);
+  CMVRP_CHECK_MSG(in.good(), "cannot open jobs file: " << path);
+  return load_jobs(in, dim);
+}
+
+void save_jobs(std::ostream& out, const std::vector<Job>& jobs) {
+  for (const auto& j : jobs) {
+    for (int i = 0; i < j.position.dim(); ++i) out << j.position[i] << ' ';
+    out << "\n";
+  }
+}
+
+void save_jobs_file(const std::string& path, const std::vector<Job>& jobs) {
+  std::ofstream out(path);
+  CMVRP_CHECK_MSG(out.good(), "cannot open for writing: " << path);
+  save_jobs(out, jobs);
+}
+
+}  // namespace cmvrp

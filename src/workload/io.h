@@ -1,0 +1,32 @@
+// Plain-text I/O for demand maps and job streams.
+//
+// Demand format (one entry per line, '#' starts a comment):
+//   x y demand            (2-D; one coordinate per axis for other ℓ)
+// Job-stream format:
+//   x y                   (arrival order = line order)
+// Used by the CLI tool and by anyone driving the library from data files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "grid/demand_map.h"
+#include "workload/generators.h"
+
+namespace cmvrp {
+
+// Parses a demand map; throws check_error with a line number on bad input.
+DemandMap load_demand(std::istream& in, int dim);
+DemandMap load_demand_file(const std::string& path, int dim);
+
+void save_demand(std::ostream& out, const DemandMap& d);
+void save_demand_file(const std::string& path, const DemandMap& d);
+
+std::vector<Job> load_jobs(std::istream& in, int dim);
+std::vector<Job> load_jobs_file(const std::string& path, int dim);
+
+void save_jobs(std::ostream& out, const std::vector<Job>& jobs);
+void save_jobs_file(const std::string& path, const std::vector<Job>& jobs);
+
+}  // namespace cmvrp

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/closed_forms.h"
+#include "core/cube_bound.h"
+#include "core/omega.h"
+#include "grid/neighborhood.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace cmvrp {
+namespace {
+
+DemandMap tiny_random_demand(std::uint64_t seed, int dim, int points,
+                             std::int64_t span, double max_d) {
+  Rng rng(seed);
+  DemandMap d(dim);
+  for (int i = 0; i < points; ++i) {
+    Point p = Point::origin(dim);
+    for (int a = 0; a < dim; ++a) p[a] = rng.next_int(0, span);
+    d.add(p, static_cast<double>(rng.next_int(1, static_cast<std::int64_t>(max_d))));
+  }
+  return d;
+}
+
+TEST(OmegaForSet, SinglePointMatchesBallEquation) {
+  // omega * |N_floor(omega)({p})| = d; for d small the crossing is interior.
+  DemandMap d(2);
+  d.set(Point{0, 0}, 0.5);
+  // On [0,1): g = w * 1, so omega = 0.5.
+  EXPECT_NEAR(omega_for_set({Point{0, 0}}, d), 0.5, 1e-12);
+}
+
+TEST(OmegaForSet, CrossingInSecondSegment) {
+  DemandMap d(2);
+  d.set(Point{0, 0}, 6.0);
+  // Segment [1,2): g = w*|N_1| = 5w, covers [5,10): omega = 6/5.
+  EXPECT_NEAR(omega_for_set({Point{0, 0}}, d), 1.2, 1e-12);
+}
+
+TEST(OmegaForSet, JumpCaseReturnsBoundary) {
+  DemandMap d(2);
+  d.set(Point{0, 0}, 4.5);
+  // Segment [0,1) covers [0,1); segment [1,2) starts at 5 > 4.5: inf is 1.
+  EXPECT_NEAR(omega_for_set({Point{0, 0}}, d), 1.0, 1e-12);
+}
+
+TEST(OmegaForSet, ZeroDemandGivesZero) {
+  DemandMap d(2);
+  EXPECT_DOUBLE_EQ(omega_for_set({Point{3, 3}}, d), 0.0);
+}
+
+TEST(OmegaForBox, AgreesWithSetComputation) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    const std::int64_t side = rng.next_int(1, 4);
+    const Box box = Box::cube(Point{rng.next_int(-3, 3), rng.next_int(-3, 3)},
+                              side);
+    DemandMap d(2);
+    box.for_each_point([&](const Point& p) {
+      d.set(p, static_cast<double>(rng.next_int(0, 7)));
+    });
+    const double s = d.total();
+    if (s == 0.0) continue;
+    EXPECT_NEAR(omega_for_box(box, s), omega_for_set(box.points(), d), 1e-9)
+        << "seed " << seed;
+  }
+}
+
+// --- the three computations of ω* agree -----------------------------------
+
+class OmegaStarAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OmegaStarAgreement, EnumerationLpAndFlowAgree) {
+  const DemandMap d =
+      tiny_random_demand(GetParam(), 2, /*points=*/4, /*span=*/3, /*max_d=*/9);
+  const double by_enum = omega_star_enumerate(d);
+  const double by_lp = omega_star_fixed_point(d, lp_value_at_radius);
+  const double by_flow = omega_star_flow(d);
+  EXPECT_NEAR(by_lp, by_enum, 1e-5);
+  EXPECT_NEAR(by_flow, by_enum, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OmegaStarAgreement,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(OmegaStar, LpValueEqualsMaxSubsetRatioTinyInstance) {
+  // Lemma 2.2.2: LP value at radius r equals max_T Σd / |N_r(T)|.
+  DemandMap d(2);
+  d.set(Point{0, 0}, 4.0);
+  d.set(Point{1, 0}, 6.0);
+  d.set(Point{0, 2}, 3.0);
+  for (std::int64_t r = 0; r <= 2; ++r) {
+    const double lp = lp_value_at_radius(d, r);
+    // Enumerate all 7 nonempty subsets explicitly.
+    const auto support = d.support();
+    double best = 0.0;
+    for (unsigned mask = 1; mask < 8; ++mask) {
+      std::vector<Point> t;
+      double s = 0.0;
+      for (unsigned i = 0; i < 3; ++i)
+        if (mask & (1u << i)) {
+          t.push_back(support[i]);
+          s += d.at(support[i]);
+        }
+      best = std::max(best, s / static_cast<double>(neighborhood_volume(t, r)));
+    }
+    EXPECT_NEAR(lp, best, 1e-6) << "r=" << r;
+  }
+}
+
+TEST(OmegaStar, SinglePointClosedForm) {
+  // d at one point: ω* solves ω·|N_⌊ω⌋| = d with the 2-D ball.
+  DemandMap d(2);
+  d.set(Point{5, 5}, 60.0);
+  // |N_3| = 25, g covers [75,100) on [3,4); |N_2|=13 covers [26,39) on
+  // [2,3); 60 lies in neither: jump at 3 (39 <= 60 < 75) -> inf = 3.
+  const double expected = 3.0;
+  EXPECT_NEAR(omega_star_enumerate(d), expected, 1e-9);
+  EXPECT_NEAR(omega_star_flow(d), expected, 1e-4);
+}
+
+// --- cube bound (Cor. 2.2.7) ------------------------------------------------
+
+TEST(CubeBound, EmptyDemandIsZero) {
+  DemandMap d(2);
+  EXPECT_DOUBLE_EQ(cube_bound(d).omega_c, 0.0);
+}
+
+TEST(CubeBound, LowerBoundsOmegaStar) {
+  // ω_c <= ω* (Cor. 2.2.7's proof shows ω_c <= ω_{T_c} <= ω*).
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const DemandMap d = tiny_random_demand(seed, 2, 4, 3, 9);
+    const double wc = cube_bound(d).omega_c;
+    const double ws = omega_star_enumerate(d);
+    EXPECT_LE(wc, ws + 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(CubeBound, SinglePointSolvesCubeEquation) {
+  DemandMap d(2);
+  d.set(Point{0, 0}, 45.0);
+  // k=1: M=45, root = 45/9 = 5 > 1 -> no. k=2: 45/36 = 1.25 in (1,2] -> yes.
+  const auto cb = cube_bound(d);
+  EXPECT_NEAR(cb.omega_c, 1.25, 1e-9);
+  EXPECT_EQ(cb.cube_side, 2);
+}
+
+TEST(CubeBound, CubeOmegaWithinConstantOfOmegaStar) {
+  // Woff = Θ(ω*) and ω_c ≤ Woff ≤ (2·3^ℓ+ℓ)·ω_c: on random instances the
+  // ratio ω*/ω_c must stay within the paper's constant.
+  const double factor = 2.0 * 9.0 + 2.0;  // ℓ = 2
+  for (std::uint64_t seed = 20; seed <= 32; ++seed) {
+    const DemandMap d = tiny_random_demand(seed, 2, 5, 4, 12);
+    const double wc = cube_bound(d).omega_c;
+    const double ws = omega_star_enumerate(d);
+    ASSERT_GT(wc, 0.0);
+    EXPECT_LE(ws / wc, factor) << "seed " << seed;
+  }
+}
+
+TEST(MaxOmegaOverCubes, SandwichedBetweenCubeBoundAndOmegaStar) {
+  for (std::uint64_t seed = 40; seed <= 48; ++seed) {
+    const DemandMap d = tiny_random_demand(seed, 2, 4, 3, 9);
+    const double cubes = max_omega_over_cubes(d);
+    const double ws = omega_star_enumerate(d);
+    EXPECT_LE(cubes, ws + 1e-6) << "seed " << seed;   // Γ ⊆ all subsets
+    EXPECT_GT(cubes, 0.0);
+  }
+}
+
+// --- closed forms (§2.1) ------------------------------------------------------
+
+TEST(ClosedForms, LineW2Exact) {
+  for (double d : {1.0, 10.0, 1000.0}) {
+    const double w = example_line_w2(d);
+    EXPECT_NEAR(w * (2.0 * w + 1.0), d, 1e-9 * d + 1e-9);
+  }
+}
+
+TEST(ClosedForms, PointW3SolvesCubic) {
+  for (double d : {1.0, 64.0, 1e6}) {
+    const double w = example_point_w3(d);
+    EXPECT_NEAR(w * (2.0 * w + 1.0) * (2.0 * w + 1.0), d, 1e-6 * d + 1e-6);
+  }
+}
+
+TEST(ClosedForms, SquareW1SolvesCubicAndTendsToD) {
+  const double d = 100.0;
+  for (double a : {1.0, 10.0, 100.0, 10000.0}) {
+    const double w = example_square_w1(a, d);
+    EXPECT_NEAR(w * (2 * w + a) * (2 * w + a), d * a * a, 1e-6 * d * a * a);
+  }
+  // §2.1.1: as a -> ∞, W1 -> d.
+  EXPECT_NEAR(example_square_w1(1e9, d), d, d * 1e-3);
+}
+
+TEST(ClosedForms, W3BelowOmegaStarForPointDemand) {
+  // The paper's (2W+1)^2 counts the L∞ square, which over-counts the L1
+  // ball reachable within W — so W3 is a (weaker) lower bound than ω*.
+  for (double dd : {50.0, 500.0, 5000.0}) {
+    DemandMap d(2);
+    d.set(Point{0, 0}, dd);
+    const double w3 = example_point_w3(dd);
+    const double ws = omega_star_enumerate(d);
+    EXPECT_LE(w3, ws + 1e-9) << "d=" << dd;
+    // Same growth order: ratio bounded (both Θ(d^{1/3})).
+    EXPECT_LT(ws / w3, 2.0) << "d=" << dd;
+  }
+}
+
+TEST(ClosedForms, W2ApproachesLineOmegaAsLineGrows) {
+  const double dd = 20.0;
+  const double w2 = example_line_w2(dd);
+  double prev_gap = 1e9;
+  for (std::int64_t len : {8, 64, 512}) {
+    const Box line(Point{0, 0}, Point{len - 1, 0});
+    const double wt = omega_for_box(line, dd * static_cast<double>(len));
+    const double gap = std::abs(wt - w2) / w2;
+    EXPECT_LE(gap, prev_gap + 1e-9) << "len=" << len;
+    prev_gap = gap;
+  }
+  EXPECT_LT(prev_gap, 0.2);
+}
+
+}  // namespace
+}  // namespace cmvrp

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/algorithm1.h"
+#include "core/bounds.h"
+#include "core/cube_bound.h"
+#include "core/offline_planner.h"
+#include "core/omega.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace cmvrp {
+namespace {
+
+DemandMap random_grid_demand(std::uint64_t seed, std::int64_t n, int points,
+                             double max_d) {
+  Rng rng(seed);
+  DemandMap d(2);
+  for (int i = 0; i < points; ++i)
+    d.add(Point{rng.next_int(0, n - 1), rng.next_int(0, n - 1)},
+          static_cast<double>(rng.next_int(1, static_cast<std::int64_t>(max_d))));
+  return d;
+}
+
+// --- offline planner (Lemma 2.2.5) -----------------------------------------
+
+class PlannerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlannerProperty, PlanCoversWithinCapacityBound) {
+  const DemandMap d = random_grid_demand(GetParam(), 16, 12, 30.0);
+  const OfflinePlan plan = plan_offline(d);
+  const PlanCheck check = verify_plan(plan, d);
+  EXPECT_TRUE(check.ok) << check.issue;
+  // Realized energy must respect the paper's (2·3^ℓ + ℓ)·ω_c bound,
+  // modulo the ⌈·⌉ on travel inside a side-s cube (ℓ(s-1) ≤ ℓ·ω_c holds
+  // since s-1 ≤ ω_c by construction).
+  EXPECT_LE(check.max_energy, plan.capacity_bound + 1e-6);
+  // And the plan can never beat the cube lower bound.
+  EXPECT_GE(check.max_energy + 1e-9, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerProperty,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+TEST(Planner, SinglePointAllServedInPlaceWhenSmall) {
+  DemandMap d(2);
+  d.set(Point{3, 3}, 2.0);
+  const OfflinePlan plan = plan_offline(d);
+  ASSERT_EQ(plan.assignments.size(), 1u);
+  EXPECT_EQ(plan.assignments[0].home, (Point{3, 3}));
+  EXPECT_FALSE(plan.assignments[0].remote.has_value());
+  EXPECT_DOUBLE_EQ(plan.assignments[0].serve_at_home, 2.0);
+  EXPECT_TRUE(verify_plan(plan, d).ok);
+}
+
+TEST(Planner, HeavyPointRecruitsHelpers) {
+  DemandMap d(2);
+  d.set(Point{0, 0}, 500.0);
+  const OfflinePlan plan = plan_offline(d);
+  const PlanCheck check = verify_plan(plan, d);
+  EXPECT_TRUE(check.ok) << check.issue;
+  EXPECT_GT(plan.assignments.size(), 1u);  // helpers had to travel
+  double remote_total = 0.0;
+  for (const auto& a : plan.assignments) {
+    if (a.remote.has_value()) {
+      EXPECT_EQ(*a.remote, (Point{0, 0}));
+      remote_total += a.serve_remote;
+      EXPECT_LE(a.serve_remote, plan.in_place_budget + 1e-9);
+    }
+  }
+  EXPECT_NEAR(remote_total + plan.in_place_budget, 500.0, 1e-6);
+}
+
+TEST(Planner, LineWorkloadStaysNearW2Order) {
+  const DemandMap d = line_demand(64, 12.0, Point{0, 0});
+  const OfflinePlan plan = plan_offline(d);
+  const PlanCheck check = verify_plan(plan, d);
+  ASSERT_TRUE(check.ok) << check.issue;
+  // Paper: Woff ~ W2 = Θ(sqrt(d)); realized plan energy should be within
+  // the (2·3^ℓ+ℓ) constant of the cube lower bound.
+  EXPECT_LE(check.max_energy,
+            (2.0 * 9.0 + 2.0) * plan.bound.omega_c + 1e-6);
+}
+
+TEST(Planner, PlanEnergySandwichedByTheoremBounds) {
+  for (std::uint64_t seed = 100; seed < 112; ++seed) {
+    const DemandMap d = random_grid_demand(seed, 12, 8, 20.0);
+    const OfflinePlan plan = plan_offline(d);
+    const PlanCheck check = verify_plan(plan, d);
+    ASSERT_TRUE(check.ok) << "seed " << seed << ": " << check.issue;
+    const double lower = plan.bound.omega_c;
+    EXPECT_LE(lower, plan.capacity_bound + 1e-9);
+    EXPECT_LE(check.max_energy, plan.capacity_bound + 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(PlanVerifier, CatchesUndercoverage) {
+  DemandMap d(2);
+  d.set(Point{0, 0}, 5.0);
+  OfflinePlan plan = plan_offline(d);
+  plan.assignments[0].serve_at_home -= 1.0;
+  const PlanCheck check = verify_plan(plan, d);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.issue.find("undercovered"), std::string::npos);
+}
+
+TEST(PlanVerifier, CatchesCapacityViolation) {
+  DemandMap d(2);
+  d.set(Point{0, 0}, 5.0);
+  const OfflinePlan plan = plan_offline(d);
+  const PlanCheck check = verify_plan(plan, d, /*capacity=*/1.0);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.issue.find("capacity"), std::string::npos);
+}
+
+TEST(PlanVerifier, CatchesInconsistentTravel) {
+  DemandMap d(2);
+  d.set(Point{0, 0}, 500.0);
+  OfflinePlan plan = plan_offline(d);
+  bool tampered = false;
+  for (auto& a : plan.assignments) {
+    if (a.remote.has_value()) {
+      a.travel += 1;
+      tampered = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(tampered);
+  EXPECT_FALSE(verify_plan(plan, d).ok);
+}
+
+// --- bounds bundle -----------------------------------------------------------
+
+TEST(OffBounds, PropertiesHold) {
+  // Property 2.3.1: D̂ <= Woff <= D, so bounds must satisfy D̂ <= upper and
+  // lower <= D at minimum.
+  const DemandMap d = random_grid_demand(7, 16, 10, 40.0);
+  const OffBounds b = offline_bounds(d, 16.0 * 16.0);
+  EXPECT_GT(b.omega_c, 0.0);
+  EXPECT_LE(b.omega_c, b.upper);
+  EXPECT_LE(b.plan_energy, b.upper + 1e-6);
+  EXPECT_LE(b.avg_demand, b.max_demand);
+  EXPECT_DOUBLE_EQ(b.upper_factor, 20.0);
+}
+
+// --- Algorithm 1 ----------------------------------------------------------------
+
+TEST(Algorithm1, ReturnsDWhenMaxDemandAtMostOne) {
+  DemandMap d(2);
+  d.set(Point{1, 1}, 0.7);
+  d.set(Point{2, 3}, 1.0);
+  const auto r = algorithm1(d, 8);
+  EXPECT_STREQ(r.exit_rule, "D<=1");
+  EXPECT_DOUBLE_EQ(r.estimate, 1.0);
+}
+
+TEST(Algorithm1, DenseGridShortCircuitsOnAverage) {
+  // Make D̂ >= n: n = 4, every cell demand 16 -> D̂ = 16 >= 4.
+  DemandMap d(2);
+  Box::cube(Point{0, 0}, 4).for_each_point(
+      [&](const Point& p) { d.set(p, 16.0); });
+  const auto r = algorithm1(d, 4);
+  EXPECT_STREQ(r.exit_rule, "n<=avg");
+  // min{D, 2D̂ + ℓn} = min{16, 32+8} = 16.
+  EXPECT_DOUBLE_EQ(r.estimate, 16.0);
+}
+
+TEST(Algorithm1, ThresholdExitProducesSandwichedEstimate) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const std::int64_t n = 32;
+    const DemandMap d = random_grid_demand(seed, n, 20, 60.0);
+    const auto r = algorithm1(d, n);
+    const auto cb = cube_bound(d);
+    // Claimed: estimate is a 2(2·3^ℓ+ℓ)-approximation of Woff, and
+    // ω_c <= Woff <= (2·3^ℓ+ℓ)ω_c. So estimate must respect
+    //   ω_c <= estimate <= 2(2·3^ℓ+ℓ)·Woff <= 2(2·3^ℓ+ℓ)(2·3^ℓ+ℓ)·ω_c.
+    const double f = 2.0 * 9.0 + 2.0;
+    EXPECT_GE(r.estimate + 1e-9, cb.omega_c) << "seed " << seed;
+    EXPECT_LE(r.estimate, 2.0 * f * f * cb.omega_c + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Algorithm1, LinearWorkInCells) {
+  // cells_touched must scale ~ n^2 (geometric level sums), not n^2 log n.
+  const DemandMap d8 = random_grid_demand(5, 8, 6, 100.0);
+  const DemandMap d64 = random_grid_demand(5, 64, 6, 100.0);
+  const auto r8 = algorithm1(d8, 8);
+  const auto r64 = algorithm1(d64, 64);
+  EXPECT_LE(r64.cells_touched,
+            3 * 64 * 64 + 10);  // Σ_k n²/4^k < (4/3)n², margin for levels
+  EXPECT_LE(r8.cells_touched, 3 * 8 * 8 + 10);
+}
+
+TEST(Algorithm1, RejectsNonPowerOfTwo) {
+  DemandMap d(2);
+  d.set(Point{0, 0}, 2.0);
+  EXPECT_THROW(algorithm1(d, 12), check_error);
+}
+
+TEST(Algorithm1, RejectsOutOfRangeDemand) {
+  DemandMap d(2);
+  d.set(Point{9, 0}, 2.0);
+  EXPECT_THROW(algorithm1(d, 8), check_error);
+}
+
+TEST(Algorithm1, WorksInOneAndThreeDimensions) {
+  DemandMap d1(1);
+  d1.set(Point{3}, 50.0);
+  const auto r1 = algorithm1(d1, 16);
+  EXPECT_GT(r1.estimate, 0.0);
+
+  DemandMap d3(3);
+  d3.set(Point{1, 2, 3}, 500.0);
+  const auto r3 = algorithm1(d3, 8);
+  EXPECT_GT(r3.estimate, 0.0);
+}
+
+}  // namespace
+}  // namespace cmvrp

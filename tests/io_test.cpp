@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.h"
+#include "workload/io.h"
+
+namespace cmvrp {
+namespace {
+
+TEST(Io, DemandRoundTrip) {
+  Rng rng(5);
+  const DemandMap d =
+      uniform_demand(Box(Point{-3, -3}, Point{5, 5}), 40, rng);
+  std::stringstream buffer;
+  save_demand(buffer, d);
+  const DemandMap back = load_demand(buffer, 2);
+  EXPECT_EQ(back.support_size(), d.support_size());
+  for (const auto& p : d.support())
+    EXPECT_DOUBLE_EQ(back.at(p), d.at(p)) << p.to_string();
+}
+
+TEST(Io, DemandParsesCommentsAndBlanks) {
+  std::istringstream in(
+      "# header comment\n"
+      "\n"
+      "1 2 3.5   # trailing comment\n"
+      "   4 5 1\n");
+  const DemandMap d = load_demand(in, 2);
+  EXPECT_EQ(d.support_size(), 2u);
+  EXPECT_DOUBLE_EQ(d.at(Point{1, 2}), 3.5);
+  EXPECT_DOUBLE_EQ(d.at(Point{4, 5}), 1.0);
+}
+
+TEST(Io, DemandAccumulatesDuplicateLines) {
+  std::istringstream in("0 0 2\n0 0 3\n");
+  const DemandMap d = load_demand(in, 2);
+  EXPECT_DOUBLE_EQ(d.at(Point{0, 0}), 5.0);
+}
+
+TEST(Io, DemandRejectsMalformedLines) {
+  {
+    std::istringstream in("1 2\n");  // missing value
+    EXPECT_THROW(load_demand(in, 2), check_error);
+  }
+  {
+    std::istringstream in("1 2 3 4\n");  // trailing token
+    EXPECT_THROW(load_demand(in, 2), check_error);
+  }
+  {
+    std::istringstream in("1 2 -3\n");  // negative demand
+    EXPECT_THROW(load_demand(in, 2), check_error);
+  }
+  {
+    std::istringstream in("x y 3\n");  // non-numeric
+    EXPECT_THROW(load_demand(in, 2), check_error);
+  }
+}
+
+TEST(Io, DemandErrorsIncludeLineNumbers) {
+  std::istringstream in("0 0 1\nbroken\n");
+  try {
+    load_demand(in, 2);
+    FAIL();
+  } catch (const check_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Io, DemandOtherDimensions) {
+  std::istringstream in1("7 2.5\n");
+  const DemandMap d1 = load_demand(in1, 1);
+  EXPECT_DOUBLE_EQ(d1.at(Point{7}), 2.5);
+  std::istringstream in3("1 2 3 4\n");
+  const DemandMap d3 = load_demand(in3, 3);
+  EXPECT_DOUBLE_EQ(d3.at(Point{1, 2, 3}), 4.0);
+}
+
+TEST(Io, JobsRoundTripPreservesOrder) {
+  std::vector<Job> jobs{{Point{3, 1}, 0}, {Point{0, 0}, 1}, {Point{3, 1}, 2}};
+  std::stringstream buffer;
+  save_jobs(buffer, jobs);
+  const auto back = load_jobs(buffer, 2);
+  ASSERT_EQ(back.size(), 3u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(back[i].position, jobs[i].position);
+    EXPECT_EQ(back[i].index, static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW(load_demand_file("/nonexistent/cmvrp.txt", 2), check_error);
+  EXPECT_THROW(load_jobs_file("/nonexistent/cmvrp.txt", 2), check_error);
+}
+
+}  // namespace
+}  // namespace cmvrp

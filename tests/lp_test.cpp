@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "lp/simplex.h"
+#include "util/rng.h"
+
+namespace cmvrp {
+namespace {
+
+TEST(Simplex, TextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  ->  z = 36 at (2, 6).
+  LpProblem lp(/*maximize=*/true);
+  const auto x = lp.add_variable(3.0);
+  const auto y = lp.add_variable(5.0);
+  lp.add_constraint({{x, 1.0}}, LpRelation::kLessEqual, 4.0);
+  lp.add_constraint({{y, 2.0}}, LpRelation::kLessEqual, 12.0);
+  lp.add_constraint({{x, 3.0}, {y, 2.0}}, LpRelation::kLessEqual, 18.0);
+  const auto r = lp.solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 36.0, 1e-8);
+  EXPECT_NEAR(r.x[x], 2.0, 1e-8);
+  EXPECT_NEAR(r.x[y], 6.0, 1e-8);
+}
+
+TEST(Simplex, MinimizationWithGreaterEqual) {
+  // min 2x + 3y s.t. x + y >= 4, x >= 1  ->  z = 8+... at (4, 0): 8.
+  LpProblem lp;
+  const auto x = lp.add_variable(2.0);
+  const auto y = lp.add_variable(3.0);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, LpRelation::kGreaterEqual, 4.0);
+  lp.add_constraint({{x, 1.0}}, LpRelation::kGreaterEqual, 1.0);
+  const auto r = lp.solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 8.0, 1e-8);
+  EXPECT_NEAR(r.x[x], 4.0, 1e-8);
+  EXPECT_NEAR(r.x[y], 0.0, 1e-8);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + 2y s.t. x + y = 3, y >= 1  ->  (2, 1), z = 4.
+  LpProblem lp;
+  const auto x = lp.add_variable(1.0);
+  const auto y = lp.add_variable(2.0);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, LpRelation::kEqual, 3.0);
+  lp.add_constraint({{y, 1.0}}, LpRelation::kGreaterEqual, 1.0);
+  const auto r = lp.solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 4.0, 1e-8);
+  EXPECT_NEAR(r.x[x], 2.0, 1e-8);
+  EXPECT_NEAR(r.x[y], 1.0, 1e-8);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LpProblem lp;
+  const auto x = lp.add_variable(1.0);
+  lp.add_constraint({{x, 1.0}}, LpRelation::kLessEqual, 1.0);
+  lp.add_constraint({{x, 1.0}}, LpRelation::kGreaterEqual, 2.0);
+  EXPECT_EQ(lp.solve().status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LpProblem lp(/*maximize=*/true);
+  const auto x = lp.add_variable(1.0);
+  const auto y = lp.add_variable(0.0);
+  lp.add_constraint({{x, 1.0}, {y, -1.0}}, LpRelation::kLessEqual, 1.0);
+  EXPECT_EQ(lp.solve().status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsHandled) {
+  // min x s.t. -x <= -3 (i.e. x >= 3).
+  LpProblem lp;
+  const auto x = lp.add_variable(1.0);
+  lp.add_constraint({{x, -1.0}}, LpRelation::kLessEqual, -3.0);
+  const auto r = lp.solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[x], 3.0, 1e-8);
+}
+
+TEST(Simplex, RepeatedVariableCoefficientsSum) {
+  // x + x <= 4  ->  x <= 2 for max x.
+  LpProblem lp(/*maximize=*/true);
+  const auto x = lp.add_variable(1.0);
+  lp.add_constraint({{x, 1.0}, {x, 1.0}}, LpRelation::kLessEqual, 4.0);
+  const auto r = lp.solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 2.0, 1e-8);
+}
+
+TEST(Simplex, DegenerateDoesNotCycle) {
+  // A classically degenerate LP (Beale-like); Bland's rule must terminate.
+  LpProblem lp;
+  const auto x1 = lp.add_variable(-0.75);
+  const auto x2 = lp.add_variable(150.0);
+  const auto x3 = lp.add_variable(-0.02);
+  const auto x4 = lp.add_variable(6.0);
+  lp.add_constraint({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+                    LpRelation::kLessEqual, 0.0);
+  lp.add_constraint({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+                    LpRelation::kLessEqual, 0.0);
+  lp.add_constraint({{x3, 1.0}}, LpRelation::kLessEqual, 1.0);
+  const auto r = lp.solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -0.05, 1e-6);
+}
+
+TEST(Simplex, DualsSatisfyStrongDuality) {
+  // max c'x with <= rows: dual objective b'y must equal primal optimum.
+  LpProblem lp(/*maximize=*/true);
+  const auto x = lp.add_variable(3.0);
+  const auto y = lp.add_variable(5.0);
+  lp.add_constraint({{x, 1.0}}, LpRelation::kLessEqual, 4.0);
+  lp.add_constraint({{y, 2.0}}, LpRelation::kLessEqual, 12.0);
+  lp.add_constraint({{x, 3.0}, {y, 2.0}}, LpRelation::kLessEqual, 18.0);
+  const auto r = lp.solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  ASSERT_EQ(r.duals.size(), 3u);
+  const double dual_obj =
+      4.0 * r.duals[0] + 12.0 * r.duals[1] + 18.0 * r.duals[2];
+  EXPECT_NEAR(dual_obj, r.objective, 1e-7);
+  // Known duals for this classic: y = (0, 1.5, 1).
+  EXPECT_NEAR(r.duals[0], 0.0, 1e-7);
+  EXPECT_NEAR(r.duals[1], 1.5, 1e-7);
+  EXPECT_NEAR(r.duals[2], 1.0, 1e-7);
+}
+
+TEST(Simplex, DualsForMinimizationProblem) {
+  // min 2x+3y, x+y >= 4, x >= 1: dual obj = 4*y1 + 1*y2 = 8.
+  LpProblem lp;
+  const auto x = lp.add_variable(2.0);
+  const auto y = lp.add_variable(3.0);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, LpRelation::kGreaterEqual, 4.0);
+  lp.add_constraint({{x, 1.0}}, LpRelation::kGreaterEqual, 1.0);
+  const auto r = lp.solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  const double dual_obj = 4.0 * r.duals[0] + 1.0 * r.duals[1];
+  EXPECT_NEAR(dual_obj, r.objective, 1e-7);
+}
+
+// Property sweep: random feasible-by-construction LPs; check weak duality
+// and feasibility of the returned solution.
+class SimplexRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandom, SolutionFeasibleAndDualityHolds) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t nv = 2 + rng.next_below(4);
+  const std::size_t nc = 2 + rng.next_below(4);
+  LpProblem lp(/*maximize=*/true);
+  std::vector<double> c(nv);
+  for (std::size_t j = 0; j < nv; ++j) {
+    c[j] = rng.next_double(0.0, 5.0);
+    lp.add_variable(c[j]);
+  }
+  std::vector<std::vector<double>> a(nc, std::vector<double>(nv));
+  std::vector<double> b(nc);
+  for (std::size_t i = 0; i < nc; ++i) {
+    std::vector<std::pair<std::size_t, double>> row;
+    for (std::size_t j = 0; j < nv; ++j) {
+      a[i][j] = rng.next_double(0.1, 3.0);
+      row.emplace_back(j, a[i][j]);
+    }
+    b[i] = rng.next_double(1.0, 20.0);
+    lp.add_constraint(row, LpRelation::kLessEqual, b[i]);
+  }
+  const auto r = lp.solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);  // 0 is feasible; box-bounded
+  // Primal feasibility.
+  for (std::size_t i = 0; i < nc; ++i) {
+    double lhs = 0.0;
+    for (std::size_t j = 0; j < nv; ++j) lhs += a[i][j] * r.x[j];
+    EXPECT_LE(lhs, b[i] + 1e-6);
+  }
+  for (std::size_t j = 0; j < nv; ++j) EXPECT_GE(r.x[j], -1e-9);
+  // Strong duality.
+  double dual_obj = 0.0;
+  for (std::size_t i = 0; i < nc; ++i) dual_obj += b[i] * r.duals[i];
+  EXPECT_NEAR(dual_obj, r.objective, 1e-5);
+  // Dual feasibility: A'y >= c for a max problem.
+  for (std::size_t j = 0; j < nv; ++j) {
+    double lhs = 0.0;
+    for (std::size_t i = 0; i < nc; ++i) lhs += a[i][j] * r.duals[i];
+    EXPECT_GE(lhs, c[j] - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandom, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace cmvrp

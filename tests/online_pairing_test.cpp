@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "online/pairing.h"
+
+namespace cmvrp {
+namespace {
+
+class PairingSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::int64_t>> {};
+
+TEST_P(PairingSweep, SnakeIndexIsABijectionWithAdjacentSteps) {
+  const auto [dim, side] = GetParam();
+  const CubePairing pairing(dim, Point::origin(dim), side);
+  const Point corner = Point::origin(dim);
+  const Box cube = Box::cube(corner, side);
+  const std::int64_t vol = pairing.cube_volume();
+
+  std::map<std::int64_t, Point> by_index;
+  cube.for_each_point([&](const Point& p) {
+    const auto k = pairing.snake_index(p);
+    EXPECT_GE(k, 0);
+    EXPECT_LT(k, vol);
+    EXPECT_TRUE(by_index.emplace(k, p).second) << "duplicate index " << k;
+    EXPECT_EQ(pairing.snake_vertex(corner, k), p);
+  });
+  ASSERT_EQ(static_cast<std::int64_t>(by_index.size()), vol);
+  // Consecutive snake indices must be grid-adjacent — the property that
+  // makes each pair a unit edge (walk <= 1 while serving, §3.2.1).
+  for (std::int64_t k = 0; k + 1 < vol; ++k)
+    EXPECT_EQ(l1_distance(by_index.at(k), by_index.at(k + 1)), 1)
+        << "k=" << k;
+}
+
+TEST_P(PairingSweep, PairsArePerfectMatchingUpToOneSingleton) {
+  const auto [dim, side] = GetParam();
+  const CubePairing pairing(dim, Point::origin(dim), side);
+  const Box cube = Box::cube(Point::origin(dim), side);
+  std::int64_t singletons = 0;
+  cube.for_each_point([&](const Point& p) {
+    const Point q = pairing.partner(p);
+    if (q == p) {
+      ++singletons;
+      EXPECT_TRUE(pairing.is_primary(p));
+    } else {
+      EXPECT_EQ(l1_distance(p, q), 1);          // pairs are adjacent
+      EXPECT_EQ(pairing.partner(q), p);         // involution
+      EXPECT_NE(pairing.is_primary(p), pairing.is_primary(q));
+      EXPECT_EQ(pairing.primary(p), pairing.primary(q));
+      // Opposite chessboard colors (the paper's black–white condition).
+      EXPECT_NE(p.coordinate_sum_even(), q.coordinate_sum_even());
+    }
+    EXPECT_EQ(pairing.cube_corner(q), pairing.cube_corner(p));
+  });
+  EXPECT_EQ(singletons, pairing.cube_volume() % 2 == 0 ? 0 : 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndSides, PairingSweep,
+    ::testing::Values(std::tuple{1, 2}, std::tuple{1, 5}, std::tuple{2, 2},
+                      std::tuple{2, 3}, std::tuple{2, 4}, std::tuple{2, 7},
+                      std::tuple{3, 2}, std::tuple{3, 3},
+                      std::tuple{4, 2}, std::tuple{4, 3}));
+
+TEST(Pairing, CubeCornerHandlesNegativeCoordinates) {
+  const CubePairing pairing(2, Point{0, 0}, 4);
+  EXPECT_EQ(pairing.cube_corner(Point{-1, -1}), (Point{-4, -4}));
+  EXPECT_EQ(pairing.cube_corner(Point{-4, 0}), (Point{-4, 0}));
+  EXPECT_EQ(pairing.cube_corner(Point{3, 7}), (Point{0, 4}));
+}
+
+TEST(Pairing, AnchorShiftsPartition) {
+  const CubePairing pairing(2, Point{1, 1}, 4);
+  EXPECT_EQ(pairing.cube_corner(Point{1, 1}), (Point{1, 1}));
+  EXPECT_EQ(pairing.cube_corner(Point{0, 0}), (Point{-3, -3}));
+}
+
+TEST(Pairing, PrimariesEnumerateEveryPairOnce) {
+  const CubePairing pairing(2, Point{0, 0}, 3);
+  const auto primaries = pairing.primaries_in_cube(Point{0, 0});
+  EXPECT_EQ(primaries.size(), 5u);  // ceil(9 / 2)
+  for (const auto& p : primaries) EXPECT_TRUE(pairing.is_primary(p));
+}
+
+}  // namespace
+}  // namespace cmvrp

@@ -1,0 +1,137 @@
+// Randomized stress harness for the online strategy: arbitrary workloads,
+// capacities, cube sides, and failure injections — with physical
+// invariants that must hold no matter what:
+//   * energy conservation: Σ spent = jobs_served + total_travel,
+//   * no vehicle ever exceeds its capacity,
+//   * served + failed = arrivals,
+//   * accounting identities of the diffusing computations.
+#include <gtest/gtest.h>
+
+#include "online/simulation.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace cmvrp {
+namespace {
+
+class OnlineStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OnlineStress, PhysicalInvariantsHoldUnderChaos) {
+  Rng rng(GetParam() * 7919);
+  const std::int64_t span = rng.next_int(4, 12);
+  const Box field(Point{0, 0}, Point{span, span});
+  const auto jobs = smart_dust_stream(
+      field, rng.next_int(30, 120), rng.next_double(0.0, 0.3), rng);
+
+  OnlineConfig cfg;
+  cfg.capacity = rng.next_double(3.0, 20.0);
+  cfg.cube_side = rng.next_int(2, 6);
+  cfg.anchor = Point{0, 0};
+  cfg.max_message_delay = rng.next_int(0, 9);
+  cfg.seed = GetParam();
+  cfg.enable_monitoring = rng.next_bool(0.8);
+
+  OnlineSimulation sim(2, cfg);
+  // Random failures: a few silent-dones and early breakers.
+  const int silent = static_cast<int>(rng.next_below(4));
+  for (int k = 0; k < silent; ++k)
+    sim.inject_silent_done(Point{rng.next_int(0, span), rng.next_int(0, span)});
+  const int breakers = static_cast<int>(rng.next_below(4));
+  for (int k = 0; k < breakers; ++k)
+    sim.inject_break_after(
+        Point{rng.next_int(0, span), rng.next_int(0, span)},
+        rng.next_double(0.0, 1.0));
+
+  sim.run(jobs);
+  const auto& m = sim.metrics();
+
+  // Arrival accounting.
+  EXPECT_EQ(m.jobs_served + m.jobs_failed, jobs.size());
+  // Energy conservation: all spending is either a unit of service or a
+  // unit of travel.
+  EXPECT_NEAR(m.total_energy_spent,
+              static_cast<double>(m.jobs_served) +
+                  static_cast<double>(m.total_travel),
+              1e-6);
+  // Capacity is a hard ceiling for every vehicle.
+  EXPECT_LE(m.max_energy_spent, cfg.capacity + 1e-9);
+  // Computation accounting.
+  EXPECT_LE(m.replacements, m.computations_started);
+  EXPECT_EQ(m.network.replies, m.network.queries);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OnlineStress,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+// --- Algorithm 2 under the microscope ---------------------------------------
+//
+// A single diffusing computation on a tiny, fully-inspectable cube:
+// exhaust the active vehicle of a 2x2 cube and track exactly which
+// messages flow and how the tree resolves.
+TEST(Algorithm2Microscope, SingleComputationTreeAndRelay) {
+  OnlineConfig cfg;
+  cfg.capacity = 4.0;  // serves 3 jobs (walks included), then done
+  cfg.cube_side = 2;
+  cfg.anchor = Point{0, 0};
+  cfg.seed = 3;
+  OnlineSimulation sim(2, cfg);
+  std::vector<Job> jobs;
+  for (int i = 0; i < 3; ++i) jobs.push_back({Point{0, 0}, i});
+  ASSERT_TRUE(sim.run(jobs));
+  const auto& m = sim.metrics();
+
+  // After 3 services the vehicle hits remaining < 2 and initiates.
+  EXPECT_EQ(m.computations_started, 1u);
+  EXPECT_EQ(m.replacements, 1u);
+  EXPECT_EQ(m.computations_failed, 0u);
+  // 2x2 cube: every vehicle is within distance 2 of every other, so the
+  // initiator queries 3 neighbors; non-idle ones re-flood to their 3.
+  // Exact counts depend on delivery interleaving, but bounds are tight:
+  EXPECT_GE(m.network.queries, 3u);
+  EXPECT_LE(m.network.queries, 12u);
+  EXPECT_EQ(m.network.replies, m.network.queries);
+  // Phase II: the move relays along the tree path; path length <= 2 hops
+  // in a 2x2 cube.
+  EXPECT_GE(m.network.moves, 1u);
+  EXPECT_LE(m.network.moves, 2u);
+
+  // The replacement took over the pair: its vehicle sits at (0,0)'s pair
+  // position and is active.
+  const auto active = sim.active_of_pair(Point{0, 0});
+  ASSERT_TRUE(active.has_value());
+  // The original vehicle is done.
+  const Vehicle* original = sim.vehicle_at_home(Point{0, 0});
+  ASSERT_NE(original, nullptr);
+  // Job vertex (0,0) is the primary (snake index 0 is even), so the
+  // original active vehicle lived at home (0,0) and exhausted there.
+  EXPECT_EQ(original->s1, WorkState::kDone);
+  EXPECT_EQ(original->s2, TransferState::kWaiting);  // computation ended
+}
+
+TEST(Algorithm2Microscope, FailedSearchLeavesCleanState) {
+  // 2x2 cube with capacity so small the pool drains: the final
+  // computation must fail, vehicles must all return to `waiting`, and the
+  // failure must be counted — no dangling searching states.
+  OnlineConfig cfg;
+  cfg.capacity = 3.0;
+  cfg.cube_side = 2;
+  cfg.anchor = Point{0, 0};
+  cfg.seed = 5;
+  cfg.enable_monitoring = false;
+  OnlineSimulation sim(2, cfg);
+  std::vector<Job> jobs;
+  for (int i = 0; i < 12; ++i) jobs.push_back({Point{0, 0}, i});
+  EXPECT_FALSE(sim.run(jobs));
+  const auto& m = sim.metrics();
+  EXPECT_GT(m.computations_failed, 0u);
+  // All four vehicles of the cube are back in waiting (no stuck states).
+  Box::cube(Point{0, 0}, 2).for_each_point([&](const Point& p) {
+    const Vehicle* v = sim.vehicle_at_home(p);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->s2, TransferState::kWaiting) << p.to_string();
+    EXPECT_EQ(v->num, 0) << p.to_string();
+  });
+}
+
+}  // namespace
+}  // namespace cmvrp

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "viz/ascii.h"
+#include "workload/generators.h"
+
+namespace cmvrp {
+namespace {
+
+TEST(Viz, DemandHeatMapGlyphs) {
+  DemandMap d(2);
+  d.set(Point{0, 0}, 9.0);  // peak -> '#'
+  d.set(Point{1, 0}, 1.0);  // low -> small digit
+  const Box view(Point{0, 0}, Point{2, 1});
+  const std::string s = render_demand(d, view);
+  // Two rows of three glyphs + newlines; row 0 is y=1 (empty).
+  ASSERT_EQ(s.size(), 8u);
+  EXPECT_EQ(s.substr(0, 3), "...");
+  EXPECT_EQ(s[4], '#');
+  EXPECT_GE(s[5], '1');
+  EXPECT_LE(s[5], '9');
+  EXPECT_EQ(s[6], '.');
+}
+
+TEST(Viz, EmptyDemandAllDots) {
+  DemandMap d(2);
+  const Box view(Point{0, 0}, Point{3, 3});
+  const std::string s = render_demand(d, view);
+  for (char c : s) EXPECT_TRUE(c == '.' || c == '\n');
+}
+
+TEST(Viz, PlanShowsMoversAndTargets) {
+  DemandMap d(2);
+  d.set(Point{0, 0}, 500.0);  // forces remote helpers
+  const OfflinePlan plan = plan_offline(d);
+  const Box view(Point{-6, -6}, Point{6, 6});
+  const std::string s = render_plan(plan, view);
+  EXPECT_NE(s.find('*'), std::string::npos);  // the hotspot target
+  EXPECT_NE(s.find('>'), std::string::npos);  // relocating helpers
+}
+
+TEST(Viz, FieldCallbackOrientation) {
+  // Row 0 of the output is the highest y (the paper's orientation).
+  const Box view(Point{0, 0}, Point{1, 1});
+  const std::string s =
+      render_field(view, [](const Point& p) -> char {
+        return p[1] == 1 ? 'T' : 'B';
+      });
+  EXPECT_EQ(s, "TT\nBB\n");
+}
+
+}  // namespace
+}  // namespace cmvrp

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "workload/generators.h"
+
+namespace cmvrp {
+namespace {
+
+TEST(Workload, SquareDemandShape) {
+  const DemandMap d = square_demand(3, 2.0, Point{1, 1});
+  EXPECT_EQ(d.support_size(), 9u);
+  EXPECT_DOUBLE_EQ(d.total(), 18.0);
+  EXPECT_DOUBLE_EQ(d.at(Point{1, 1}), 2.0);
+  EXPECT_DOUBLE_EQ(d.at(Point{3, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(d.at(Point{0, 0}), 0.0);
+}
+
+TEST(Workload, LineDemandShape) {
+  const DemandMap d = line_demand(5, 3.0, Point{2, 7});
+  EXPECT_EQ(d.support_size(), 5u);
+  EXPECT_DOUBLE_EQ(d.at(Point{6, 7}), 3.0);
+  EXPECT_DOUBLE_EQ(d.at(Point{7, 7}), 0.0);
+  const Box bb = d.bounding_box();
+  EXPECT_EQ(bb.side(0), 5);
+  EXPECT_EQ(bb.side(1), 1);
+}
+
+TEST(Workload, UniformDemandCount) {
+  Rng rng(3);
+  const Box box(Point{0, 0}, Point{9, 9});
+  const DemandMap d = uniform_demand(box, 100, rng);
+  EXPECT_DOUBLE_EQ(d.total(), 100.0);
+  for (const auto& p : d.support()) EXPECT_TRUE(box.contains(p));
+}
+
+TEST(Workload, ClusteredDemandStaysInBox) {
+  Rng rng(5);
+  const Box box(Point{0, 0}, Point{20, 20});
+  const DemandMap d = clustered_demand(box, 3, 200, 2.0, rng);
+  EXPECT_DOUBLE_EQ(d.total(), 200.0);
+  for (const auto& p : d.support()) EXPECT_TRUE(box.contains(p));
+}
+
+TEST(Workload, RidgeDemandDecays) {
+  Rng rng(7);
+  const Box box(Point{0, 0}, Point{15, 15});
+  const DemandMap d = ridge_demand(box, 9.0, rng);
+  EXPECT_GT(d.total(), 0.0);
+  EXPECT_LE(d.max_demand(), 9.0);
+}
+
+TEST(Workload, StreamFromDemandPreservesCounts) {
+  DemandMap d(2);
+  d.set(Point{0, 0}, 3.0);
+  d.set(Point{1, 2}, 2.0);
+  Rng rng(11);
+  for (auto order : {ArrivalOrder::kSorted, ArrivalOrder::kShuffled,
+                     ArrivalOrder::kRoundRobin}) {
+    const auto jobs = stream_from_demand(d, order, rng);
+    EXPECT_EQ(jobs.size(), 5u);
+    const DemandMap back = demand_of_stream(jobs, 2);
+    EXPECT_DOUBLE_EQ(back.at(Point{0, 0}), 3.0);
+    EXPECT_DOUBLE_EQ(back.at(Point{1, 2}), 2.0);
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+      EXPECT_EQ(jobs[i].index, static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(Workload, RoundRobinInterleaves) {
+  DemandMap d(2);
+  d.set(Point{0, 0}, 2.0);
+  d.set(Point{5, 5}, 2.0);
+  Rng rng(13);
+  const auto jobs = stream_from_demand(d, ArrivalOrder::kRoundRobin, rng);
+  ASSERT_EQ(jobs.size(), 4u);
+  EXPECT_EQ(jobs[0].position, (Point{0, 0}));
+  EXPECT_EQ(jobs[1].position, (Point{5, 5}));
+  EXPECT_EQ(jobs[2].position, (Point{0, 0}));
+  EXPECT_EQ(jobs[3].position, (Point{5, 5}));
+}
+
+TEST(Workload, StreamRejectsFractionalDemand) {
+  DemandMap d(2);
+  d.set(Point{0, 0}, 1.5);
+  Rng rng(17);
+  EXPECT_THROW(stream_from_demand(d, ArrivalOrder::kSorted, rng),
+               check_error);
+}
+
+TEST(Workload, SmartDustStreamStaysInBoxAndIsDeterministic) {
+  const Box box(Point{0, 0}, Point{31, 31});
+  Rng rng1(23), rng2(23);
+  const auto a = smart_dust_stream(box, 500, 0.05, rng1);
+  const auto b = smart_dust_stream(box, 500, 0.05, rng2);
+  ASSERT_EQ(a.size(), 500u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(box.contains(a[i].position));
+    EXPECT_EQ(a[i].position, b[i].position);
+  }
+}
+
+TEST(Workload, AlternatingStream) {
+  const auto jobs = alternating_stream(Point{0, 0}, Point{4, 0}, 5);
+  ASSERT_EQ(jobs.size(), 5u);
+  EXPECT_EQ(jobs[0].position, (Point{0, 0}));
+  EXPECT_EQ(jobs[1].position, (Point{4, 0}));
+  EXPECT_EQ(jobs[4].position, (Point{0, 0}));
+}
+
+}  // namespace
+}  // namespace cmvrp

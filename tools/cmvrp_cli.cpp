@@ -1,0 +1,215 @@
+// cmvrp — command-line front end.
+//
+//   cmvrp bounds   --file demand.txt [--dim 2]            offline bounds
+//   cmvrp plan     --file demand.txt [--ascii]            Lemma 2.2.5 plan
+//   cmvrp online   --file demand.txt [--capacity W]       run the strategy
+//                  [--order sorted|shuffled|roundrobin] [--seed S]
+//   cmvrp won      --file demand.txt [--tol T]            bisect minimal W
+//   cmvrp gen      --workload uniform|clustered|line|point|square
+//                  [--n N] [--count C] [--d D] [--seed S]  emit a demand file
+//   cmvrp fig41    --r1 R                                 Chapter 4 example
+//
+// Demand files: lines of "x y demand" (see src/workload/io.h).
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "broken/scenario.h"
+#include "core/algorithm1.h"
+#include "core/bounds.h"
+#include "core/offline_planner.h"
+#include "online/capacity_search.h"
+#include "util/table.h"
+#include "viz/ascii.h"
+#include "workload/generators.h"
+#include "workload/io.h"
+
+namespace {
+
+using namespace cmvrp;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stod(it->second);
+  }
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stoll(it->second);
+  }
+  bool has(const std::string& key) const { return flags.count(key) > 0; }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::string key = token.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        args.flags[key] = argv[++i];
+      } else {
+        args.flags[key] = "true";
+      }
+    }
+  }
+  return args;
+}
+
+DemandMap demand_from_args(const Args& args) {
+  const int dim = static_cast<int>(args.get_int("dim", 2));
+  CMVRP_CHECK_MSG(args.has("file"), "--file <demand.txt> is required");
+  return load_demand_file(args.get("file", ""), dim);
+}
+
+int cmd_bounds(const Args& args) {
+  const DemandMap d = demand_from_args(args);
+  CMVRP_CHECK_MSG(!d.empty(), "demand file is empty");
+  const Box bb = d.bounding_box();
+  const OffBounds b = offline_bounds(d, static_cast<double>(bb.volume()));
+  Table t({"quantity", "value"});
+  t.row().cell("dimension").cell(static_cast<std::int64_t>(d.dim()));
+  t.row().cell("support size").cell(static_cast<std::uint64_t>(d.support_size()));
+  t.row().cell("total demand").cell(d.total());
+  t.row().cell("max demand D").cell(b.max_demand);
+  t.row().cell("avg demand (bbox)").cell(b.avg_demand);
+  t.row().cell("omega_c (Cor 2.2.7 lower bound)").cell(b.omega_c);
+  t.row().cell("Woff upper (Lem 2.2.5)").cell(b.upper);
+  t.row().cell("plan max energy (realized)").cell(b.plan_energy);
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_plan(const Args& args) {
+  const DemandMap d = demand_from_args(args);
+  const OfflinePlan plan = plan_offline(d);
+  const PlanCheck check = verify_plan(plan, d);
+  std::cout << "cube side: " << plan.bound.cube_side
+            << "  omega_c: " << plan.bound.omega_c
+            << "  in-place budget: " << plan.in_place_budget << "\n";
+  std::cout << "vehicles used: " << plan.assignments.size()
+            << "  max energy: " << check.max_energy
+            << "  verified: " << (check.ok ? "yes" : check.issue.c_str())
+            << "\n";
+  if (args.has("ascii") && d.dim() == 2) {
+    std::cout << "\nplan ('o' serve in place, '>' relocates, '*' target):\n"
+              << render_plan(plan, d.bounding_box());
+  }
+  return check.ok ? 0 : 1;
+}
+
+int cmd_online(const Args& args) {
+  const DemandMap d = demand_from_args(args);
+  const std::string order_name = args.get("order", "shuffled");
+  ArrivalOrder order = ArrivalOrder::kShuffled;
+  if (order_name == "sorted") order = ArrivalOrder::kSorted;
+  else if (order_name == "roundrobin") order = ArrivalOrder::kRoundRobin;
+  else CMVRP_CHECK_MSG(order_name == "shuffled", "unknown --order");
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const auto jobs = stream_from_demand(d, order, rng);
+
+  OnlineConfig cfg = default_online_config(
+      d, static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  if (args.has("capacity")) cfg.capacity = args.get_double("capacity", 0.0);
+  OnlineSimulation sim(d.dim(), cfg);
+  const bool ok = sim.run(jobs);
+  const auto& m = sim.metrics();
+  Table t({"metric", "value"});
+  t.row().cell("capacity W").cell(cfg.capacity);
+  t.row().cell("cube side").cell(cfg.cube_side);
+  t.row().cell("jobs served").cell(m.jobs_served);
+  t.row().cell("jobs failed").cell(m.jobs_failed);
+  t.row().cell("replacements").cell(m.replacements);
+  t.row().cell("diffusing computations").cell(m.computations_started);
+  t.row().cell("messages total").cell(m.network.total());
+  t.row().cell("max energy spent").cell(m.max_energy_spent);
+  t.print(std::cout);
+  return ok ? 0 : 1;
+}
+
+int cmd_won(const Args& args) {
+  const DemandMap d = demand_from_args(args);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const auto jobs = stream_from_demand(d, ArrivalOrder::kShuffled, rng);
+  const auto r = find_min_online_capacity(
+      jobs, d.dim(), static_cast<std::uint64_t>(args.get_int("seed", 1)),
+      args.get_double("tol", 0.1));
+  Table t({"quantity", "value"});
+  t.row().cell("omega_c").cell(r.omega_c);
+  t.row().cell("Won empirical").cell(r.won_empirical);
+  t.row().cell("Won theory (Lem 3.3.1)").cell(r.won_theory);
+  t.row().cell("simulations run").cell(r.simulations);
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_gen(const Args& args) {
+  const std::string kind = args.get("workload", "uniform");
+  const std::int64_t n = args.get_int("n", 16);
+  const std::int64_t count = args.get_int("count", 100);
+  const double dval = args.get_double("d", 10.0);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const Box box(Point{0, 0}, Point{n - 1, n - 1});
+  DemandMap d(2);
+  if (kind == "uniform") d = uniform_demand(box, count, rng);
+  else if (kind == "clustered") d = clustered_demand(box, 3, count, 2.0, rng);
+  else if (kind == "line") d = line_demand(n, dval, Point{0, 0});
+  else if (kind == "point") d = point_demand(dval, Point{n / 2, n / 2});
+  else if (kind == "square") d = square_demand(n / 2, dval, Point{0, 0});
+  else CMVRP_CHECK_MSG(false, "unknown --workload: " << kind);
+  save_demand(std::cout, d);
+  return 0;
+}
+
+int cmd_fig41(const Args& args) {
+  const std::int64_t r1 = args.get_int("r1", 8);
+  const auto s = make_fig41(r1, args.get_int("r2", 4 * r1 + 2));
+  const auto m = measure_fig41(s);
+  Table t({"quantity", "value"});
+  t.row().cell("r1").cell(r1);
+  t.row().cell("LP bound (Thm 4.1.1)").cell(m.lp_bound);
+  t.row().cell("paper travel formula").cell(m.paper_travel);
+  t.row().cell("true requirement").cell(m.true_requirement);
+  t.row().cell("ratio").cell(m.ratio);
+  t.print(std::cout);
+  return 0;
+}
+
+int usage() {
+  std::cerr
+      << "usage: cmvrp <bounds|plan|online|won|gen|fig41> [--flags]\n"
+         "  bounds --file d.txt            offline bounds (Thm 1.4.1)\n"
+         "  plan   --file d.txt [--ascii]  Lemma 2.2.5 plan + verification\n"
+         "  online --file d.txt [--capacity W] [--order o] [--seed s]\n"
+         "  won    --file d.txt [--tol t]  bisect empirical Won\n"
+         "  gen    --workload k [--n N] [--count C] [--d D] [--seed s]\n"
+         "  fig41  --r1 R [--r2 R2]        Chapter 4 counterexample\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  try {
+    if (args.command == "bounds") return cmd_bounds(args);
+    if (args.command == "plan") return cmd_plan(args);
+    if (args.command == "online") return cmd_online(args);
+    if (args.command == "won") return cmd_won(args);
+    if (args.command == "gen") return cmd_gen(args);
+    if (args.command == "fig41") return cmd_fig41(args);
+    return usage();
+  } catch (const cmvrp::check_error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
