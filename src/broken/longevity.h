@@ -8,6 +8,7 @@
 // §4.2 shows this bound can be loose by a factor ~r₁ (Figure 4.1).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>

@@ -14,6 +14,7 @@
 //   * max-flow feasibility oracle + fixed-point search (the workhorse).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <vector>

@@ -7,7 +7,9 @@
 // the caller (see transportation.h).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace cmvrp {

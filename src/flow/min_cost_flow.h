@@ -6,7 +6,9 @@
 // the Transportation Problem) routes each unit along minimal L1 distance.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace cmvrp {

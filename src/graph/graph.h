@@ -8,6 +8,7 @@
 // grids with obstacle holes, tori (no boundary), and weighted roadways.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>

@@ -10,6 +10,7 @@
 //   so the general-purpose lower bound here is ball-based instead.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

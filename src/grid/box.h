@@ -2,6 +2,7 @@
 // boxes with equal side lengths).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -4,6 +4,7 @@
 // non-negative reals. Zero entries are erased so support() is exact.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>

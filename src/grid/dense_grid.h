@@ -6,6 +6,7 @@
 // every such query in O(2^ℓ) after O(n^ℓ) preprocessing.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -15,6 +15,7 @@
 // quiescence between arrivals.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>

@@ -5,6 +5,7 @@
 // computation. (active|idle, initiator) are unreachable, as in the paper.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "grid/point.h"

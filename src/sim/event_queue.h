@@ -5,9 +5,11 @@
 // comes from explicitly seeded message delays, never from the engine.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "util/check.h"

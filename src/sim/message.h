@@ -7,6 +7,7 @@
 // monitoring ring of §3.2.5.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <variant>
 

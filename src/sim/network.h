@@ -5,6 +5,7 @@
 //   * unbounded input buffers (receivers are invoked per message).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>

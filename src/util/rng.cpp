@@ -101,11 +101,18 @@ std::size_t Rng::next_weighted(const std::vector<double>& weights) {
   }
   CMVRP_CHECK(total > 0.0);
   double x = next_double() * total;
+  std::size_t last_positive = 0;
   for (std::size_t i = 0; i < weights.size(); ++i) {
-    x -= weights[i];
-    if (x < 0.0) return i;
+    if (weights[i] > 0.0) {
+      last_positive = i;
+      x -= weights[i];
+      if (x < 0.0) return i;
+    }
   }
-  return weights.size() - 1;  // numerical slack: land on the last bucket
+  // Numerical slack: x can stay non-negative after the full pass because the
+  // running subtraction rounds differently from the summed total. Land on the
+  // last bucket that actually has weight, never a zero-weight one.
+  return last_positive;
 }
 
 Rng Rng::split() {

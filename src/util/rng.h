@@ -6,7 +6,9 @@
 // bit-for-bit from a single seed.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace cmvrp {

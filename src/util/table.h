@@ -5,6 +5,7 @@
 // comparison legible and uniform across experiments.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>

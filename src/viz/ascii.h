@@ -5,6 +5,7 @@
 // pictures directly from live data structures.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "core/offline_planner.h"

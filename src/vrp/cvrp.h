@@ -3,6 +3,7 @@
 // reference implementation and baseline substrate.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

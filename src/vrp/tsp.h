@@ -6,6 +6,7 @@
 // objective.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -87,6 +87,40 @@ TEST(Rng, WeightedSamplingRespectsWeights) {
   EXPECT_NEAR(static_cast<double>(c2) / c0, 3.0, 0.5);
 }
 
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(41);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextIntDegenerateRange) {
+  Rng rng(43);
+  for (std::int64_t lo : {std::int64_t{-7}, std::int64_t{0}, std::int64_t{9}})
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next_int(lo, lo), lo);
+}
+
+TEST(Rng, WeightedSinglePositiveWeightAlwaysChosen) {
+  Rng rng(47);
+  const std::vector<double> w{0.0, 0.0, 5.0, 0.0};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng.next_weighted(w), 2u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_weighted({2.5}), 0u);
+}
+
+TEST(Rng, SameSeedReplaysBitForBitAcrossAllDraws) {
+  Rng a(0xfeedface), b(0xfeedface);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+    EXPECT_EQ(a.next_below(97), b.next_below(97));
+    EXPECT_EQ(a.next_int(-1000, 1000), b.next_int(-1000, 1000));
+    EXPECT_EQ(a.next_double(), b.next_double());
+    EXPECT_EQ(a.next_bool(0.3), b.next_bool(0.3));
+    EXPECT_EQ(a.next_gaussian(), b.next_gaussian());
+    EXPECT_EQ(a.next_weighted({1.0, 2.0, 3.0}), b.next_weighted({1.0, 2.0, 3.0}));
+  }
+  // Children derived at the same point replay identically too.
+  Rng ca = a.split(), cb = b.split();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(ca.next_u64(), cb.next_u64());
+}
+
 TEST(Rng, SplitProducesIndependentStream) {
   Rng a(21);
   Rng child = a.split();

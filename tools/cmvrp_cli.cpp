@@ -184,16 +184,15 @@ int cmd_fig41(const Args& args) {
   return 0;
 }
 
-int usage() {
-  std::cerr
-      << "usage: cmvrp <bounds|plan|online|won|gen|fig41> [--flags]\n"
+int usage(std::ostream& os, int exit_code) {
+  os << "usage: cmvrp <bounds|plan|online|won|gen|fig41> [--flags]\n"
          "  bounds --file d.txt            offline bounds (Thm 1.4.1)\n"
          "  plan   --file d.txt [--ascii]  Lemma 2.2.5 plan + verification\n"
          "  online --file d.txt [--capacity W] [--order o] [--seed s]\n"
          "  won    --file d.txt [--tol t]  bisect empirical Won\n"
          "  gen    --workload k [--n N] [--count C] [--d D] [--seed s]\n"
          "  fig41  --r1 R [--r2 R2]        Chapter 4 counterexample\n";
-  return 2;
+  return exit_code;
 }
 
 }  // namespace
@@ -201,13 +200,16 @@ int usage() {
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   try {
+    if (args.command == "help" || args.command == "--help" ||
+        args.command == "-h")
+      return usage(std::cout, 0);
     if (args.command == "bounds") return cmd_bounds(args);
     if (args.command == "plan") return cmd_plan(args);
     if (args.command == "online") return cmd_online(args);
     if (args.command == "won") return cmd_won(args);
     if (args.command == "gen") return cmd_gen(args);
     if (args.command == "fig41") return cmd_fig41(args);
-    return usage();
+    return usage(std::cerr, 2);
   } catch (const cmvrp::check_error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
