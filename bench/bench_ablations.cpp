@@ -1,127 +1,9 @@
-// E11 — ablations over the Chapter 3 strategy's design choices.
-//
-// The theory fixes cube side ⌈ω_c⌉, communication radius 2, and the
-// monitoring ring; this bench varies each knob independently on one
-// workload and reports its real cost/benefit:
-//   * cube side: smaller cubes localize searches but shrink the idle pool
-//     (more failures at tight capacity); larger cubes pay longer
-//     replacement travel and bigger search floods.
-//   * monitoring ring: off = silent failures become lost jobs.
-//   * message delay bound: protocol outcome must be delay-invariant
-//     (correctness), only latency changes.
-//   * neighbor radius: radius 1 still connects a cube; radius 3 fattens
-//     the flood. Served jobs must be radius-invariant.
-#include <iostream>
+// E11 — ablations over the Chapter 3 strategy's design choices (cube
+// side, monitoring ring, message delay bound, neighbor radius).
+// Sections and metrics live in the "ablations" harness suite
+// (src/exp/suites.cpp); run with --json to emit BENCH JSON.
+#include "exp/harness.h"
 
-#include "online/capacity_search.h"
-#include "util/rng.h"
-#include "util/table.h"
-#include "workload/generators.h"
-
-int main() {
-  using namespace cmvrp;
-  std::cout << "E11: strategy ablations (smart-dust stream, 200 jobs, "
-               "W fixed at 10).\n\n";
-
-  Rng rng(77);
-  const Box field(Point{0, 0}, Point{15, 15});
-  const auto jobs = smart_dust_stream(field, 200, 0.05, rng);
-  const DemandMap demand = demand_of_stream(jobs, 2);
-  const OnlineConfig base = [&] {
-    OnlineConfig c = default_online_config(demand, 5);
-    c.capacity = 10.0;
-    return c;
-  }();
-
-  auto run_with = [&](OnlineConfig cfg) {
-    OnlineSimulation sim(2, cfg);
-    sim.run(jobs);
-    return sim.metrics();
-  };
-
-  std::cout << "Cube side (theory: max(2, ceil(omega_c)) = "
-            << base.cube_side << "):\n";
-  Table t1({"side", "failed", "replacements", "msgs/job", "max travel+serve"});
-  for (std::int64_t side : {2, 3, 4, 6, 8}) {
-    OnlineConfig cfg = base;
-    cfg.cube_side = side;
-    const auto m = run_with(cfg);
-    t1.row()
-        .cell(side)
-        .cell(m.jobs_failed)
-        .cell(m.replacements)
-        .cell(static_cast<double>(m.network.total()) /
-                  static_cast<double>(jobs.size()),
-              1)
-        .cell(m.max_energy_spent);
-  }
-  t1.print(std::cout);
-
-  std::cout << "\nMonitoring ring (12 hottest sensors fail silently):\n";
-  Table t2({"ring", "failed", "monitor rescues", "heartbeats"});
-  for (bool ring : {true, false}) {
-    OnlineConfig cfg = base;
-    cfg.enable_monitoring = ring;
-    OnlineSimulation sim(2, cfg);
-    std::vector<Point> hottest = demand.support();
-    std::sort(hottest.begin(), hottest.end(),
-              [&](const Point& a, const Point& b) {
-                if (demand.at(a) != demand.at(b))
-                  return demand.at(a) > demand.at(b);
-                return a < b;
-              });
-    for (std::size_t k = 0; k < std::min<std::size_t>(12, hottest.size());
-         ++k)
-      sim.inject_silent_done(hottest[k]);
-    sim.run(jobs);
-    const auto& m = sim.metrics();
-    t2.row()
-        .cell(ring ? "on" : "off")
-        .cell(m.jobs_failed)
-        .cell(m.monitor_initiations)
-        .cell(m.network.heartbeats);
-  }
-  t2.print(std::cout);
-
-  std::cout << "\nMessage delay bound (served must be invariant):\n";
-  Table t3({"max delay", "served", "failed", "events processed proxy"});
-  std::uint64_t reference_served = 0;
-  for (SimTime delay : {0, 1, 3, 9, 27}) {
-    OnlineConfig cfg = base;
-    cfg.max_message_delay = delay;
-    const auto m = run_with(cfg);
-    if (delay == 0) reference_served = m.jobs_served;
-    if (m.jobs_served != reference_served) {
-      std::cerr << "delay changed the outcome — protocol bug\n";
-      return 1;
-    }
-    t3.row()
-        .cell(delay)
-        .cell(m.jobs_served)
-        .cell(m.jobs_failed)
-        .cell(m.network.total());
-  }
-  t3.print(std::cout);
-
-  std::cout << "\nNeighbor (communication) radius — paper uses 2:\n";
-  Table t4({"radius", "served", "failed", "msgs/job"});
-  for (std::int64_t radius : {1, 2, 3}) {
-    OnlineConfig cfg = base;
-    cfg.neighbor_radius = radius;
-    const auto m = run_with(cfg);
-    t4.row()
-        .cell(radius)
-        .cell(m.jobs_served)
-        .cell(m.jobs_failed)
-        .cell(static_cast<double>(m.network.total()) /
-                  static_cast<double>(jobs.size()),
-              1);
-  }
-  t4.print(std::cout);
-
-  std::cout << "\nTakeaways: the theory's side = ceil(omega_c) balances "
-               "pool size against flood cost; the ring is what makes "
-               "silent failures survivable; outcomes are delay- and "
-               "radius-invariant (only message counts move).\n";
-  return 0;
+int main(int argc, char** argv) {
+  return cmvrp::bench_driver_main("ablations", argc, argv);
 }

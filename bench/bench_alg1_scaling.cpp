@@ -1,94 +1,9 @@
 // E5 — Algorithm 1 (§2.3): linear time and 2(2·3^ℓ+ℓ)-approximation.
-//
-// Two parts:
-//   * google-benchmark timings over n ∈ {64 … 1024} on the n×n grid —
-//     the paper claims O(n^ℓ); time/n² must be flat;
-//   * an approximation-quality table against ω_c and the exact ω*.
-#include <benchmark/benchmark.h>
-
-#include <iostream>
-
-#include "core/algorithm1.h"
-#include "core/cube_bound.h"
-#include "core/omega.h"
-#include "util/rng.h"
-#include "util/table.h"
-#include "workload/generators.h"
-
-namespace {
-
-using namespace cmvrp;
-
-DemandMap grid_workload(std::int64_t n, std::uint64_t seed) {
-  Rng rng(seed);
-  // ~n demand points, heavy-ish tail, all inside [0, n)^2.
-  DemandMap d(2);
-  for (std::int64_t k = 0; k < n; ++k) {
-    const double amount = static_cast<double>(rng.next_int(1, 50));
-    d.add(Point{rng.next_int(0, n - 1), rng.next_int(0, n - 1)}, amount);
-  }
-  return d;
-}
-
-void BM_Algorithm1(benchmark::State& state) {
-  const std::int64_t n = state.range(0);
-  const DemandMap d = grid_workload(n, 7);
-  for (auto _ : state) {
-    auto result = algorithm1(d, n);
-    benchmark::DoNotOptimize(result.estimate);
-  }
-  state.SetComplexityN(n * n);  // cells — the paper's O(n^l) claim
-}
-BENCHMARK(BM_Algorithm1)
-    ->RangeMultiplier(2)
-    ->Range(64, 1024)
-    ->Complexity(benchmark::oN);
-
-void BM_CubeBoundExact(benchmark::State& state) {
-  const std::int64_t n = state.range(0);
-  const DemandMap d = grid_workload(n, 7);
-  for (auto _ : state) {
-    auto cb = cube_bound(d);
-    benchmark::DoNotOptimize(cb.omega_c);
-  }
-}
-BENCHMARK(BM_CubeBoundExact)->RangeMultiplier(2)->Range(64, 256);
-
-}  // namespace
+// Approximation table and the harness-timed scaling sweep live in the
+// "alg1" suite (src/exp/suites.cpp); use --reps 3 for stable timings and
+// --json to emit BENCH JSON.
+#include "exp/harness.h"
 
 int main(int argc, char** argv) {
-  using namespace cmvrp;
-  std::cout << "E5: Algorithm 1 — approximation quality.\n";
-  Table t({"n", "exit rule", "estimate", "omega_c", "omega* (flow)",
-           "estimate/omega*", "cells/n^2"});
-  for (std::int64_t n : {16, 32, 64, 128}) {
-    const DemandMap d = grid_workload(n, 11);
-    const auto r = algorithm1(d, n);
-    const auto cb = cube_bound(d);
-    const double omega_star = n <= 64 ? omega_star_flow(d) : cb.omega_c;
-    const double cells = static_cast<double>(r.cells_touched) /
-                         (static_cast<double>(n) * static_cast<double>(n));
-    // Claimed guarantee: Woff <= estimate <= 2(2·3^l+l)·Woff.
-    if (r.estimate + 1e-9 < cb.omega_c ||
-        r.estimate > 2.0 * 20.0 * 20.0 * cb.omega_c + 1e-9) {
-      std::cerr << "approximation guarantee violated at n=" << n << "\n";
-      return 1;
-    }
-    t.row()
-        .cell(n)
-        .cell(r.exit_rule)
-        .cell(r.estimate)
-        .cell(cb.omega_c)
-        .cell(omega_star)
-        .cell(r.estimate / std::max(omega_star, 1e-9), 2)
-        .cell(cells, 3);
-  }
-  t.print(std::cout);
-  std::cout << "\nShape check: cells/n^2 < 4/3 at every n (geometric level "
-               "sums = linear time); estimate within the claimed factor of "
-               "the exact optimum.\n\n";
-
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return cmvrp::bench_driver_main("alg1", argc, argv);
 }

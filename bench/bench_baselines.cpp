@@ -1,94 +1,9 @@
-// E9 — Baselines (ours; the paper has no empirical comparator).
-//
-//   * Centralized greedy nearest-vehicle dispatch vs the Chapter 3
-//     distributed strategy: minimal sufficient capacity on the same
-//     streams. Greedy has global knowledge but no travel discipline; the
-//     paper's strategy is fully decentralized yet stays in the same
-//     capacity ballpark — and is robust to failures, which greedy is not.
-//   * Clarke–Wright CVRP (the classic §1.1 objective) on the same demand
-//     points, to contrast tour-length objectives with per-vehicle energy.
-#include <iostream>
-#include <string>
-#include <vector>
+// E9 — Baselines: centralized greedy nearest-vehicle dispatch vs the
+// Chapter 3 distributed strategy; Clarke–Wright CVRP for context.
+// Scenario list and metrics live in the "baselines" harness suite
+// (src/exp/suites.cpp); run with --json to emit BENCH JSON.
+#include "exp/harness.h"
 
-#include "online/capacity_search.h"
-#include "util/rng.h"
-#include "util/table.h"
-#include "vrp/cvrp.h"
-#include "vrp/greedy_baseline.h"
-#include "workload/generators.h"
-
-int main() {
-  using namespace cmvrp;
-  std::cout << "E9: baselines — centralized greedy vs the distributed "
-               "strategy; Clarke-Wright for context.\n";
-
-  struct Case {
-    std::string name;
-    Box region;
-    std::vector<Job> jobs;
-  };
-  std::vector<Case> cases;
-  {
-    Rng rng(301), order(302);
-    const Box box(Point{0, 0}, Point{9, 9});
-    const DemandMap d = uniform_demand(box, 70, rng);
-    cases.push_back({"uniform 70 on 10x10", box,
-                     stream_from_demand(d, ArrivalOrder::kShuffled, order)});
-  }
-  {
-    Rng rng(303), order(304);
-    const Box box(Point{0, 0}, Point{11, 11});
-    const DemandMap d = clustered_demand(box, 2, 80, 1.0, rng);
-    cases.push_back({"clustered 80", box,
-                     stream_from_demand(d, ArrivalOrder::kShuffled, order)});
-  }
-  {
-    const Box box(Point{0, 0}, Point{9, 9});
-    std::vector<Job> jobs;
-    for (int i = 0; i < 90; ++i) jobs.push_back({Point{4, 4}, i});
-    cases.push_back({"point burst 90", box, jobs});
-  }
-
-  Table t({"workload", "greedy min W", "strategy min W (Won)",
-           "strategy/greedy", "greedy travel @min", "strategy msgs/job"});
-  for (const auto& c : cases) {
-    const double greedy_w = greedy_min_capacity(c.region, c.jobs, 0.1);
-    const auto greedy_run = run_greedy_baseline(c.region, greedy_w, c.jobs);
-    const auto r = find_min_online_capacity(c.jobs, 2, /*seed=*/5, 0.1);
-    t.row()
-        .cell(c.name)
-        .cell(greedy_w)
-        .cell(r.won_empirical)
-        .cell(r.won_empirical / greedy_w, 2)
-        .cell(greedy_run.total_travel)
-        .cell(static_cast<double>(r.at_minimum.network.total()) /
-                  static_cast<double>(c.jobs.size()),
-              1);
-  }
-  t.print(std::cout);
-  std::cout << "\nContext: greedy's omniscience buys a constant factor at "
-               "most — consistent with Won = Θ(Woff): no scheduler beats "
-               "the Θ(ω*) energy floor.\n\n";
-
-  // Clarke–Wright on the uniform instance: classic CVRP route lengths.
-  Rng rng(305);
-  const DemandMap d = uniform_demand(Box(Point{0, 0}, Point{9, 9}), 40, rng);
-  CvrpInstance inst;
-  inst.depot = Point{5, 5};
-  inst.vehicle_capacity = 12.0;
-  for (const auto& p : d.support()) {
-    inst.customers.push_back(p);
-    inst.demands.push_back(d.at(p));
-  }
-  const auto sol = clarke_wright(inst);
-  std::cout << "Clarke-Wright CVRP on the same field (central depot, "
-            << "Q = 12): " << sol.routes.size() << " routes, total length "
-            << sol.total_length << ", valid = "
-            << (cvrp_solution_valid(inst, sol) ? "yes" : "NO") << ".\n";
-  std::cout << "The classic objective (total route length from one depot) "
-               "and the paper's (min per-vehicle energy, dispersed depots) "
-               "optimize different resources — the reason CMVRP needs its "
-               "own theory (§1.1).\n";
-  return 0;
+int main(int argc, char** argv) {
+  return cmvrp::bench_driver_main("baselines", argc, argv);
 }

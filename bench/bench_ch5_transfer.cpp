@@ -1,129 +1,9 @@
-// E8 — Chapter 5: inter-vehicle energy transfers.
-//
-// Part A (Thm 5.1.1): W_trans-off = Θ(Woff) — the relay-decay lower bound
-//   and the transfer-free upper bound move together across demand scales.
-// Part B (§5.2.1): the line collector's closed forms, fixed and variable
-//   accounting, against the exact step-by-step simulation.
-// Part C (ablation): pooling inside cubes (snake collector) vs the
-//   transfer-free Lemma 2.2.5 plan on skewed demand.
-#include <iostream>
+// E8 — Chapter 5: inter-vehicle energy transfers (Thm 5.1.1 bounds, the
+// §5.2.1 line collector, and the pooling ablation).
+// Sections and metrics live in the "transfer" harness suite
+// (src/exp/suites.cpp); run with --json to emit BENCH JSON.
+#include "exp/harness.h"
 
-#include "core/offline_planner.h"
-#include "transfer/cube_collector.h"
-#include "transfer/line_collector.h"
-#include "transfer/theorem51.h"
-#include "util/table.h"
-#include "workload/generators.h"
-
-int main() {
-  using namespace cmvrp;
-
-  std::cout << "E8a: Theorem 5.1.1 — transfer-aware lower bound vs "
-               "transfer-free upper bound (8x8 square demand).\n";
-  Table ta({"d/point", "Wtrans lower (Thm 5.1.1)", "Woff upper (Lem 2.2.5)",
-            "ratio upper/lower", "binding square side"});
-  double prev_ratio = -1.0;
-  bool ratios_bounded = true;
-  for (double d : {4.0, 16.0, 64.0, 256.0, 1024.0}) {
-    const DemandMap demand = square_demand(8, d, Point{0, 0});
-    const auto b = transfer_bounds(demand);
-    const double ratio = b.woff_upper / b.wtrans_lower;
-    ratios_bounded = ratios_bounded && ratio < 300.0;
-    ta.row()
-        .cell(d, 0)
-        .cell(b.wtrans_lower)
-        .cell(b.woff_upper)
-        .cell(ratio, 2)
-        .cell(b.binding_side);
-    prev_ratio = ratio;
-  }
-  (void)prev_ratio;
-  ta.print(std::cout);
-  if (!ratios_bounded) {
-    std::cerr << "Theta relationship violated\n";
-    return 1;
-  }
-  std::cout << "Shape check: the ratio stays bounded while demand scales "
-               "256x — the two quantities are the same order (Thm 5.1.1)."
-               "\n\n";
-
-  std::cout << "E8b: section 5.2.1 line collector, closed forms vs exact "
-               "simulation (uniform d per vertex).\n";
-  Table tb({"N", "d", "model", "W formula", "W simulated", "sim/formula",
-            "peak tank / (N*W)"});
-  for (std::int64_t n : {8, 32, 128, 512}) {
-    for (double d : {4.0, 32.0}) {
-      const std::vector<double> lane(static_cast<std::size_t>(n), d);
-      const double total = d * static_cast<double>(n);
-      {
-        TransferParams p;
-        p.model = TransferCostModel::kFixed;
-        p.a1 = 1.0;
-        const double formula = line_collector_w_fixed(n, total, p.a1);
-        const double sim = min_line_collector_w(lane, p);
-        const auto trace = simulate_line_collector(lane, sim, p);
-        tb.row()
-            .cell(n)
-            .cell(d, 0)
-            .cell("fixed a1=1")
-            .cell(formula)
-            .cell(sim)
-            .cell(sim / formula, 4)
-            .cell(trace.max_tank_level /
-                      (static_cast<double>(n) * sim),
-                  3);
-      }
-      {
-        TransferParams p;
-        p.model = TransferCostModel::kVariable;
-        p.a2 = 0.01;
-        const double formula = line_collector_w_variable(n, total, p.a2);
-        const double sim = min_line_collector_w(lane, p);
-        const auto trace = simulate_line_collector(lane, sim, p);
-        tb.row()
-            .cell(n)
-            .cell(d, 0)
-            .cell("var a2=.01")
-            .cell(formula)
-            .cell(sim)
-            .cell(sim / formula, 4)
-            .cell(trace.max_tank_level /
-                      (static_cast<double>(n) * sim),
-                  3);
-      }
-    }
-  }
-  tb.print(std::cout);
-  std::cout << "Shape check: W = Theta(avg d); fixed-cost simulation matches "
-               "the closed form exactly, variable-cost stays at/below it "
-               "(the paper charges every transfer at the full W); the peak "
-               "tank is ~N*W — C = infinity is genuinely needed.\n\n";
-
-  std::cout << "E8c: ablation — per-vehicle W with vs without transfers on "
-               "skewed demand (one hot vertex in an 8x8 cube).\n";
-  Table tc({"hot demand", "no-transfer plan W", "collector W (fixed a1=.5)",
-            "collector W (var a2=.01)", "savings factor"});
-  for (double hot : {50.0, 200.0, 800.0}) {
-    DemandMap d(2);
-    d.set(Point{3, 3}, hot);
-    const OfflinePlan plan = plan_offline(d);
-    TransferParams pf;
-    pf.model = TransferCostModel::kFixed;
-    pf.a1 = 0.5;
-    TransferParams pv;
-    pv.model = TransferCostModel::kVariable;
-    pv.a2 = 0.01;
-    const auto rf = cube_collector_requirements(d, 8, pf);
-    const auto rv = cube_collector_requirements(d, 8, pv);
-    tc.row()
-        .cell(hot, 0)
-        .cell(plan.max_energy())
-        .cell(rf.required_w)
-        .cell(rv.required_w)
-        .cell(plan.max_energy() / rf.required_w, 2);
-  }
-  tc.print(std::cout);
-  std::cout << "Shape check: transfers turn max-demand into avg-demand — "
-               "the savings factor grows with the skew (§5.2's point).\n";
-  return 0;
+int main(int argc, char** argv) {
+  return cmvrp::bench_driver_main("transfer", argc, argv);
 }

@@ -1,64 +1,8 @@
 // E2 — Figure 2.1(b)/2.2, §2.1.2: demand d on every point of a line.
-//
-// Paper claims:
-//   * W·(2W+1) ≥ d is necessary (W₂ = equality), so W₂ ~ sqrt(d/2);
-//   * capacity 2W₂ suffices: every vehicle within distance W₂ of the line
-//     walks to its nearest line point (Fig 2.2) and serves with what's
-//     left. We *execute* that strategy and measure the supply surplus.
-#include <cmath>
-#include <iostream>
+// Sweep and metrics live in the "line" harness suite (src/exp/suites.cpp);
+// run with --json to emit BENCH JSON.
+#include "exp/harness.h"
 
-#include "core/closed_forms.h"
-#include "core/offline_planner.h"
-#include "core/omega.h"
-#include "util/table.h"
-#include "workload/generators.h"
-
-int main() {
-  using namespace cmvrp;
-  std::cout << "E2: line demand (Fig 2.1b) and the Fig 2.2 strategy.\n";
-
-  Table t({"d", "W2", "2*W2 strategy supply/point", "covers d?",
-           "omega_line(len=256)", "plan max energy"});
-  for (double d : {8.0, 32.0, 128.0, 512.0, 2048.0}) {
-    const double w2 = example_line_w2(d);
-    // Fig 2.2 strategy with capacity 2*W2: each vehicle at offset |y| <= r
-    // (r = floor(W2)) reaches the line spending |y| and serves 2W2 - |y|.
-    const auto r = static_cast<std::int64_t>(std::floor(w2));
-    double supply_per_point = 0.0;
-    for (std::int64_t y = -r; y <= r; ++y)
-      supply_per_point += 2.0 * w2 - static_cast<double>(std::abs(y));
-    const bool covers = supply_per_point + 1e-9 >= d;
-
-    const std::int64_t len = 256;
-    const Box line(Point{0, 0}, Point{len - 1, 0});
-    const double omega = omega_for_box(line, d * static_cast<double>(len));
-
-    double plan_energy = -1.0;
-    if (d <= 512.0) {
-      const DemandMap demand = line_demand(64, d, Point{0, 0});
-      const OfflinePlan plan = plan_offline(demand);
-      const PlanCheck check = verify_plan(plan, demand);
-      if (!check.ok) {
-        std::cerr << "plan failed: " << check.issue << "\n";
-        return 1;
-      }
-      plan_energy = check.max_energy;
-    }
-    auto& row = t.row().cell(d, 0).cell(w2).cell(supply_per_point, 1);
-    row.cell_bool(covers).cell(omega);
-    if (plan_energy >= 0.0)
-      row.cell(plan_energy);
-    else
-      row.cell("-");
-    if (!covers) {
-      std::cerr << "Fig 2.2 strategy failed to cover d=" << d << "\n";
-      return 1;
-    }
-  }
-  t.print(std::cout);
-  std::cout << "\nShape check: W2 grows as sqrt(d) (W2^2 ~ d/2); the 2*W2 "
-               "strategy always covers; omega of a long finite line tracks "
-               "W2.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return cmvrp::bench_driver_main("line", argc, argv);
 }

@@ -1,59 +1,8 @@
 // E3 — Figure 2.1(c)/2.3, §2.1.3: demand d at a single point.
-//
-// Paper claims:
-//   * W·(2W+1)² ≥ d is necessary (W₃ = equality), so W₃ ~ (d/4)^{1/3};
-//   * capacity 3W₃ suffices: every vehicle in the (2W₃+1)-square around p
-//     walks to p (cost ≤ 2W₃) and serves with the remaining ≥ W₃.
-// We execute the Fig 2.3 recall and measure the aggregate supply at p.
-#include <cmath>
-#include <iostream>
+// Sweep and metrics live in the "point" harness suite (src/exp/suites.cpp);
+// run with --json to emit BENCH JSON.
+#include "exp/harness.h"
 
-#include "core/closed_forms.h"
-#include "core/offline_planner.h"
-#include "core/omega.h"
-#include "util/table.h"
-#include "workload/generators.h"
-
-int main() {
-  using namespace cmvrp;
-  std::cout << "E3: point demand (Fig 2.1c) and the Fig 2.3 recall.\n";
-
-  Table t({"d", "W3", "3*W3 recall supply", "covers d?", "omega* (Eq 1.1)",
-           "plan max energy", "W3^3*4/d"});
-  for (double d : {64.0, 512.0, 4096.0, 32768.0, 262144.0}) {
-    const double w3 = example_point_w3(d);
-    // Fig 2.3: vehicles in the (2w+1)x(2w+1) L-inf square with w=floor(W3)
-    // walk to the center (cost = L1 distance <= 2w) with capacity 3*W3.
-    const auto w = static_cast<std::int64_t>(std::floor(w3));
-    double supply = 0.0;
-    for (std::int64_t x = -w; x <= w; ++x)
-      for (std::int64_t y = -w; y <= w; ++y)
-        supply += 3.0 * w3 -
-                  static_cast<double>(std::abs(x) + std::abs(y));
-    const bool covers = supply + 1e-9 >= d;
-
-    DemandMap demand(2);
-    demand.set(Point{0, 0}, d);
-    const double omega = omega_for_set({Point{0, 0}}, demand);
-    const OfflinePlan plan = plan_offline(demand);
-    const PlanCheck check = verify_plan(plan, demand);
-    if (!check.ok || !covers) {
-      std::cerr << "failure at d=" << d << ": "
-                << (check.ok ? "recall undersupplies" : check.issue) << "\n";
-      return 1;
-    }
-    t.row()
-        .cell(d, 0)
-        .cell(w3)
-        .cell(supply, 1)
-        .cell_bool(covers)
-        .cell(omega)
-        .cell(check.max_energy)
-        .cell(4.0 * w3 * w3 * w3 / d);
-  }
-  t.print(std::cout);
-  std::cout << "\nShape check: W3 ~ (d/4)^(1/3) (last column -> 1); the "
-               "3*W3 recall always covers; omega* is the tighter L1-ball "
-               "version of the same cube-root law.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return cmvrp::bench_driver_main("point", argc, argv);
 }

@@ -1,52 +1,8 @@
 // E1 — Figure 2.1(a), §2.1.1: demand d at every point of an a×a square.
-//
-// Paper claims:
-//   * the necessary capacity obeys W·(2W+a)² ≥ d·a² (W₁ = the equality),
-//   * as a → ∞, W₁ → d (the interior dominates and every vehicle serves
-//     its own vertex's demand).
-// We print W₁ next to the exact Eq.-(1.1) ω of the square and the realized
-// plan energy: W₁ ≤ ω_square (W₁ uses the larger L∞ square count, hence is
-// the weaker bound) and both stay within the Lemma 2.2.5 constant.
-#include <iostream>
+// Sweep and metrics live in the "square" harness suite
+// (src/exp/suites.cpp); run with --json to emit BENCH JSON.
+#include "exp/harness.h"
 
-#include "core/closed_forms.h"
-#include "core/offline_planner.h"
-#include "core/omega.h"
-#include "util/table.h"
-#include "workload/generators.h"
-
-int main() {
-  using namespace cmvrp;
-  std::cout << "E1: square demand (Fig 2.1a). d = 100 per point.\n";
-
-  const double d = 100.0;
-  Table t({"a", "W1 (paper)", "omega_square (Eq 1.1)", "plan max energy",
-           "W1/d", "plan/omega"});
-  for (std::int64_t a : {1, 2, 4, 8, 16, 32, 64}) {
-    const double w1 = example_square_w1(static_cast<double>(a), d);
-    const Box square(Point{0, 0}, Point{a - 1, a - 1});
-    const double omega =
-        omega_for_box(square, d * static_cast<double>(a) * static_cast<double>(a));
-    double plan_energy = -1.0;
-    if (a <= 32) {  // plan construction is cheap, verification is O(support)
-      const DemandMap demand = square_demand(a, d, Point{0, 0});
-      const OfflinePlan plan = plan_offline(demand);
-      const PlanCheck check = verify_plan(plan, demand);
-      if (!check.ok) {
-        std::cerr << "plan verification failed: " << check.issue << "\n";
-        return 1;
-      }
-      plan_energy = check.max_energy;
-    }
-    auto& row = t.row().cell(a).cell(w1).cell(omega);
-    if (plan_energy >= 0.0)
-      row.cell(plan_energy).cell(w1 / d).cell(plan_energy / omega);
-    else
-      row.cell("-").cell(w1 / d).cell("-");
-  }
-  t.print(std::cout);
-  std::cout << "\nShape check: W1/d climbs toward 1 as a grows (paper: "
-               "\"when a approaches infinity, W approaches d\");\n"
-               "plan/omega stays below the 2*3^l+l = 20 constant.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return cmvrp::bench_driver_main("square", argc, argv);
 }

@@ -1,35 +1,8 @@
 // E7 — Figure 4.1 / §4.2: the broken-vehicle lower bound is not tight.
-//
-// Paper claims:
-//   * LP (4.1) (Theorem 4.1.1) gives Woff-b ≥ 2r₁ on the Fig 4.1 instance;
-//   * actually serving the alternating stream forces the lone healthy
-//     insider k to shuttle: travel r₁ + (2r₁−1)·2r₁, so the true
-//     requirement is Θ(r₁²) — the bound is loose by a factor Θ(r₁).
-#include <iostream>
+// Sweep and metrics live in the "broken" harness suite
+// (src/exp/suites.cpp); run with --json to emit BENCH JSON.
+#include "exp/harness.h"
 
-#include "broken/scenario.h"
-#include "util/table.h"
-
-int main() {
-  using namespace cmvrp;
-  std::cout << "E7: Fig 4.1 — weighted LP bound vs true requirement.\n";
-
-  Table t({"r1", "LP bound (2*r1)", "paper travel formula",
-           "true requirement", "ratio true/LP", "ratio/r1"});
-  for (std::int64_t r1 : {2, 4, 8, 16, 32, 64}) {
-    const auto s = make_fig41(r1, /*r2=*/4 * r1 + 2);
-    const auto m = measure_fig41(s);
-    t.row()
-        .cell(r1)
-        .cell(m.lp_bound)
-        .cell(m.paper_travel, 0)
-        .cell(m.true_requirement, 0)
-        .cell(m.ratio, 2)
-        .cell(m.ratio / static_cast<double>(r1), 3);
-  }
-  t.print(std::cout);
-  std::cout << "\nShape check: ratio grows linearly in r1 (last column "
-               "converges to ~2) — with breakdowns, arrival order matters "
-               "and the LP bound is weak, exactly as §4.2 concludes.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return cmvrp::bench_driver_main("broken", argc, argv);
 }

@@ -1,84 +1,9 @@
-// E12 — general graphs (the paper's Chapter 6 open direction).
-//
-// The ω machinery generalized to arbitrary connected graphs, evaluated on
-// four topologies with the same demand mass:
-//   * plain grid        — must match the lattice code paths exactly,
-//   * grid with a wall  — obstacles shrink balls, ω rises,
-//   * torus             — no boundary truncation, ω falls at the corner,
-//   * weighted roadways — side streets cost 5x, so balls shrink and ω
-//     rises; the unit-cost highway row mitigates along one axis.
-// No paper numbers exist here; the bench demonstrates the library answers
-// the question the paper leaves open, with the grid column as the anchor.
-#include <iostream>
+// E12 — general graphs (the paper's Chapter 6 open direction): ω* on a
+// grid, a walled grid, a torus, and weighted roadways.
+// Cases and metrics live in the "graphs" harness suite
+// (src/exp/suites.cpp); run with --json to emit BENCH JSON.
+#include "exp/harness.h"
 
-#include "core/omega.h"
-#include "graph/graph.h"
-#include "graph/graph_omega.h"
-#include "util/table.h"
-
-int main() {
-  using namespace cmvrp;
-  std::cout << "E12: omega* on general graphs (extension; grid column "
-               "anchors against the lattice implementation).\n";
-
-  const std::int64_t n = 12;
-  const Box box = Box::cube(Point{0, 0}, n);
-
-  auto vecify = [](const SpatialGraph& sg, const DemandMap& d) {
-    std::vector<double> v(sg.points.size(), 0.0);
-    for (const auto& [p, val] : d) {
-      auto it = sg.index.find(p);
-      if (it != sg.index.end()) v[it->second] = val;
-    }
-    return v;
-  };
-
-  Table t({"demand at", "amount", "grid omega*", "lattice check",
-           "walled grid", "torus", "roadways (x5 side cost)"});
-  struct Case {
-    Point at;
-    double amount;
-  };
-  for (const Case& c : {Case{Point{6, 6}, 60.0}, Case{Point{0, 0}, 60.0},
-                        Case{Point{6, 6}, 240.0}}) {
-    DemandMap d(2);
-    d.set(c.at, c.amount);
-
-    const SpatialGraph grid = make_grid_graph(box);
-    // Vertical wall two columns right of the demand, with one gap.
-    std::vector<Point> wall;
-    for (std::int64_t y = 0; y < n; ++y)
-      if (y != n - 1) wall.push_back(Point{c.at[0] + 2, y});
-    const SpatialGraph walled = make_grid_with_holes(box, wall);
-    const SpatialGraph torus = make_torus(n);
-    const SpatialGraph roads =
-        make_weighted_roadways(box, {c.at[1]}, /*side_cost=*/5);
-
-    const double w_grid = graph_omega_star_flow(grid.graph, vecify(grid, d));
-    const double w_lattice = omega_star_flow(d);
-    const double w_wall =
-        graph_omega_star_flow(walled.graph, vecify(walled, d));
-    const double w_torus =
-        graph_omega_star_flow(torus.graph, vecify(torus, d));
-    const double w_roads =
-        graph_omega_star_flow(roads.graph, vecify(roads, d));
-
-    t.row()
-        .cell(c.at.to_string())
-        .cell(c.amount, 0)
-        .cell(w_grid)
-        .cell(w_lattice)
-        .cell(w_wall)
-        .cell(w_torus)
-        .cell(w_roads);
-  }
-  t.print(std::cout);
-  std::cout
-      << "\nShape check: interior demand — grid == lattice (anchor) and the "
-         "torus matches too; corner demand — the torus beats the grid "
-         "(no truncated balls); walls raise omega*; 5x side streets raise "
-         "it more (the highway only helps along one row).\n"
-         "Note: lattice omega* can dip below the finite grid's when the "
-         "infinite lattice offers more suppliers than the n x n box.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return cmvrp::bench_driver_main("graphs", argc, argv);
 }

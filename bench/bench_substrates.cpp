@@ -1,137 +1,11 @@
-// E10 — substrate micro-benchmarks (google-benchmark):
-// the exact neighborhood counters, prefix-sum cube scanning, the simplex,
-// Dinic max-flow on transportation graphs, snake pairing, and the
-// event-queue/network hot path. These are the primitives every experiment
-// above leans on; keeping them fast keeps the whole harness laptop-scale.
-#include <benchmark/benchmark.h>
+// E10 — substrate micro-benchmarks: neighborhood counters, prefix-sum
+// cube scanning, the simplex, Dinic max-flow, snake pairing, and the
+// event-queue/network hot path.
+// Cases and metrics live in the "substrates" harness suite
+// (src/exp/suites.cpp); use --reps 3 for stable timings and --json to
+// emit BENCH JSON.
+#include "exp/harness.h"
 
-#include "core/omega.h"
-#include "flow/dinic.h"
-#include "flow/transportation.h"
-#include "grid/dense_grid.h"
-#include "grid/neighborhood.h"
-#include "lp/simplex.h"
-#include "online/pairing.h"
-#include "online/simulation.h"
-#include "sim/event_queue.h"
-#include "sim/network.h"
-#include "util/rng.h"
-#include "workload/generators.h"
-
-namespace {
-
-using namespace cmvrp;
-
-void BM_BallVolumeClosedForm(benchmark::State& state) {
-  const std::int64_t r = state.range(0);
-  for (auto _ : state)
-    benchmark::DoNotOptimize(l1_ball_volume(2, r));
+int main(int argc, char** argv) {
+  return cmvrp::bench_driver_main("substrates", argc, argv);
 }
-BENCHMARK(BM_BallVolumeClosedForm)->Arg(10)->Arg(1000)->Arg(100000);
-
-void BM_BoxNeighborhoodDp(benchmark::State& state) {
-  const std::int64_t r = state.range(0);
-  const std::vector<std::int64_t> sides{64, 64};
-  for (auto _ : state)
-    benchmark::DoNotOptimize(box_neighborhood_volume(sides, r));
-}
-BENCHMARK(BM_BoxNeighborhoodDp)->Arg(16)->Arg(256)->Arg(4096);
-
-void BM_NeighborhoodBfs(benchmark::State& state) {
-  const std::int64_t r = state.range(0);
-  std::vector<Point> t{Point{0, 0}, Point{5, 3}, Point{9, 9}};
-  for (auto _ : state)
-    benchmark::DoNotOptimize(neighborhood_volume(t, r));
-}
-BENCHMARK(BM_NeighborhoodBfs)->Arg(4)->Arg(16)->Arg(64);
-
-void BM_OmegaForBox(benchmark::State& state) {
-  const Box box = Box::cube(Point{0, 0}, state.range(0));
-  for (auto _ : state)
-    benchmark::DoNotOptimize(omega_for_box(box, 1e9));
-}
-BENCHMARK(BM_OmegaForBox)->Arg(4)->Arg(64);
-
-void BM_PrefixSumsBuildAndScan(benchmark::State& state) {
-  const std::int64_t n = state.range(0);
-  Rng rng(3);
-  DemandMap d(2);
-  for (std::int64_t k = 0; k < n; ++k)
-    d.add(Point{rng.next_int(0, n - 1), rng.next_int(0, n - 1)}, 1.0);
-  const DenseGrid grid = DenseGrid::from_demand(d);
-  for (auto _ : state) {
-    const PrefixSums ps(grid);
-    benchmark::DoNotOptimize(ps.max_cube_sum(4));
-  }
-}
-BENCHMARK(BM_PrefixSumsBuildAndScan)->Arg(64)->Arg(256);
-
-void BM_SimplexTransportationLp(benchmark::State& state) {
-  const std::int64_t span = state.range(0);
-  Rng rng(5);
-  DemandMap d(2);
-  for (int k = 0; k < 6; ++k)
-    d.add(Point{rng.next_int(0, span), rng.next_int(0, span)},
-          static_cast<double>(rng.next_int(1, 9)));
-  for (auto _ : state)
-    benchmark::DoNotOptimize(lp_value_at_radius(d, 2));
-}
-BENCHMARK(BM_SimplexTransportationLp)->Arg(3)->Arg(5);
-
-void BM_DinicTransportationOracle(benchmark::State& state) {
-  const std::int64_t count = state.range(0);
-  Rng rng(7);
-  DemandMap d(2);
-  for (std::int64_t k = 0; k < count; ++k)
-    d.add(Point{rng.next_int(0, 15), rng.next_int(0, 15)}, 1.0);
-  for (auto _ : state) {
-    auto r = transportation_feasible(d, 3, 2.0);
-    benchmark::DoNotOptimize(r.feasible);
-  }
-}
-BENCHMARK(BM_DinicTransportationOracle)->Arg(32)->Arg(128);
-
-void BM_SnakeIndexRoundTrip(benchmark::State& state) {
-  const CubePairing pairing(2, Point{0, 0}, state.range(0));
-  const Point p{state.range(0) / 2, state.range(0) / 2};
-  for (auto _ : state) {
-    const auto k = pairing.snake_index(p);
-    benchmark::DoNotOptimize(pairing.snake_vertex(Point{0, 0}, k));
-  }
-}
-BENCHMARK(BM_SnakeIndexRoundTrip)->Arg(4)->Arg(64);
-
-void BM_NetworkDelivery(benchmark::State& state) {
-  for (auto _ : state) {
-    EventQueue q;
-    Network net(q, Rng(1), 3);
-    std::size_t delivered = 0;
-    net.set_receiver([&](std::size_t, std::size_t, const Message&) {
-      ++delivered;
-    });
-    for (int i = 0; i < 1000; ++i)
-      net.send(static_cast<std::size_t>(i % 7), (i + 1) % 7, QueryMsg{});
-    q.run_to_quiescence();
-    benchmark::DoNotOptimize(delivered);
-  }
-}
-BENCHMARK(BM_NetworkDelivery);
-
-void BM_OnlinePointBurst(benchmark::State& state) {
-  std::vector<Job> jobs;
-  for (int i = 0; i < 50; ++i) jobs.push_back({Point{2, 2}, i});
-  for (auto _ : state) {
-    OnlineConfig cfg;
-    cfg.capacity = 8.0;
-    cfg.cube_side = 6;
-    cfg.anchor = Point{0, 0};
-    cfg.seed = 3;
-    OnlineSimulation sim(2, cfg);
-    benchmark::DoNotOptimize(sim.run(jobs));
-  }
-}
-BENCHMARK(BM_OnlinePointBurst);
-
-}  // namespace
-
-BENCHMARK_MAIN();

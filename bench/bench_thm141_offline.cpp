@@ -1,86 +1,9 @@
 // E4 — Theorem 1.4.1 and Corollaries 2.2.4–2.2.7: the offline sandwich
 //   ω_c ≤ ω* = max_T ω_T ≤ Woff ≤ plan energy ≤ (2·3^ℓ + ℓ)·ω_c.
-//
-// For each workload we compute: the cube bound ω_c (Cor. 2.2.7), the
-// exact LP value ω* via the max-flow fixed point (Lem. 2.2.3), the exact
-// cube-restricted max ω over all cubes (Cor. 2.2.6), the realized energy
-// of the constructive plan, and the theoretical upper bound. The paper's
-// claim is the *order*: every ratio to ω_c must stay below the constant.
-#include <iostream>
-#include <string>
-#include <vector>
+// Scenario list and metrics live in the "offline" harness suite
+// (src/exp/suites.cpp); run with --json to emit BENCH JSON.
+#include "exp/harness.h"
 
-#include "core/bounds.h"
-#include "core/cube_bound.h"
-#include "core/offline_planner.h"
-#include "core/omega.h"
-#include "util/rng.h"
-#include "util/table.h"
-#include "workload/generators.h"
-
-int main() {
-  using namespace cmvrp;
-  std::cout << "E4: Theorem 1.4.1 offline bounds across workloads (l = 2, "
-               "upper factor 2*3^2+2 = 20).\n";
-
-  struct Case {
-    std::string name;
-    DemandMap demand;
-  };
-  std::vector<Case> cases;
-  {
-    Rng rng(101);
-    cases.push_back({"uniform 60 on 12x12",
-                     uniform_demand(Box(Point{0, 0}, Point{11, 11}), 60, rng)});
-  }
-  {
-    Rng rng(102);
-    cases.push_back(
-        {"clustered 80 (3 hotspots)",
-         clustered_demand(Box(Point{0, 0}, Point{15, 15}), 3, 80, 1.5, rng)});
-  }
-  cases.push_back({"line 24 x d=40", line_demand(24, 40.0, Point{0, 0})});
-  cases.push_back({"point d=300", point_demand(300.0, Point{5, 5})});
-  cases.push_back({"square 6x6 d=25", square_demand(6, 25.0, Point{0, 0})});
-  {
-    Rng rng(103);
-    cases.push_back(
-        {"ridge peak=12", ridge_demand(Box(Point{0, 0}, Point{11, 11}), 12.0, rng)});
-  }
-
-  Table t({"workload", "omega_c", "omega* (flow)", "max cube omega",
-           "plan energy", "upper (20*omega_c)", "plan/omega*", "upper/plan"});
-  for (const auto& c : cases) {
-    const CubeBound cb = cube_bound(c.demand);
-    const double omega_star = omega_star_flow(c.demand);
-    const double cube_max = max_omega_over_cubes(c.demand);
-    const OfflinePlan plan = plan_offline(c.demand);
-    const PlanCheck check = verify_plan(plan, c.demand);
-    if (!check.ok) {
-      std::cerr << c.name << ": plan failed: " << check.issue << "\n";
-      return 1;
-    }
-    // Ordering checks from the corollaries.
-    bool ordered = cb.omega_c <= omega_star + 1e-6 &&
-                   cube_max <= omega_star + 1e-6 &&
-                   check.max_energy <= plan.capacity_bound + 1e-6;
-    if (!ordered) {
-      std::cerr << c.name << ": sandwich violated\n";
-      return 1;
-    }
-    t.row()
-        .cell(c.name)
-        .cell(cb.omega_c)
-        .cell(omega_star)
-        .cell(cube_max)
-        .cell(check.max_energy)
-        .cell(plan.capacity_bound)
-        .cell(check.max_energy / omega_star, 2)
-        .cell(plan.capacity_bound / std::max(check.max_energy, 1e-9), 2);
-  }
-  t.print(std::cout);
-  std::cout << "\nShape check: omega_c <= cube-omega <= omega* <= plan "
-               "energy <= 20*omega_c on every workload — Theorem 1.4.1's "
-               "constant-factor sandwich, realized.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return cmvrp::bench_driver_main("offline", argc, argv);
 }

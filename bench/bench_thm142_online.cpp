@@ -1,92 +1,8 @@
 // E6 — Theorem 1.4.2: Won = Θ(Woff), via the Chapter 3 strategy.
-//
-// For each workload we bisect the minimal capacity at which the
-// distributed strategy serves the whole stream (empirical Won), and print
-// it against the offline lower bound ω_c and Lemma 3.3.1's upper bound
-// (4·3^ℓ+ℓ)·ω_c. The paper's claim is that the ratio Won/ω_c is bounded
-// by a constant across workloads; we also report protocol cost (messages
-// per job, replacements) at the minimal capacity.
-#include <iostream>
-#include <string>
-#include <vector>
+// Scenario list and metrics live in the "online" harness suite
+// (src/exp/suites.cpp); run with --json to emit BENCH JSON.
+#include "exp/harness.h"
 
-#include "core/cube_bound.h"
-#include "online/capacity_search.h"
-#include "util/rng.h"
-#include "util/table.h"
-#include "workload/generators.h"
-
-int main() {
-  using namespace cmvrp;
-  std::cout << "E6: Theorem 1.4.2 — empirical Won vs offline bounds "
-               "(l = 2, Lemma 3.3.1 factor 4*3^2+2 = 38).\n";
-
-  struct Case {
-    std::string name;
-    std::vector<Job> jobs;
-  };
-  std::vector<Case> cases;
-  {
-    Rng rng(201), order(202);
-    const DemandMap d =
-        uniform_demand(Box(Point{0, 0}, Point{9, 9}), 80, rng);
-    cases.push_back(
-        {"uniform 80 on 10x10",
-         stream_from_demand(d, ArrivalOrder::kShuffled, order)});
-  }
-  {
-    Rng rng(203), order(204);
-    const DemandMap d =
-        clustered_demand(Box(Point{0, 0}, Point{11, 11}), 2, 90, 1.2, rng);
-    cases.push_back(
-        {"clustered 90 (2 hotspots)",
-         stream_from_demand(d, ArrivalOrder::kShuffled, order)});
-  }
-  {
-    Rng order(205);
-    const DemandMap d = line_demand(12, 8.0, Point{0, 0});
-    cases.push_back({"line 12 x d=8 (round-robin)",
-                     stream_from_demand(d, ArrivalOrder::kRoundRobin, order)});
-  }
-  {
-    std::vector<Job> jobs;
-    for (int i = 0; i < 120; ++i) jobs.push_back({Point{4, 4}, i});
-    cases.push_back({"point burst 120", jobs});
-  }
-  {
-    Rng rng(206);
-    cases.push_back({"smart dust 150",
-                     smart_dust_stream(Box(Point{0, 0}, Point{11, 11}), 150,
-                                       0.05, rng)});
-  }
-
-  Table t({"workload", "omega_c", "Won empirical", "Won theory (38*w_c)",
-           "Won/omega_c", "msgs/job @min", "replacements @min"});
-  double worst_ratio = 0.0;
-  for (const auto& c : cases) {
-    const auto r = find_min_online_capacity(c.jobs, 2, /*seed=*/5, 0.1);
-    const double ratio = r.won_empirical / std::max(r.omega_c, 1e-9);
-    worst_ratio = std::max(worst_ratio, ratio);
-    const double msgs_per_job =
-        static_cast<double>(r.at_minimum.network.total()) /
-        static_cast<double>(c.jobs.size());
-    if (r.won_empirical > r.won_theory + 0.2) {
-      std::cerr << c.name << ": empirical exceeded the theorem bound\n";
-      return 1;
-    }
-    t.row()
-        .cell(c.name)
-        .cell(r.omega_c)
-        .cell(r.won_empirical)
-        .cell(r.won_theory)
-        .cell(ratio, 2)
-        .cell(msgs_per_job, 1)
-        .cell(r.at_minimum.replacements);
-  }
-  t.print(std::cout);
-  std::cout << "\nShape check: Won always below the Lemma 3.3.1 bound and "
-               "within a bounded factor of omega_c (worst ratio here: "
-            << worst_ratio
-            << "; unit-job granularity inflates tiny-omega_c workloads).\n";
-  return 0;
+int main(int argc, char** argv) {
+  return cmvrp::bench_driver_main("online", argc, argv);
 }

@@ -1,5 +1,10 @@
 // Bundled Woff bounds (Theorem 1.4.1, Properties 2.3.1–2.3.3) for
-// benchmarks and examples.
+// benchmarks and examples: the ω_c lower bound, the Lemma 2.2.5
+// (2·3^ℓ+ℓ)·ω_c upper bound, the realized plan energy, and the D / D̂
+// demand bounds of §2.3 in one struct.
+//
+// Complexity: one cube_bound scan plus one plan_offline construction and
+// verification — O(support · log) overall; no LP or flow solves.
 #pragma once
 
 #include <cstdint>

@@ -7,6 +7,9 @@
 // Each is the unique positive root of an increasing polynomial; we expose
 // the roots plus the paper's accompanying sufficiency factors (2W₂ and 3W₃
 // strategies of Figures 2.2 and 2.3).
+//
+// Complexity: bracketed bisection to machine precision — O(log(hi/ε))
+// evaluations of the polynomial, effectively constant time.
 #pragma once
 
 namespace cmvrp {

@@ -5,6 +5,11 @@
 // fact only at ⌈ω⌉-cubes. ω_c of Cor. 2.2.7 is
 //   ω_c = min{ω : ω·(3⌈ω⌉)^ℓ = max over ⌈ω⌉-cubes of their demand},
 // interpreted with the same inf-crossing semantics as ω_T (DESIGN.md §3).
+//
+// Complexity: cube_bound builds prefix sums once, O(n^ℓ), then scans
+// cube sides k = 1…n with an O(n^ℓ) sliding-window maximum per side —
+// O(n^{ℓ+1}) worst case but the side loop exits at the first crossing,
+// which is O(ω_c) sides in practice.
 #pragma once
 
 #include <cstdint>

@@ -12,6 +12,9 @@
 //   (2) Σ_T h(T)·|T| = Σ_i α_i                     (mass preservation)
 //   (3) min_{i∈N_r(j)} α_i = Σ_{T ⊇ N_r(j)} h(T)   (the lemma's key step)
 //   (4) the support of h is laminar (nested or disjoint).
+//
+// Complexity: laminar_decomposition is O(distinct values × support) with
+// one BFS per super-level band; the query helpers are O(|h| × |S|).
 #pragma once
 
 #include <cstdint>

@@ -5,7 +5,12 @@
 // vehicle per leftover "chunk" (≤ B demand) travels to the chunk's vertex
 // and serves it. Corollary 2.2.7 guarantees the chunk count never exceeds
 // the vehicles available, so every vehicle's energy stays below
-// (2·3^ℓ + ℓ)·ω_c — the paper's upper bound, realized as an executable plan.
+// (2·3^ℓ + ℓ)·ω_c — the paper's upper bound (one side of the Theorem
+// 1.4.1 sandwich), realized as an executable plan.
+//
+// Complexity: plan construction is O(support) after the cube_bound scan
+// (each demand vertex joins one cube, each cube is chunked greedily);
+// verify_plan is O(support + assignments).
 #pragma once
 
 #include <cstdint>

@@ -12,6 +12,11 @@
 //   * subset enumeration (exponential; tiny supports only),
 //   * LP (2.1) via the simplex at a fixed radius + fixed-point search,
 //   * max-flow feasibility oracle + fixed-point search (the workhorse).
+//
+// Complexity: omega_for_box is O(1) per candidate radius via the DP box
+// counts; omega_for_set BFS-grows N_r(T), O(|N_r(T)|) per radius step;
+// the flow fixed point runs O(log(ω/tol)) Dinic feasibility probes, each
+// O(E·sqrt(V)) on the bipartite supplier→demand graph of radius r.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,475 @@
+#include "exp/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace cmvrp {
+
+namespace {
+
+void append_escaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(ch);  // UTF-8 bytes pass through untouched
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string json_number_to_string(double x) {
+  CMVRP_CHECK_MSG(std::isfinite(x), "JSON cannot represent " << x);
+  // Integral values inside int64: no fractional part, no exponent.
+  if (x == std::floor(x) && std::abs(x) < 9.2e18) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(x));  // NOLINT(runtime/int)
+    return buf;
+  }
+  // Shortest %.*g form that round-trips exactly.
+  char buf[40];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, x);
+    if (std::strtod(buf, nullptr) == x) break;
+  }
+  return buf;
+}
+
+bool Json::as_bool() const {
+  CMVRP_CHECK_MSG(type_ == Type::kBool, "JSON value is not a bool");
+  return bool_;
+}
+
+double Json::as_number() const {
+  CMVRP_CHECK_MSG(type_ == Type::kNumber, "JSON value is not a number");
+  return num_;
+}
+
+const std::string& Json::as_string() const {
+  CMVRP_CHECK_MSG(type_ == Type::kString, "JSON value is not a string");
+  return str_;
+}
+
+void Json::push_back(Json v) {
+  CMVRP_CHECK_MSG(type_ == Type::kArray, "push_back on non-array JSON");
+  arr_.push_back(std::move(v));
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::kArray) return arr_.size();
+  if (type_ == Type::kObject) return obj_.size();
+  CMVRP_CHECK_MSG(false, "size() on scalar JSON");
+  return 0;
+}
+
+const Json& Json::at(std::size_t i) const {
+  CMVRP_CHECK_MSG(type_ == Type::kArray, "index into non-array JSON");
+  CMVRP_CHECK_MSG(i < arr_.size(), "JSON array index " << i << " out of range");
+  return arr_[i];
+}
+
+void Json::set(const std::string& key, Json v) {
+  CMVRP_CHECK_MSG(type_ == Type::kObject, "set on non-object JSON");
+  for (auto& [k, val] : obj_) {
+    if (k == key) {
+      val = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+}
+
+bool Json::contains(const std::string& key) const {
+  CMVRP_CHECK_MSG(type_ == Type::kObject, "contains on non-object JSON");
+  for (const auto& [k, val] : obj_) {
+    (void)val;
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const Json& Json::at(const std::string& key) const {
+  CMVRP_CHECK_MSG(type_ == Type::kObject, "key lookup in non-object JSON");
+  for (const auto& [k, val] : obj_)
+    if (k == key) return val;
+  CMVRP_CHECK_MSG(false, "JSON object has no key \"" << key << "\"");
+  return obj_.front().second;  // unreachable
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::items() const {
+  CMVRP_CHECK_MSG(type_ == Type::kObject, "items on non-object JSON");
+  return obj_;
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kNumber:
+      return num_ == other.num_;
+    case Type::kString:
+      return str_ == other.str_;
+    case Type::kArray:
+      return arr_ == other.arr_;
+    case Type::kObject:
+      return obj_ == other.obj_;
+  }
+  return false;
+}
+
+void Json::dump_to(std::string* out, int indent, int depth) const {
+  const bool pretty = indent > 0;
+  const auto newline_pad = [&](int d) {
+    if (!pretty) return;
+    out->push_back('\n');
+    out->append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      *out += json_number_to_string(num_);
+      break;
+    case Type::kString:
+      append_escaped(out, str_);
+      break;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        *out += "[]";
+        break;
+      }
+      out->push_back('[');
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out->push_back(',');
+        newline_pad(depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) {
+        *out += "{}";
+        break;
+      }
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out->push_back(',');
+        first = false;
+        newline_pad(depth + 1);
+        append_escaped(out, k);
+        *out += pretty ? ": " : ":";
+        v.dump_to(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(&out, indent, 0);
+  return out;
+}
+
+// --- parser -----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Json parse_document() {
+    skip_ws();
+    Json v = parse_value();
+    skip_ws();
+    CMVRP_CHECK_MSG(pos_ == s_.size(),
+                    "trailing characters at offset " << pos_);
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    CMVRP_CHECK_MSG(false, "JSON parse error at offset " << pos_ << ": "
+                                                         << why);
+    std::abort();  // unreachable; CMVRP_CHECK_MSG throws
+  }
+
+  char peek() const {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return Json(parse_string());
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    if (consume_literal("true")) return Json(true);
+    if (consume_literal("false")) return Json(false);
+    if (consume_literal("null")) return Json();
+    fail("unexpected character");
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      const std::string key = parse_string();
+      if (obj.contains(key)) fail("duplicate key \"" + key + "\"");
+      skip_ws();
+      expect(':');
+      obj.set(key, parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == '}') return obj;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}'");
+      }
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') return arr;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']'");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = take();
+      v <<= 4;
+      if (c >= '0' && c <= '9')
+        v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      else {
+        --pos_;
+        fail("bad \\u escape");
+      }
+    }
+    return v;
+  }
+
+  void append_utf8(std::string* out, unsigned cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char e = take();
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate
+            expect('\\');
+            expect('u');
+            const unsigned lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("unpaired surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired low surrogate");
+          }
+          append_utf8(&out, cp);
+          break;
+        }
+        default:
+          --pos_;
+          fail("bad escape character");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    const auto digits = [&] {
+      std::size_t n = 0;
+      while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    // Integer part: 0, or nonzero leading digit.
+    if (pos_ < s_.size() && s_[pos_] == '0') {
+      ++pos_;
+    } else if (digits() == 0) {
+      fail("bad number");
+    }
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) fail("bad number: missing fraction digits");
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (digits() == 0) fail("bad number: missing exponent digits");
+    }
+    const double v = std::strtod(s_.c_str() + start, nullptr);
+    // dump() can only emit finite values; reject overflow here so the
+    // parse/dump round-trip invariant holds end to end.
+    if (!std::isfinite(v)) fail("number out of double range");
+    return Json(v);
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace cmvrp

@@ -1,0 +1,90 @@
+// Minimal dependency-free JSON document model for BENCH_*.json artifacts.
+//
+// Design goals, in order: (1) a *stable* serialization — object keys keep
+// insertion order and numbers use the shortest round-trippable decimal
+// form, so two runs of the same suite differ only where the measurements
+// differ; (2) exact round-trips — parse(dump(v)) == v and
+// dump(parse(s)) == dump(parse(dump(parse(s)))); (3) no third-party
+// dependency. Not a general-purpose JSON library: documents are expected
+// to be bench-artifact sized (kilobytes, not gigabytes).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cmvrp {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT(runtime/explicit)
+  Json(double d) : type_(Type::kNumber), num_(d) {}
+  Json(int v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(std::int64_t v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(std::uint64_t v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+
+  static Json array() { Json j; j.type_ = Type::kArray; return j; }
+  static Json object() { Json j; j.type_ = Type::kObject; return j; }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  // Typed accessors; throw check_error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  // Array access.
+  void push_back(Json v);
+  std::size_t size() const;  // array or object entry count
+  const Json& at(std::size_t i) const;
+
+  // Object access. set() keeps insertion order; setting an existing key
+  // overwrites in place (order unchanged).
+  void set(const std::string& key, Json v);
+  bool contains(const std::string& key) const;
+  const Json& at(const std::string& key) const;  // throws when missing
+  const std::vector<std::pair<std::string, Json>>& items() const;
+
+  bool operator==(const Json& other) const;
+  bool operator!=(const Json& other) const { return !(*this == other); }
+
+  // Serialization. indent <= 0 yields the compact one-line form; indent > 0
+  // pretty-prints with that many spaces per level. Strings escape ", \,
+  // control characters, and nothing else (UTF-8 passes through).
+  std::string dump(int indent = 0) const;
+
+  // Strict recursive-descent parser; throws check_error with an offset on
+  // malformed input. Accepts exactly RFC 8259 JSON (with \uXXXX escapes,
+  // including surrogate pairs).
+  static Json parse(const std::string& text);
+
+ private:
+  void dump_to(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+// Shortest decimal form of x that parses back to exactly x ("1.5", "20",
+// "0.30000000000000004"). Integral values within int64 range render with
+// no fractional part. Exposed for tests and the table renderer.
+std::string json_number_to_string(double x);
+
+}  // namespace cmvrp

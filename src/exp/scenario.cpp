@@ -1,0 +1,269 @@
+#include "exp/scenario.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace cmvrp {
+
+void ScenarioRegistry::add(Scenario s) {
+  CMVRP_CHECK_MSG(!s.name.empty(), "scenario needs a name");
+  CMVRP_CHECK_MSG(s.demand != nullptr,
+                  "scenario " << s.name << " needs a demand factory");
+  CMVRP_CHECK_MSG(s.jobs != nullptr,
+                  "scenario " << s.name << " needs a jobs factory");
+  CMVRP_CHECK_MSG(find(s.name) == nullptr,
+                  "duplicate scenario name: " << s.name);
+  scenarios_.push_back(std::move(s));
+}
+
+const Scenario* ScenarioRegistry::find(const std::string& name) const {
+  for (const auto& s : scenarios_)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+const Scenario& ScenarioRegistry::at(const std::string& name) const {
+  const Scenario* s = find(name);
+  CMVRP_CHECK_MSG(s != nullptr, "unknown scenario: " << name);
+  return *s;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::match(
+    const std::string& filter) const {
+  std::vector<const Scenario*> out;
+  for (const auto& s : scenarios_) {
+    if (filter.empty() || s.name.find(filter) != std::string::npos ||
+        s.generator.find(filter) != std::string::npos)
+      out.push_back(&s);
+  }
+  return out;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(scenarios_.size());
+  for (const auto& s : scenarios_) out.push_back(s.name);
+  return out;
+}
+
+namespace {
+
+// Demand-native scenario: jobs are the demand expanded with a fixed
+// arrival order and order seed.
+Scenario from_demand(std::string name, std::string generator,
+                     std::string description, Box region,
+                     std::function<DemandMap()> demand,
+                     std::uint64_t order_seed,
+                     ArrivalOrder order = ArrivalOrder::kShuffled) {
+  Scenario s;
+  s.name = std::move(name);
+  s.generator = std::move(generator);
+  s.description = std::move(description);
+  s.region = region;
+  s.demand = demand;
+  s.jobs = [demand, order, order_seed] {
+    Rng rng(order_seed);
+    return stream_from_demand(demand(), order, rng);
+  };
+  return s;
+}
+
+// Stream-native scenario: the demand map is induced by the stream.
+Scenario from_stream(std::string name, std::string generator,
+                     std::string description, Box region,
+                     std::function<std::vector<Job>()> jobs, int dim = 2) {
+  Scenario s;
+  s.name = std::move(name);
+  s.generator = std::move(generator);
+  s.description = std::move(description);
+  s.region = region;
+  s.jobs = jobs;
+  s.demand = [jobs, dim] { return demand_of_stream(jobs(), dim); };
+  return s;
+}
+
+// The heavy-tailed grid workload of the Algorithm 1 benches: ~n demand
+// points with demand uniform in [1, 50], dropped on [0, n)^2.
+DemandMap grid_workload(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  DemandMap d(2);
+  for (std::int64_t k = 0; k < n; ++k) {
+    const double amount = static_cast<double>(rng.next_int(1, 50));
+    d.add(Point{rng.next_int(0, n - 1), rng.next_int(0, n - 1)}, amount);
+  }
+  return d;
+}
+
+ScenarioRegistry build_builtin() {
+  ScenarioRegistry r;
+
+  // --- uniform ------------------------------------------------------------
+  r.add(from_demand("uniform/8x8/n32", "uniform",
+                    "32 unit demands, 8x8 box (smoke-sized)",
+                    Box(Point{0, 0}, Point{7, 7}),
+                    [] {
+                      Rng rng(1);
+                      return uniform_demand(Box(Point{0, 0}, Point{7, 7}), 32,
+                                            rng);
+                    },
+                    2));
+  r.add(from_demand("uniform/12x12/n60", "uniform",
+                    "60 unit demands, 12x12 box (Thm 1.4.1 bench case)",
+                    Box(Point{0, 0}, Point{11, 11}),
+                    [] {
+                      Rng rng(101);
+                      return uniform_demand(Box(Point{0, 0}, Point{11, 11}),
+                                            60, rng);
+                    },
+                    1101));
+  r.add(from_demand("uniform/10x10/n80", "uniform",
+                    "80 unit demands, 10x10 box (Thm 1.4.2 bench case)",
+                    Box(Point{0, 0}, Point{9, 9}),
+                    [] {
+                      Rng rng(201);
+                      return uniform_demand(Box(Point{0, 0}, Point{9, 9}), 80,
+                                            rng);
+                    },
+                    202));
+  r.add(from_demand("uniform/10x10/n40", "uniform",
+                    "40 unit demands, 10x10 box (Clarke-Wright case)",
+                    Box(Point{0, 0}, Point{9, 9}),
+                    [] {
+                      Rng rng(305);
+                      return uniform_demand(Box(Point{0, 0}, Point{9, 9}), 40,
+                                            rng);
+                    },
+                    1305));
+  r.add(from_demand("uniform/10x10/n70", "uniform",
+                    "70 unit demands, 10x10 box (baselines bench case)",
+                    Box(Point{0, 0}, Point{9, 9}),
+                    [] {
+                      Rng rng(301);
+                      return uniform_demand(Box(Point{0, 0}, Point{9, 9}), 70,
+                                            rng);
+                    },
+                    302));
+
+  // --- clustered ----------------------------------------------------------
+  r.add(from_demand("clustered/16x16/c3/n80", "clustered",
+                    "3 Gaussian hotspots, 80 demands, sigma 1.5",
+                    Box(Point{0, 0}, Point{15, 15}),
+                    [] {
+                      Rng rng(102);
+                      return clustered_demand(Box(Point{0, 0}, Point{15, 15}),
+                                              3, 80, 1.5, rng);
+                    },
+                    1102));
+  r.add(from_demand("clustered/12x12/c2/n90", "clustered",
+                    "2 hotspots, 90 demands, sigma 1.2 (online case)",
+                    Box(Point{0, 0}, Point{11, 11}),
+                    [] {
+                      Rng rng(203);
+                      return clustered_demand(Box(Point{0, 0}, Point{11, 11}),
+                                              2, 90, 1.2, rng);
+                    },
+                    204));
+  r.add(from_demand("clustered/12x12/c2/n80", "clustered",
+                    "2 hotspots, 80 demands, sigma 1.0 (baselines case)",
+                    Box(Point{0, 0}, Point{11, 11}),
+                    [] {
+                      Rng rng(303);
+                      return clustered_demand(Box(Point{0, 0}, Point{11, 11}),
+                                              2, 80, 1.0, rng);
+                    },
+                    304));
+
+  // --- line / point / square / ridge (Fig 2.1 shapes) ---------------------
+  r.add(from_demand("line/len24/d40", "line",
+                    "demand 40 on every point of a length-24 line",
+                    Box(Point{0, 0}, Point{23, 0}),
+                    [] { return line_demand(24, 40.0, Point{0, 0}); }, 1108));
+  r.add(from_demand(
+      "line/len12/d8/rr", "line",
+      "demand 8 on a length-12 line, round-robin arrivals (online case)",
+      Box(Point{0, 0}, Point{11, 0}),
+      [] { return line_demand(12, 8.0, Point{0, 0}); }, 205,
+      ArrivalOrder::kRoundRobin));
+  r.add(from_demand("point/d300", "point", "demand 300 at the single point (5,5)",
+                    Box(Point{5, 5}, Point{5, 5}),
+                    [] { return point_demand(300.0, Point{5, 5}); }, 1110));
+  r.add(from_demand("square/a6/d25", "square",
+                    "demand 25 on every point of a 6x6 square",
+                    Box(Point{0, 0}, Point{5, 5}),
+                    [] { return square_demand(6, 25.0, Point{0, 0}); }, 1111));
+  r.add(from_demand("ridge/12x12/p12", "ridge",
+                    "fault-line decay demand, peak 12",
+                    Box(Point{0, 0}, Point{11, 11}),
+                    [] {
+                      Rng rng(103);
+                      return ridge_demand(Box(Point{0, 0}, Point{11, 11}),
+                                          12.0, rng);
+                    },
+                    1103));
+
+  // --- stream-native: bursts, smart dust, alternating pairs ---------------
+  r.add(from_stream("burst/p4x4/n120", "burst",
+                    "120 jobs arriving at the single point (4,4)",
+                    Box(Point{0, 0}, Point{9, 9}), [] {
+                      std::vector<Job> jobs;
+                      for (int i = 0; i < 120; ++i)
+                        jobs.push_back({Point{4, 4}, i});
+                      return jobs;
+                    }));
+  r.add(from_stream("burst/p4x4/n90", "burst",
+                    "90 jobs at (4,4) (baselines case)",
+                    Box(Point{0, 0}, Point{9, 9}), [] {
+                      std::vector<Job> jobs;
+                      for (int i = 0; i < 90; ++i)
+                        jobs.push_back({Point{4, 4}, i});
+                      return jobs;
+                    }));
+  r.add(from_stream("smartdust/12x12/n150", "smartdust",
+                    "150 random-walk events, 5% jumps (online case)",
+                    Box(Point{0, 0}, Point{11, 11}), [] {
+                      Rng rng(206);
+                      return smart_dust_stream(Box(Point{0, 0}, Point{11, 11}),
+                                               150, 0.05, rng);
+                    }));
+  r.add(from_stream("smartdust/16x16/n200", "smartdust",
+                    "200 random-walk events, 5% jumps (ablations case)",
+                    Box(Point{0, 0}, Point{15, 15}), [] {
+                      Rng rng(77);
+                      return smart_dust_stream(Box(Point{0, 0}, Point{15, 15}),
+                                               200, 0.05, rng);
+                    }));
+  r.add(from_stream("alternating/len8/n40", "alternating",
+                    "the Ch. 4 two-point alternating stream, 40 jobs",
+                    Box(Point{0, 0}, Point{8, 0}), [] {
+                      return alternating_stream(Point{0, 0}, Point{8, 0}, 40);
+                    }));
+
+  // --- heavy-tailed grids (Algorithm 1 benches) ---------------------------
+  for (const std::int64_t n : {16, 32, 64, 128}) {
+    r.add(from_demand("grid/n" + std::to_string(n) + "/s11", "grid",
+                      "~n heavy-tailed demands on [0,n)^2, seed 11",
+                      Box(Point{0, 0}, Point{n - 1, n - 1}),
+                      [n] { return grid_workload(n, 11); },
+                      static_cast<std::uint64_t>(2000 + n)));
+  }
+  for (const std::int64_t n : {64, 128, 256, 512, 1024}) {
+    r.add(from_demand("grid/n" + std::to_string(n) + "/s7", "grid",
+                      "~n heavy-tailed demands on [0,n)^2, seed 7",
+                      Box(Point{0, 0}, Point{n - 1, n - 1}),
+                      [n] { return grid_workload(n, 7); },
+                      static_cast<std::uint64_t>(3000 + n)));
+  }
+
+  return r;
+}
+
+}  // namespace
+
+const ScenarioRegistry& ScenarioRegistry::builtin() {
+  static const ScenarioRegistry registry = build_builtin();
+  return registry;
+}
+
+}  // namespace cmvrp

@@ -1,0 +1,64 @@
+// Named workload scenarios for the experiment harness.
+//
+// A Scenario bundles a reproducible workload — a demand map and/or a job
+// stream, with every RNG seed baked in — under a stable slash-delimited
+// name ("uniform/12x12/n60"). The builtin() registry enumerates parameter
+// sweeps over every generator in src/workload/ (uniform, clustered, line,
+// point, square, ridge, smart-dust, point bursts, alternating pairs, and
+// the heavy-tailed grid workload used by the Algorithm 1 benches), so
+// suites pick cases by name and two PRs benchmarking "the same case" are
+// guaranteed to run the same bytes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "grid/box.h"
+#include "grid/demand_map.h"
+#include "grid/point.h"
+#include "workload/generators.h"
+
+namespace cmvrp {
+
+struct Scenario {
+  std::string name;         // unique registry key, slash-delimited
+  std::string generator;    // workload family: "uniform", "clustered", …
+  std::string description;  // one line, shown by listings
+  int dim = 2;
+  Box region = Box(Point{0, 0}, Point{0, 0});  // bounding region
+
+  // Workload factories; each call regenerates from the baked-in seeds.
+  // `demand` is always set. `jobs` is always set too: stream-native
+  // scenarios (smart dust, bursts) generate it directly, demand-native
+  // ones expand via stream_from_demand with a fixed order and seed.
+  std::function<DemandMap()> demand;
+  std::function<std::vector<Job>()> jobs;
+};
+
+class ScenarioRegistry {
+ public:
+  // Registers a scenario; throws check_error on a duplicate name.
+  void add(Scenario s);
+
+  // nullptr when absent.
+  const Scenario* find(const std::string& name) const;
+  // Throws check_error when absent.
+  const Scenario& at(const std::string& name) const;
+
+  // Scenarios whose name or generator contains `filter` (empty matches
+  // all), in registration order.
+  std::vector<const Scenario*> match(const std::string& filter) const;
+
+  std::vector<std::string> names() const;
+  std::size_t size() const { return scenarios_.size(); }
+
+  // The builtin sweeps. Built once, on first use.
+  static const ScenarioRegistry& builtin();
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+}  // namespace cmvrp

@@ -1,0 +1,14 @@
+// The builtin experiment suites: every bench driver's scenario list and
+// metric lambdas, registered with the harness so the thin bench mains and
+// `cmvrp_cli bench` run the same code.
+//
+// Suite names: offline, online, square, line, point, broken, alg1,
+// transfer, baselines, ablations, graphs, substrates, smoke.
+#pragma once
+
+namespace cmvrp {
+
+// Idempotent; call before find_suite / run_suite.
+void register_builtin_suites();
+
+}  // namespace cmvrp

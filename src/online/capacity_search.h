@@ -3,6 +3,10 @@
 //
 // Theorem 1.4.2 claims Won = Θ(Woff); benches compare this empirical value
 // against ω_c (lower bound) and (4·3^ℓ+ℓ)·ω_c (Lemma 3.3.1 upper bound).
+//
+// Complexity: O(log((hi−lo)/tol)) full simulations (plus the doublings
+// needed to find a sufficient hi); each simulation is one pass over the
+// job stream with the per-event costs listed in online/simulation.h.
 #pragma once
 
 #include <cstdint>

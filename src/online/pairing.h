@@ -9,6 +9,9 @@
 //
 // The pair's *primary* vertex (even snake index) identifies the pair and
 // hosts the initially-active vehicle; its partner starts idle.
+//
+// Complexity: snake_index / snake_vertex / partner are O(ℓ) arithmetic
+// (no tables); primaries_in_cube enumerates O(s^ℓ / 2) vertices.
 #pragma once
 
 #include <cstdint>

@@ -13,6 +13,13 @@
 // The paper's timing assumption — inter-arrival gaps long enough for any
 // computation and movement — is realized by draining the event queue to
 // quiescence between arrivals.
+//
+// Complexity: serving a job is O(1) plus amortized replacement cost; each
+// Phase I diffusing computation floods the O(s^ℓ) vehicles of one cube
+// through radius-r neighbor lists (O(s^ℓ · (2r+1)^ℓ) messages, realizing
+// Lemma 3.3.1's bounded-search claim), and Phase II relays one move
+// message along the computation tree. Vehicles materialize lazily, so
+// memory is O(touched cubes · s^ℓ).
 #pragma once
 
 #include <cstddef>

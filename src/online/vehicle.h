@@ -3,6 +3,9 @@
 // S1 (working): idle → active → done;  S2 (message-transfer): waiting ↔
 // searching, plus initiator for the done vehicle that starts a diffusing
 // computation. (active|idle, initiator) are unreachable, as in the paper.
+//
+// Plain constant-size state — every field is O(1); the Phase I members
+// (num, par, child, init) are exactly Algorithm 2's per-process locals.
 #pragma once
 
 #include <cstddef>

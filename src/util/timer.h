@@ -1,0 +1,29 @@
+// Monotonic wall-clock timer for the experiment harness and benches.
+//
+// std::chrono::steady_clock wrapped in the two operations every bench
+// needs: restart and elapsed-milliseconds. Header-only; no dependency on
+// the rest of util.
+#pragma once
+
+#include <chrono>
+
+namespace cmvrp {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  // Milliseconds since construction or the last restart().
+  double elapsed_ms() const {
+    const auto d = Clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(d).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cmvrp

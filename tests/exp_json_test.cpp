@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "exp/json.h"
+#include "util/check.h"
+
+namespace cmvrp {
+namespace {
+
+TEST(JsonNumber, IntegralValuesRenderWithoutFraction) {
+  EXPECT_EQ(json_number_to_string(0.0), "0");
+  EXPECT_EQ(json_number_to_string(20.0), "20");
+  EXPECT_EQ(json_number_to_string(-7.0), "-7");
+  EXPECT_EQ(json_number_to_string(1e15), "1000000000000000");
+}
+
+TEST(JsonNumber, ShortestRoundTrip) {
+  EXPECT_EQ(json_number_to_string(1.5), "1.5");
+  EXPECT_EQ(json_number_to_string(0.1), "0.1");
+  // 0.1 + 0.2 is famously not 0.3; the full 17 digits must appear.
+  EXPECT_EQ(json_number_to_string(0.1 + 0.2), "0.30000000000000004");
+  for (const double x : {1.0 / 3.0, 2.0 / 7.0, 1e-300, 6.02214076e23}) {
+    const std::string s = json_number_to_string(x);
+    EXPECT_EQ(std::stod(s), x) << s;
+  }
+}
+
+TEST(JsonNumber, NonFiniteRejected) {
+  EXPECT_THROW(json_number_to_string(std::numeric_limits<double>::infinity()),
+               check_error);
+  EXPECT_THROW(json_number_to_string(std::numeric_limits<double>::quiet_NaN()),
+               check_error);
+}
+
+TEST(JsonDump, StringEscaping) {
+  EXPECT_EQ(Json("plain").dump(), "\"plain\"");
+  EXPECT_EQ(Json("say \"hi\"").dump(), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(Json("back\\slash").dump(), "\"back\\\\slash\"");
+  EXPECT_EQ(Json("a\nb\tc\rd").dump(), "\"a\\nb\\tc\\rd\"");
+  EXPECT_EQ(Json(std::string("ctl\x01")).dump(), "\"ctl\\u0001\"");
+  // UTF-8 passes through untouched.
+  EXPECT_EQ(Json("ω_c ≤ ω*").dump(), "\"ω_c ≤ ω*\"");
+}
+
+TEST(JsonDump, NestedObjectsAndArrays) {
+  Json doc = Json::object();
+  doc.set("name", "offline");
+  Json metrics = Json::object();
+  metrics.set("omega_c", 0.5);
+  metrics.set("ok", true);
+  metrics.set("issue", Json());
+  doc.set("metrics", metrics);
+  Json cases = Json::array();
+  cases.push_back(1);
+  cases.push_back("two");
+  cases.push_back(Json::array());
+  doc.set("cases", cases);
+
+  EXPECT_EQ(doc.dump(),
+            "{\"name\":\"offline\",\"metrics\":{\"omega_c\":0.5,\"ok\":true,"
+            "\"issue\":null},\"cases\":[1,\"two\",[]]}");
+  // Pretty form parses back to the same document.
+  EXPECT_EQ(Json::parse(doc.dump(2)), doc);
+}
+
+TEST(JsonObject, InsertionOrderIsStableAndOverwriteKeepsPlace) {
+  Json o = Json::object();
+  o.set("z", 1);
+  o.set("a", 2);
+  o.set("m", 3);
+  o.set("z", 9);  // overwrite must not move "z" to the back
+  EXPECT_EQ(o.dump(), "{\"z\":9,\"a\":2,\"m\":3}");
+  EXPECT_EQ(o.at("z").as_number(), 9.0);
+  EXPECT_TRUE(o.contains("m"));
+  EXPECT_FALSE(o.contains("q"));
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_EQ(Json::parse("-12.25e2").as_number(), -1225.0);
+  EXPECT_EQ(Json::parse("\"x\"").as_string(), "x");
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "é");
+  EXPECT_EQ(Json::parse("\"\\u2264\"").as_string(), "≤");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(Json::parse("\"\\ud83d\\ude00\"").as_string(), "\xF0\x9F\x98\x80");
+  EXPECT_THROW(Json::parse("\"\\ud83d\""), check_error);  // unpaired high
+  EXPECT_THROW(Json::parse("\"\\ude00\""), check_error);  // unpaired low
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_THROW(Json::parse(""), check_error);
+  EXPECT_THROW(Json::parse("{"), check_error);
+  EXPECT_THROW(Json::parse("[1,]"), check_error);
+  EXPECT_THROW(Json::parse("{\"a\":1,}"), check_error);
+  EXPECT_THROW(Json::parse("\"unterminated"), check_error);
+  EXPECT_THROW(Json::parse("\"bad\\q\""), check_error);
+  EXPECT_THROW(Json::parse("1 2"), check_error);       // trailing tokens
+  EXPECT_THROW(Json::parse("{\"a\":1,\"a\":2}"), check_error);  // dup key
+  EXPECT_THROW(Json::parse("nulL"), check_error);
+  EXPECT_THROW(Json::parse("1."), check_error);
+  EXPECT_THROW(Json::parse("- 1"), check_error);
+  EXPECT_THROW(Json::parse("1e999"), check_error);   // overflows double
+  EXPECT_THROW(Json::parse("-1e999"), check_error);
+  EXPECT_EQ(Json::parse("1e-999").as_number(), 0.0);  // underflow is fine
+}
+
+TEST(JsonParse, TypeMismatchAccessorsThrow) {
+  EXPECT_THROW(Json(1.0).as_string(), check_error);
+  EXPECT_THROW(Json("x").as_number(), check_error);
+  EXPECT_THROW(Json::array().at("key"), check_error);
+  EXPECT_THROW(Json::object().at(std::size_t{0}), check_error);
+  EXPECT_THROW(Json::object().at("missing"), check_error);
+}
+
+// The schema-stability property the BENCH artifacts rely on: parsing and
+// re-dumping is the identity on dumped output, for both layouts.
+TEST(JsonRoundTrip, DumpParseDumpIsStable) {
+  Json doc = Json::object();
+  doc.set("schema", "cmvrp-bench-v1");
+  doc.set("failed", false);
+  Json sec = Json::object();
+  sec.set("name", "main");
+  Json c = Json::object();
+  c.set("name", "uniform/12x12/n60");
+  Json t = Json::object();
+  t.set("reps", 3);
+  t.set("mean", 0.1234567890123);
+  t.set("stddev", 0.0);
+  c.set("time_ms", t);
+  Json m = Json::object();
+  m.set("omega_c", 1.0 / 3.0);
+  m.set("exit rule", "D-hat");
+  m.set("covers d?", true);
+  c.set("metrics", m);
+  Json arr = Json::array();
+  arr.push_back(c);
+  sec.set("cases", arr);
+  Json sections = Json::array();
+  sections.push_back(sec);
+  doc.set("sections", sections);
+
+  for (const int indent : {0, 2, 4}) {
+    const std::string once = doc.dump(indent);
+    const std::string twice = Json::parse(once).dump(indent);
+    EXPECT_EQ(once, twice);
+    EXPECT_EQ(Json::parse(once), doc);
+  }
+  // Cross-layout: pretty and compact agree on content.
+  EXPECT_EQ(Json::parse(doc.dump(2)), Json::parse(doc.dump()));
+}
+
+}  // namespace
+}  // namespace cmvrp

@@ -8,6 +8,8 @@
 //   cmvrp gen      --workload uniform|clustered|line|point|square
 //                  [--n N] [--count C] [--d D] [--seed S]  emit a demand file
 //   cmvrp fig41    --r1 R                                 Chapter 4 example
+//   cmvrp bench    --suite NAME [--reps N] [--warmup N]   experiment suites
+//                  [--filter S] [--json PATH] | --list | --scenarios
 //
 // Demand files: lines of "x y demand" (see src/workload/io.h).
 #include <cstdlib>
@@ -19,6 +21,9 @@
 #include "core/algorithm1.h"
 #include "core/bounds.h"
 #include "core/offline_planner.h"
+#include "exp/harness.h"
+#include "exp/scenario.h"
+#include "exp/suites.h"
 #include "online/capacity_search.h"
 #include "util/table.h"
 #include "viz/ascii.h"
@@ -184,14 +189,50 @@ int cmd_fig41(const Args& args) {
   return 0;
 }
 
+int cmd_bench(const Args& args) {
+  register_builtin_suites();
+  // parse_args maps a valueless flag to the sentinel "true"; every bench
+  // flag except --list/--scenarios carries a real value, so catch the
+  // slip here instead of silently writing a file named "true".
+  for (const char* key : {"suite", "reps", "warmup", "filter", "json"}) {
+    CMVRP_CHECK_MSG(!args.has(key) || args.get(key, "") != "true",
+                    "--" << key << " needs a value");
+  }
+  if (args.has("list")) {
+    Table t({"suite", "description"});
+    for (const Suite* s : all_suites()) t.row().cell(s->name).cell(s->description);
+    t.print(std::cout);
+    return 0;
+  }
+  if (args.has("scenarios")) {
+    Table t({"scenario", "generator", "description"});
+    for (const Scenario* s :
+         ScenarioRegistry::builtin().match(args.get("filter", "")))
+      t.row().cell(s->name).cell(s->generator).cell(s->description);
+    t.print(std::cout);
+    return 0;
+  }
+  CMVRP_CHECK_MSG(args.has("suite"),
+                  "--suite <name> is required (or --list / --scenarios)");
+  RunOptions options;
+  options.reps = static_cast<int>(args.get_int("reps", 1));
+  options.warmup = static_cast<int>(args.get_int("warmup", 0));
+  options.filter = args.get("filter", "");
+  options.json_path = args.get("json", "");
+  return run_suite(args.get("suite", ""), options, std::cout);
+}
+
 int usage(std::ostream& os, int exit_code) {
-  os << "usage: cmvrp <bounds|plan|online|won|gen|fig41> [--flags]\n"
+  os << "usage: cmvrp <bounds|plan|online|won|gen|fig41|bench> [--flags]\n"
          "  bounds --file d.txt            offline bounds (Thm 1.4.1)\n"
          "  plan   --file d.txt [--ascii]  Lemma 2.2.5 plan + verification\n"
          "  online --file d.txt [--capacity W] [--order o] [--seed s]\n"
          "  won    --file d.txt [--tol t]  bisect empirical Won\n"
          "  gen    --workload k [--n N] [--count C] [--d D] [--seed s]\n"
-         "  fig41  --r1 R [--r2 R2]        Chapter 4 counterexample\n";
+         "  fig41  --r1 R [--r2 R2]        Chapter 4 counterexample\n"
+         "  bench  --suite s [--reps N] [--warmup N] [--filter f]\n"
+         "         [--json out.json]       run an experiment suite\n"
+         "  bench  --list | --scenarios    list suites / workload scenarios\n";
   return exit_code;
 }
 
@@ -209,8 +250,9 @@ int main(int argc, char** argv) {
     if (args.command == "won") return cmd_won(args);
     if (args.command == "gen") return cmd_gen(args);
     if (args.command == "fig41") return cmd_fig41(args);
+    if (args.command == "bench") return cmd_bench(args);
     return usage(std::cerr, 2);
-  } catch (const cmvrp::check_error& e) {
+  } catch (const std::exception& e) {  // check_error, stoll/stod failures
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
