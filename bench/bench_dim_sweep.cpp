@@ -1,0 +1,8 @@
+// E13 — the offline sandwich and the online strategy at l = 2, 3, 4.
+// Scenario list and metrics live in the "dim_sweep" harness suite
+// (src/exp/suites.cpp); run with --json to emit BENCH JSON.
+#include "exp/harness.h"
+
+int main(int argc, char** argv) {
+  return cmvrp::bench_driver_main("dim_sweep", argc, argv);
+}

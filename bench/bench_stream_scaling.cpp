@@ -1,0 +1,9 @@
+// E15 — streaming engine throughput vs threads and batch size on the
+// large-grid stream (bit-identical outcomes at every thread count).
+// Scenario and metrics live in the "stream_scaling" harness suite
+// (src/exp/suites.cpp); run with --json to emit BENCH JSON.
+#include "exp/harness.h"
+
+int main(int argc, char** argv) {
+  return cmvrp::bench_driver_main("stream_scaling", argc, argv);
+}

@@ -61,6 +61,7 @@ Scenario from_demand(std::string name, std::string generator,
   s.name = std::move(name);
   s.generator = std::move(generator);
   s.description = std::move(description);
+  s.dim = region.dim();
   s.region = region;
   s.demand = demand;
   s.jobs = [demand, order, order_seed] {
@@ -73,13 +74,15 @@ Scenario from_demand(std::string name, std::string generator,
 // Stream-native scenario: the demand map is induced by the stream.
 Scenario from_stream(std::string name, std::string generator,
                      std::string description, Box region,
-                     std::function<std::vector<Job>()> jobs, int dim = 2) {
+                     std::function<std::vector<Job>()> jobs) {
   Scenario s;
   s.name = std::move(name);
   s.generator = std::move(generator);
   s.description = std::move(description);
+  s.dim = region.dim();
   s.region = region;
   s.jobs = jobs;
+  const int dim = region.dim();
   s.demand = [jobs, dim] { return demand_of_stream(jobs(), dim); };
   return s;
 }
@@ -239,6 +242,68 @@ ScenarioRegistry build_builtin() {
                     Box(Point{0, 0}, Point{8, 0}), [] {
                       return alternating_stream(Point{0, 0}, Point{8, 0}, 40);
                     }));
+
+  // --- streaming-engine workloads (stream_smoke / stream_scaling) ---------
+  // Large shuffled uniform streams: arrivals interleave across many cubes,
+  // which is what gives the sharded engine parallel work.
+  r.add(from_demand("uniform/32x32/n2000", "uniform",
+                    "2000 unit demands, 32x32 box (stream smoke case)",
+                    Box(Point{0, 0}, Point{31, 31}),
+                    [] {
+                      Rng rng(401);
+                      return uniform_demand(Box(Point{0, 0}, Point{31, 31}),
+                                            2000, rng);
+                    },
+                    402));
+  r.add(from_demand("uniform/64x64/n20000", "uniform",
+                    "20000 unit demands, 64x64 box (stream scaling case)",
+                    Box(Point{0, 0}, Point{63, 63}),
+                    [] {
+                      Rng rng(403);
+                      return uniform_demand(Box(Point{0, 0}, Point{63, 63}),
+                                            20000, rng);
+                    },
+                    404));
+
+  // --- higher dimensions (l = 3 and l = 4; Point::kMaxDim = 4) ------------
+  r.add(from_demand("uniform3d/6x6x6/n48", "uniform3d",
+                    "48 unit demands in a 6^3 box (l = 3 sweep case)",
+                    Box(Point{0, 0, 0}, Point{5, 5, 5}),
+                    [] {
+                      Rng rng(501);
+                      return uniform_demand(
+                          Box(Point{0, 0, 0}, Point{5, 5, 5}), 48, rng);
+                    },
+                    502));
+  r.add(from_demand("clustered3d/8x8x8/c2/n60", "clustered3d",
+                    "2 Gaussian hotspots in an 8^3 box, 60 demands",
+                    Box(Point{0, 0, 0}, Point{7, 7, 7}),
+                    [] {
+                      Rng rng(503);
+                      return clustered_demand(
+                          Box(Point{0, 0, 0}, Point{7, 7, 7}), 2, 60, 1.2,
+                          rng);
+                    },
+                    504));
+  r.add(from_demand("point3d/d60", "point3d",
+                    "demand 60 at the single point (2,2,2)",
+                    Box(Point{2, 2, 2}, Point{2, 2, 2}),
+                    [] { return point_demand(60.0, Point{2, 2, 2}); }, 505));
+  r.add(from_demand("uniform4d/4x4x4x4/n32", "uniform4d",
+                    "32 unit demands in a 4^4 box (l = 4 sweep case)",
+                    Box(Point{0, 0, 0, 0}, Point{3, 3, 3, 3}),
+                    [] {
+                      Rng rng(506);
+                      return uniform_demand(
+                          Box(Point{0, 0, 0, 0}, Point{3, 3, 3, 3}), 32,
+                          rng);
+                    },
+                    507));
+  r.add(from_demand("point4d/d40", "point4d",
+                    "demand 40 at the single point (1,1,1,1)",
+                    Box(Point{1, 1, 1, 1}, Point{1, 1, 1, 1}),
+                    [] { return point_demand(40.0, Point{1, 1, 1, 1}); },
+                    508));
 
   // --- heavy-tailed grids (Algorithm 1 benches) ---------------------------
   for (const std::int64_t n : {16, 32, 64, 128}) {

@@ -6,6 +6,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "broken/scenario.h"
@@ -28,6 +29,7 @@
 #include "online/simulation.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
+#include "stream/engine.h"
 #include "transfer/cube_collector.h"
 #include "transfer/line_collector.h"
 #include "transfer/theorem51.h"
@@ -715,6 +717,200 @@ void suite_substrates(BenchRun& b) {
          "artifact.");
 }
 
+// E13 — the theory holds for every fixed dimension ℓ; sweep ℓ = 2, 3, 4
+// (Point::kMaxDim = 4): the Thm 1.4.1 sandwich with the ℓ-dependent
+// constant 2·3^ℓ + ℓ, plus full online runs of the strategy at ℓ = 3, 4.
+void suite_dim_sweep(BenchRun& b) {
+  const auto& reg = ScenarioRegistry::builtin();
+
+  BenchSection& offline = b.section("offline_sandwich");
+  for (const auto& name :
+       {"uniform/12x12/n60", "uniform3d/6x6x6/n48", "clustered3d/8x8x8/c2/n60",
+        "point3d/d60", "uniform4d/4x4x4x4/n32", "point4d/d40"}) {
+    const Scenario& sc = reg.at(name);
+    offline.run_case(name, [&b, &sc](MetricRow& row) {
+      const DemandMap demand = sc.demand();
+      const int l = demand.dim();
+      const double upper_factor =
+          2.0 * std::pow(3.0, static_cast<double>(l)) + static_cast<double>(l);
+      const CubeBound cb = cube_bound(demand);
+      const double omega_star = omega_star_flow(demand);
+      const OfflinePlan plan = plan_offline(demand);
+      const PlanCheck check = verify_plan(plan, demand);
+      if (!check.ok) {
+        b.fail(sc.name + ": plan failed: " + check.issue);
+        return;
+      }
+      if (cb.omega_c > omega_star + 1e-6 ||
+          check.max_energy > plan.capacity_bound + 1e-6)
+        b.fail(sc.name + ": sandwich violated at l=" + std::to_string(l));
+      row.metric("l", l)
+          .metric("omega_c", cb.omega_c)
+          .metric("omega* (flow)", omega_star)
+          .metric("plan energy", check.max_energy)
+          .metric("upper factor (2*3^l+l)", upper_factor, 0)
+          .metric("plan/omega_c",
+                  check.max_energy / std::max(cb.omega_c, 1e-9), 2);
+    });
+  }
+
+  BenchSection& online = b.section("online_strategy");
+  for (const auto& name : {"uniform3d/6x6x6/n48", "uniform4d/4x4x4x4/n32"}) {
+    const Scenario& sc = reg.at(name);
+    online.run_case(name, [&b, &sc](MetricRow& row) {
+      const auto jobs = sc.jobs();
+      const DemandMap demand = demand_of_stream(jobs, sc.dim);
+      const OnlineConfig cfg = default_online_config(demand, /*seed=*/5);
+      OnlineSimulation sim(sc.dim, cfg);
+      if (!sim.run(jobs))
+        b.fail(sc.name + ": strategy dropped jobs at the Lemma 3.3.1 "
+               "capacity");
+      const auto& m = sim.metrics();
+      row.metric("l", sc.dim)
+          .metric("capacity W", cfg.capacity)
+          .metric("cube side", cfg.cube_side)
+          .metric("served", m.jobs_served)
+          .metric("failed", m.jobs_failed)
+          .metric("msgs/job",
+                  static_cast<double>(m.network.total()) /
+                      static_cast<double>(jobs.size()),
+                  1)
+          .metric("max energy", m.max_energy_spent);
+    });
+  }
+
+  b.note("Shape check: the sandwich holds with the l-dependent constant at "
+         "every dimension, and the Chapter 3 strategy serves complete "
+         "streams at l = 3 and 4 — the paper's 'constant dimension l' "
+         "really is a free parameter of the implementation.");
+}
+
+// Shared by the stream suites: a full engine run with wall-clock
+// throughput.
+struct StreamProbe {
+  StreamResult result;
+  double ms = 0.0;
+  double jobs_per_sec = 0.0;
+};
+
+StreamProbe probe_stream(int dim, const StreamConfig& cfg,
+                         const std::vector<Job>& jobs) {
+  StreamProbe p;
+  WallTimer timer;
+  p.result = serve_stream(dim, cfg, jobs);
+  p.ms = timer.elapsed_ms();
+  p.jobs_per_sec = p.ms > 0.0
+                       ? 1000.0 * static_cast<double>(jobs.size()) / p.ms
+                       : 0.0;
+  return p;
+}
+
+bool same_stream_outcome(const StreamResult& a, const StreamResult& b) {
+  return a.metrics == b.metrics && a.served_jobs == b.served_jobs &&
+         a.failed_jobs == b.failed_jobs && a.cubes == b.cubes;
+}
+
+// E14 — streaming engine CI gate: small stream, the 1-vs-2-thread
+// determinism contract, seconds total.
+void suite_stream_smoke(BenchRun& b) {
+  const Scenario& sc = ScenarioRegistry::builtin().at("uniform/32x32/n2000");
+  const auto jobs = sc.jobs();
+  StreamConfig cfg;
+  cfg.online.capacity = 24.0;
+  cfg.online.cube_side = 4;
+  cfg.online.anchor = Point{0, 0};
+  cfg.online.seed = 7;
+  cfg.batch_size = 128;
+
+  std::optional<StreamResult> reference;
+  for (const int threads : {1, 2}) {
+    b.run_case("threads=" + std::to_string(threads),
+               [&, threads](MetricRow& row) {
+                 StreamConfig c = cfg;
+                 c.threads = threads;
+                 const StreamProbe p = probe_stream(2, c, jobs);
+                 if (!reference) reference = p.result;
+                 else if (!same_stream_outcome(*reference, p.result))
+                   b.fail("thread count changed the stream outcome");
+                 row.metric("served", p.result.metrics.jobs_served)
+                     .metric("failed", p.result.metrics.jobs_failed)
+                     .metric("replacements", p.result.metrics.replacements)
+                     .metric("cubes", p.result.cubes)
+                     .metric("jobs/sec", p.jobs_per_sec, 0);
+               });
+  }
+  b.note("Stream smoke: 2000 jobs over 64 cubes; 1-thread and 2-thread "
+         "runs must be bit-identical (all nondeterminism lives in per-cube "
+         "seeds).");
+}
+
+// E15 — streaming engine scaling: throughput vs threads and batch size on
+// the large-grid scenario; outcomes must stay bit-identical throughout.
+void suite_stream_scaling(BenchRun& b) {
+  const Scenario& sc = ScenarioRegistry::builtin().at("uniform/64x64/n20000");
+  const auto jobs = sc.jobs();
+  StreamConfig cfg;
+  cfg.online.capacity = 24.0;
+  cfg.online.cube_side = 4;
+  cfg.online.anchor = Point{0, 0};
+  cfg.online.seed = 7;
+  cfg.batch_size = 256;
+
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  // Baseline probe outside the timed cases: the determinism reference and
+  // the speedup denominator must come from a warm single-thread run even
+  // under --warmup or a --filter that skips the threads=1 case.
+  const StreamProbe baseline = [&] {
+    probe_stream(2, cfg, jobs);  // warm caches/allocator once
+    return probe_stream(2, cfg, jobs);
+  }();
+  const StreamResult& reference = baseline.result;
+  const double ms_at_1 = baseline.ms;
+
+  BenchSection& threads = b.section("threads");
+  for (const int t : {1, 2, 4, 8}) {
+    threads.run_case("threads=" + std::to_string(t),
+                     [&, t](MetricRow& row) {
+                       StreamConfig c = cfg;
+                       c.threads = t;
+                       const StreamProbe p = probe_stream(2, c, jobs);
+                       if (!same_stream_outcome(reference, p.result))
+                         b.fail("thread count changed the stream outcome");
+                       row.metric("hw threads", static_cast<int>(hw))
+                           .metric("served", p.result.metrics.jobs_served)
+                           .metric("failed", p.result.metrics.jobs_failed)
+                           .metric("replacements",
+                                   p.result.metrics.replacements)
+                           .metric("cubes", p.result.cubes)
+                           .metric("jobs/sec", p.jobs_per_sec, 0)
+                           .metric("speedup vs 1t",
+                                   p.ms > 0.0 ? ms_at_1 / p.ms : 0.0, 2);
+                     });
+  }
+
+  BenchSection& batches = b.section("batch_size");
+  for (const std::int64_t batch : {32, 256, 2048}) {
+    batches.run_case("batch=" + std::to_string(batch),
+                     [&, batch](MetricRow& row) {
+                       StreamConfig c = cfg;
+                       c.threads = hw >= 4 ? 4 : 2;
+                       c.batch_size = batch;
+                       const StreamProbe p = probe_stream(2, c, jobs);
+                       if (!same_stream_outcome(reference, p.result))
+                         b.fail("batch size changed the stream outcome");
+                       row.metric("batches", p.result.batches)
+                           .metric("served", p.result.metrics.jobs_served)
+                           .metric("jobs/sec", p.jobs_per_sec, 0);
+                     });
+  }
+
+  b.note("Stream scaling: 20000 jobs over 256 cubes (side 4). Outcomes "
+         "are bit-identical across every thread count and batch size; "
+         "speedup tracks physical cores (the 'hw threads' column says what "
+         "this machine can show).");
+}
+
 // CI smoke: one tiny offline case and one tiny online case, seconds total.
 void suite_smoke(BenchRun& b) {
   const auto& reg = ScenarioRegistry::builtin();
@@ -810,6 +1006,18 @@ void register_builtin_suites() {
     register_suite({"substrates",
                     "E10: substrate micro-benchmarks (harness-timed)",
                     suite_substrates});
+    register_suite({"dim_sweep",
+                    "E13: the offline sandwich and the online strategy at "
+                    "l = 2, 3, 4 (Point::kMaxDim)",
+                    suite_dim_sweep});
+    register_suite({"stream_smoke",
+                    "E14: streaming engine CI gate — 1-vs-2-thread "
+                    "determinism on a small stream",
+                    suite_stream_smoke});
+    register_suite({"stream_scaling",
+                    "E15: streaming engine throughput vs threads/batch on "
+                    "the large-grid stream",
+                    suite_stream_scaling});
     register_suite({"smoke",
                     "CI quick gate: tiny offline sandwich + tiny online run",
                     suite_smoke});

@@ -1,0 +1,436 @@
+#include "online/fleet_core.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cmvrp {
+
+double won_upper_bound(double omega_c, int dim) {
+  return (4.0 * std::pow(3.0, static_cast<double>(dim)) +
+          static_cast<double>(dim)) *
+         omega_c;
+}
+
+FleetCore::FleetCore(int dim, const OnlineConfig& config, EventQueue& queue,
+                     Network& network)
+    : dim_(dim),
+      config_(config),
+      pairing_(dim, config.anchor, config.cube_side),
+      queue_(queue),
+      network_(network) {
+  CMVRP_CHECK(config.capacity >= 0.0);
+  CMVRP_CHECK_MSG(config.cube_side >= 2,
+                  "cube side must be >= 2 so every pair has an idle partner");
+}
+
+void FleetCore::bind_network() {
+  network_.set_receiver([this](std::size_t to, std::size_t from,
+                               const Message& m) { on_message(to, from, m); });
+}
+
+void FleetCore::inject_silent_done(const Point& home) {
+  silent_homes_.insert(home);
+  auto it = by_home_.find(home);
+  if (it != by_home_.end()) vehicles_[it->second].silent_done = true;
+}
+
+void FleetCore::inject_break_after(const Point& home, double longevity) {
+  CMVRP_CHECK(longevity >= 0.0 && longevity <= 1.0);
+  longevity_[home] = longevity;
+  auto it = by_home_.find(home);
+  if (it != by_home_.end() && longevity == 0.0)
+    vehicles_[it->second].dead = true;
+}
+
+std::size_t FleetCore::ensure_vehicle(const Point& home) {
+  auto it = by_home_.find(home);
+  if (it != by_home_.end()) return it->second;
+  Vehicle v;
+  v.id = vehicles_.size();
+  v.home = home;
+  v.pos = home;
+  v.capacity = config_.capacity;
+  v.s1 = pairing_.is_primary(home) ? WorkState::kActive : WorkState::kIdle;
+  v.s2 = TransferState::kWaiting;
+  if (silent_homes_.count(home)) v.silent_done = true;
+  auto lg = longevity_.find(home);
+  if (lg != longevity_.end() && lg->second == 0.0) v.dead = true;
+  vehicles_.push_back(v);
+  by_home_.emplace(home, v.id);
+  cube_members_of(home).push_back(v.id);
+  if (v.s1 == WorkState::kActive && !v.dead)
+    active_of_.emplace(home, v.id);
+  return v.id;
+}
+
+std::vector<std::size_t>& FleetCore::cube_members_of(const Point& p) {
+  return cube_members_[pairing_.cube_corner(p)];
+}
+
+void FleetCore::ensure_cube(const Point& corner) {
+  if (!cubes_.insert(corner).second) return;
+  Box::cube(corner, pairing_.side())
+      .for_each_point([this](const Point& p) { ensure_vehicle(p); });
+}
+
+void FleetCore::ensure_cube_at(const Point& position) {
+  ensure_cube(pairing_.cube_corner(position));
+}
+
+std::vector<std::size_t> FleetCore::neighbors_of(std::size_t vid) const {
+  const Vehicle& v = vehicles_[vid];
+  const Point corner = pairing_.cube_corner(v.pos);
+  std::vector<std::size_t> out;
+  auto it = cube_members_.find(corner);
+  if (it == cube_members_.end()) return out;
+  for (std::size_t other : it->second) {
+    if (other == vid) continue;
+    const Vehicle& o = vehicles_[other];
+    if (l1_distance(o.pos, v.pos) <= config_.neighbor_radius)
+      out.push_back(other);
+  }
+  return out;
+}
+
+void FleetCore::spend_travel(Vehicle& v, std::int64_t dist) {
+  v.spent_travel += static_cast<double>(dist);
+  metrics_.total_travel += static_cast<std::uint64_t>(dist);
+  check_longevity(v);
+}
+
+void FleetCore::check_longevity(Vehicle& v) {
+  auto it = longevity_.find(v.home);
+  if (it == longevity_.end() || v.dead) return;
+  if (v.spent() >= it->second * v.capacity - 1e-9) v.dead = true;
+}
+
+void FleetCore::note_done(Vehicle& v) {
+  v.s1 = WorkState::kDone;
+  const Point primary = pairing_.primary(v.pos);
+  auto it = active_of_.find(primary);
+  if (it != active_of_.end() && it->second == v.id) active_of_.erase(it);
+  pair_of_dest_[v.pos] = primary;
+}
+
+bool FleetCore::serve_job(const Job& job) {
+  CMVRP_CHECK(job.position.dim() == dim_);
+  ensure_cube(pairing_.cube_corner(job.position));
+  const Point primary = pairing_.primary(job.position);
+  auto it = active_of_.find(primary);
+  if (it == active_of_.end()) {
+    ++metrics_.jobs_failed;
+    return false;
+  }
+  Vehicle& v = vehicles_[it->second];
+  if (!v.can_serve()) {
+    ++metrics_.jobs_failed;
+    return false;
+  }
+  const std::int64_t dist = l1_distance(v.pos, job.position);
+  if (v.remaining() < static_cast<double>(dist) + 1.0) {
+    // The vehicle should have declared itself done before this point; an
+    // undersized capacity surfaces here as a failed job.
+    ++metrics_.jobs_failed;
+    return false;
+  }
+  spend_travel(v, dist);
+  v.pos = job.position;
+  v.spent_service += 1.0;
+  check_longevity(v);
+  ++metrics_.jobs_served;
+  after_serving(v.id);
+  return true;
+}
+
+void FleetCore::after_serving(std::size_t vid) {
+  Vehicle& v = vehicles_[vid];
+  if (v.dead) {
+    // Broke mid-service (longevity): the monitoring ring must notice.
+    const Point primary = pairing_.primary(v.pos);
+    auto it = active_of_.find(primary);
+    if (it != active_of_.end() && it->second == vid) active_of_.erase(it);
+    pair_of_dest_[v.pos] = primary;
+    return;
+  }
+  if (!v.exhausted()) return;
+  const Point dest = v.pos;
+  const Point primary = pairing_.primary(dest);
+  note_done(v);
+  if (v.silent_done) return;  // scenario 2: never initiates
+  replacement_pending_[primary] = true;
+  initiate_computation(vid, dest);
+}
+
+void FleetCore::initiate_computation(std::size_t initiator,
+                                     const Point& dest) {
+  Vehicle& v = vehicles_[initiator];
+  v.s2 = TransferState::kInitiator;
+  v.par = SIZE_MAX;
+  v.child = SIZE_MAX;
+  v.init = InitTag{initiator, ++v.init_seq};
+  initiator_dest_[initiator] = dest;
+  ++metrics_.computations_started;
+  const auto nb = neighbors_of(initiator);
+  v.num = static_cast<int>(nb.size());
+  if (nb.empty()) {
+    v.s2 = TransferState::kWaiting;
+    finish_phase_one(initiator);
+    return;
+  }
+  for (std::size_t q : nb) network_.send(initiator, q, QueryMsg{v.init});
+}
+
+void FleetCore::on_message(std::size_t to, std::size_t from,
+                           const Message& m) {
+  switch (m.index()) {
+    case 0:
+      on_query(to, from, std::get<QueryMsg>(m));
+      break;
+    case 1:
+      on_reply(to, from, std::get<ReplyMsg>(m));
+      break;
+    case 2:
+      on_move(to, from, std::get<MoveMsg>(m));
+      break;
+    case 3:
+      break;  // heartbeats are counted by the network; no protocol action
+  }
+}
+
+void FleetCore::on_query(std::size_t vid, std::size_t from,
+                         const QueryMsg& q) {
+  Vehicle& v = vehicles_[vid];
+  if (v.s2 == TransferState::kWaiting && v.init != q.init) {
+    v.par = from;
+    v.init = q.init;
+    v.child = SIZE_MAX;
+    if (v.s1 == WorkState::kIdle && !v.dead) {
+      network_.send(vid, from, ReplyMsg{true, q.init});
+      return;
+    }
+    // Active, done, or broken vehicles relay the search.
+    v.s2 = TransferState::kSearching;
+    const auto nb = neighbors_of(vid);
+    v.num = static_cast<int>(nb.size());
+    if (v.num == 0) {
+      // Degenerate: nobody else to ask.
+      v.s2 = TransferState::kWaiting;
+      network_.send(vid, from, ReplyMsg{false, q.init});
+      return;
+    }
+    for (std::size_t n : nb) network_.send(vid, n, QueryMsg{q.init});
+    return;
+  }
+  network_.send(vid, from, ReplyMsg{false, q.init});
+}
+
+void FleetCore::on_reply(std::size_t vid, std::size_t from,
+                         const ReplyMsg& r) {
+  Vehicle& v = vehicles_[vid];
+  if (r.init != v.init) return;  // stale reply from an abandoned search
+  CMVRP_CHECK_MSG(v.num > 0, "reply without outstanding query");
+  --v.num;
+  if (r.flag && v.child == SIZE_MAX) {
+    v.child = from;
+    if (v.s2 == TransferState::kSearching)
+      network_.send(vid, v.par, ReplyMsg{true, v.init});
+  }
+  if (v.num == 0) {
+    if (v.s2 == TransferState::kSearching) {
+      v.s2 = TransferState::kWaiting;
+      if (v.child == SIZE_MAX)
+        network_.send(vid, v.par, ReplyMsg{false, v.init});
+    } else if (v.s2 == TransferState::kInitiator) {
+      v.s2 = TransferState::kWaiting;
+      finish_phase_one(vid);
+    }
+  }
+}
+
+void FleetCore::finish_phase_one(std::size_t vid) {
+  Vehicle& v = vehicles_[vid];
+  auto dest_it = initiator_dest_.find(vid);
+  CMVRP_CHECK(dest_it != initiator_dest_.end());
+  const Point dest = dest_it->second;
+  initiator_dest_.erase(dest_it);
+  if (v.child == SIZE_MAX) {
+    ++metrics_.computations_failed;
+    auto pit = pair_of_dest_.find(dest);
+    if (pit != pair_of_dest_.end()) {
+      replacement_pending_[pit->second] = false;
+      // No idle vehicle exists in this cube any more, and none will ever
+      // reappear — retrying the search would livelock the ring.
+      unrecoverable_.insert(pit->second);
+    }
+    return;
+  }
+  network_.send(vid, v.child, MoveMsg{dest, v.init});
+}
+
+void FleetCore::on_move(std::size_t vid, std::size_t from, const MoveMsg& m) {
+  (void)from;
+  Vehicle& v = vehicles_[vid];
+  if (v.s1 == WorkState::kIdle && !v.dead) {
+    const std::int64_t dist = l1_distance(v.pos, m.dest);
+    if (v.remaining() < static_cast<double>(dist)) {
+      // Cannot afford the relocation; treat as a failed computation so the
+      // monitoring ring can retry with another vehicle.
+      ++metrics_.computations_failed;
+      auto pit = pair_of_dest_.find(m.dest);
+      if (pit != pair_of_dest_.end())
+        replacement_pending_[pit->second] = false;
+      return;
+    }
+    spend_travel(v, dist);
+    v.pos = m.dest;
+    if (v.dead) {  // longevity tripped mid-move
+      auto pit = pair_of_dest_.find(m.dest);
+      if (pit != pair_of_dest_.end())
+        replacement_pending_[pit->second] = false;
+      return;
+    }
+    v.s1 = WorkState::kActive;
+    auto pit = pair_of_dest_.find(m.dest);
+    CMVRP_CHECK_MSG(pit != pair_of_dest_.end(),
+                    "move destination has no registered pair");
+    const Point primary = pit->second;
+    active_of_[primary] = vid;
+    replacement_pending_[primary] = false;
+    ++metrics_.replacements;
+    // A replacement that arrives already too drained to accept work hands
+    // the pair off immediately (only reachable at undersized capacities).
+    if (v.exhausted()) {
+      note_done(v);
+      if (!v.silent_done) {
+        replacement_pending_[primary] = true;
+        initiate_computation(vid, m.dest);
+      }
+    }
+    return;
+  }
+  // Not idle any more (e.g. claimed by a concurrent computation): pass the
+  // move along this vehicle's own child path if it has one.
+  if (v.child != SIZE_MAX && v.child != vid) {
+    network_.send(vid, v.child, m);
+    return;
+  }
+  ++metrics_.computations_failed;
+  auto pit = pair_of_dest_.find(m.dest);
+  if (pit != pair_of_dest_.end()) replacement_pending_[pit->second] = false;
+}
+
+void FleetCore::monitor_sweep() {
+  // The "existing"-message ring of §3.2.5: the pair slots of a cube form a
+  // loop of monitoring pointers; every healthy active vehicle beacons its
+  // ring predecessor, and a slot whose beacon is missing gets a diffusing
+  // computation initiated on its behalf by that predecessor.
+  for (const auto& corner : cubes_) {
+    const auto primaries = pairing_.primaries_in_cube(corner);
+    // Healthy active vehicles, in ring (primaries) order.
+    std::vector<std::size_t> ring;  // indices into `primaries`
+    for (std::size_t i = 0; i < primaries.size(); ++i) {
+      auto it = active_of_.find(primaries[i]);
+      if (it == active_of_.end()) continue;
+      const Vehicle& v = vehicles_[it->second];
+      if (!v.dead && v.s1 == WorkState::kActive) ring.push_back(i);
+    }
+    if (ring.empty()) continue;  // nobody left to monitor or initiate
+    // Heartbeat round: each ring member beacons the previous ring member.
+    for (std::size_t k = 0; k < ring.size(); ++k) {
+      const auto from = active_of_.at(primaries[ring[k]]);
+      const auto to =
+          active_of_.at(primaries[ring[(k + ring.size() - 1) % ring.size()]]);
+      if (from != to) network_.send(from, to, ExistingMsg{});
+    }
+    // Timeout detection: slots with no healthy active vehicle and no
+    // replacement already in flight.
+    for (std::size_t i = 0; i < primaries.size(); ++i) {
+      const Point& primary = primaries[i];
+      if (unrecoverable_.count(primary)) continue;
+      bool needs_replacement = false;
+      Point dest = primary;
+      auto it = active_of_.find(primary);
+      if (it == active_of_.end()) {
+        auto pend = replacement_pending_.find(primary);
+        const bool pending =
+            pend != replacement_pending_.end() && pend->second;
+        if (!pending) {
+          needs_replacement = true;
+          // Serve position: where the pair's last vehicle stood, if known.
+          for (const auto& [dpos, prim] : pair_of_dest_) {
+            if (prim == primary) {
+              dest = dpos;
+              break;
+            }
+          }
+        }
+      } else {
+        Vehicle& v = vehicles_[it->second];
+        if (v.dead || v.s1 != WorkState::kActive) {
+          active_of_.erase(it);
+          pair_of_dest_[v.pos] = primary;
+          dest = v.pos;
+          needs_replacement = true;
+        }
+      }
+      if (!needs_replacement) continue;
+      // The monitor: the ring predecessor of the victim slot.
+      std::size_t monitor_slot = SIZE_MAX;
+      for (std::size_t back = 1; back <= primaries.size(); ++back) {
+        const std::size_t cand = (i + primaries.size() - back) % primaries.size();
+        auto cit = active_of_.find(primaries[cand]);
+        if (cit == active_of_.end()) continue;
+        const Vehicle& cv = vehicles_[cit->second];
+        if (!cv.dead && cv.s1 == WorkState::kActive &&
+            cv.s2 == TransferState::kWaiting) {
+          monitor_slot = cand;
+          break;
+        }
+      }
+      if (monitor_slot == SIZE_MAX) continue;  // no healthy monitor left
+      const std::size_t monitor_vid = active_of_.at(primaries[monitor_slot]);
+      pair_of_dest_[dest] = primary;
+      replacement_pending_[primary] = true;
+      ++metrics_.monitor_initiations;
+      initiate_computation(monitor_vid, dest);
+      // Serialize: let this computation finish before scanning on, so two
+      // concurrent searches never race for the same idle vehicle.
+      queue_.run_to_quiescence();
+    }
+  }
+}
+
+void FleetCore::settle(int max_rounds) {
+  for (int round = 0; round < max_rounds; ++round) {
+    const auto before = metrics_.monitor_initiations;
+    monitor_sweep();
+    queue_.run_to_quiescence();
+    if (metrics_.monitor_initiations == before) break;
+  }
+}
+
+void FleetCore::finalize_metrics() {
+  metrics_.network = network_.stats();
+  metrics_.max_energy_spent = 0.0;
+  metrics_.total_energy_spent = 0.0;
+  for (const auto& v : vehicles_) {
+    metrics_.max_energy_spent = std::max(metrics_.max_energy_spent, v.spent());
+    metrics_.total_energy_spent += v.spent();
+  }
+}
+
+const Vehicle* FleetCore::vehicle_at_home(const Point& home) const {
+  auto it = by_home_.find(home);
+  return it == by_home_.end() ? nullptr : &vehicles_[it->second];
+}
+
+std::optional<std::size_t> FleetCore::active_of_pair(
+    const Point& any_member) const {
+  auto it = active_of_.find(pairing_.primary(any_member));
+  if (it == active_of_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace cmvrp

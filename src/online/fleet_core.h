@@ -1,0 +1,192 @@
+// The per-cube serving/replacement core of the Chapter 3 strategy.
+//
+// FleetCore owns the vehicle fleet and the full protocol state machine —
+// job service (§3.2.2), Phase I diffusing computations (Algorithm 2),
+// Phase II move relays, and the §3.2.5 monitoring ring — over whatever
+// cubes it is asked to materialize. It is deliberately agnostic about
+// *scheduling*: the event queue and message network are borrowed by
+// reference, so the same core drives
+//   * the legacy OnlineSimulation (one global queue, one network RNG,
+//     all cubes in one core), and
+//   * the sharded streaming engine (one core per cube, each with its own
+//     queue and per-cube seeded network — see src/stream/).
+// Every protocol action is strictly intra-cube (neighbor lists never
+// cross a cube boundary), which is what makes the per-cube split exact
+// rather than approximate.
+//
+// Complexity: serving a job is O(1) plus amortized replacement cost; each
+// Phase I diffusing computation floods the O(s^ℓ) vehicles of one cube
+// through radius-r neighbor lists (O(s^ℓ · (2r+1)^ℓ) messages, realizing
+// Lemma 3.3.1's bounded-search claim), and Phase II relays one move
+// message along the computation tree. Vehicles materialize lazily, so
+// memory is O(touched cubes · s^ℓ).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "grid/box.h"
+#include "grid/neighborhood.h"
+#include "grid/point.h"
+#include "online/pairing.h"
+#include "online/vehicle.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "workload/generators.h"
+
+namespace cmvrp {
+
+struct OnlineConfig {
+  double capacity = 0.0;          // W, per vehicle
+  std::int64_t cube_side = 2;     // s = max(2, ⌈ω_c⌉) by the capacity search
+  Point anchor;                   // partition anchor
+  std::int64_t neighbor_radius = 2;   // communication radius (§3.2: "2")
+  SimTime max_message_delay = 3;      // extra random per-message delay
+  std::uint64_t seed = 1;
+  bool enable_monitoring = true;  // §3.2.5 monitoring ring
+};
+
+struct OnlineMetrics {
+  std::uint64_t jobs_served = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t replacements = 0;           // completed Phase II relocations
+  std::uint64_t computations_started = 0;   // Phase I initiations
+  std::uint64_t computations_failed = 0;    // no idle vehicle found
+  std::uint64_t monitor_initiations = 0;    // ring-triggered computations
+  NetworkStats network;
+  double max_energy_spent = 0.0;            // over all vehicles
+  double total_energy_spent = 0.0;
+  std::uint64_t total_travel = 0;
+
+  // Folds `other` into this (sums, max for max_energy_spent). Callers who
+  // need bit-identical totals must merge in a deterministic order (the
+  // stream engine folds shards by ascending cube corner).
+  void merge(const OnlineMetrics& other) {
+    jobs_served += other.jobs_served;
+    jobs_failed += other.jobs_failed;
+    replacements += other.replacements;
+    computations_started += other.computations_started;
+    computations_failed += other.computations_failed;
+    monitor_initiations += other.monitor_initiations;
+    network.merge(other.network);
+    if (other.max_energy_spent > max_energy_spent)
+      max_energy_spent = other.max_energy_spent;
+    total_energy_spent += other.total_energy_spent;
+    total_travel += other.total_travel;
+  }
+
+  friend bool operator==(const OnlineMetrics& a, const OnlineMetrics& b) {
+    return a.jobs_served == b.jobs_served && a.jobs_failed == b.jobs_failed &&
+           a.replacements == b.replacements &&
+           a.computations_started == b.computations_started &&
+           a.computations_failed == b.computations_failed &&
+           a.monitor_initiations == b.monitor_initiations &&
+           a.network == b.network &&
+           a.max_energy_spent == b.max_energy_spent &&
+           a.total_energy_spent == b.total_energy_spent &&
+           a.total_travel == b.total_travel;
+  }
+  friend bool operator!=(const OnlineMetrics& a, const OnlineMetrics& b) {
+    return !(a == b);
+  }
+};
+
+class FleetCore {
+ public:
+  // `queue` and `network` are borrowed; the owner must bind this core as
+  // the network receiver (see bind_network) and outlive it.
+  FleetCore(int dim, const OnlineConfig& config, EventQueue& queue,
+            Network& network);
+
+  // Installs on_message as `network`'s receiver.
+  void bind_network();
+
+  // Failure injection (call before serving).
+  void inject_silent_done(const Point& home);        // scenario 2
+  void inject_break_after(const Point& home, double longevity);  // p_i < 1
+
+  // Materializes the cube containing `position` (idempotent).
+  void ensure_cube_at(const Point& position);
+
+  // Serves one arrival; returns true when the job was served. The caller
+  // drains the queue afterwards (the paper's long inter-arrival gaps).
+  bool serve_job(const Job& job);
+
+  // One §3.2.5 heartbeat + timeout round over every materialized cube.
+  void monitor_sweep();
+
+  // Drain + repeated monitor rounds until no new ring initiations (a
+  // replacement can itself break); bounded by `max_rounds`.
+  void settle(int max_rounds = 8);
+
+  // Copies network stats and the per-vehicle energy aggregates into
+  // metrics(). Call once serving is finished (idempotent).
+  void finalize_metrics();
+
+  const OnlineMetrics& metrics() const { return metrics_; }
+  const CubePairing& pairing() const { return pairing_; }
+  const OnlineConfig& config() const { return config_; }
+
+  // Introspection for tests.
+  const Vehicle* vehicle_at_home(const Point& home) const;
+  std::size_t vehicle_count() const { return vehicles_.size(); }
+  std::optional<std::size_t> active_of_pair(const Point& any_member) const;
+
+  void on_message(std::size_t to, std::size_t from, const Message& m);
+
+ private:
+  std::size_t ensure_vehicle(const Point& home);
+  void ensure_cube(const Point& corner);
+  std::vector<std::size_t>& cube_members_of(const Point& p);
+  std::vector<std::size_t> neighbors_of(std::size_t vid) const;
+  void check_longevity(Vehicle& v);
+
+  void after_serving(std::size_t vid);
+  void initiate_computation(std::size_t initiator, const Point& dest);
+  void on_query(std::size_t vid, std::size_t from, const QueryMsg& q);
+  void on_reply(std::size_t vid, std::size_t from, const ReplyMsg& r);
+  void on_move(std::size_t vid, std::size_t from, const MoveMsg& m);
+  void finish_phase_one(std::size_t vid);
+  void spend_travel(Vehicle& v, std::int64_t dist);
+  void note_done(Vehicle& v);
+
+  int dim_;
+  OnlineConfig config_;
+  CubePairing pairing_;
+  EventQueue& queue_;
+  Network& network_;
+
+  std::vector<Vehicle> vehicles_;
+  std::unordered_map<Point, std::size_t, PointHash> by_home_;
+  // Pair primary -> id of its current active vehicle (if any).
+  std::unordered_map<Point, std::size_t, PointHash> active_of_;
+  // Pair primary -> a replacement request is in flight.
+  std::unordered_map<Point, bool, PointHash> replacement_pending_;
+  // Done/dead vehicle id -> the pair primary it was serving (so the
+  // arriving replacement can register itself).
+  std::unordered_map<Point, Point, PointHash> pair_of_dest_;
+  // Initiator vehicle -> destination its Phase II move must carry.
+  std::unordered_map<std::size_t, Point> initiator_dest_;
+  // Pair slots whose cube ran out of idle vehicles: a failed search can
+  // never succeed later (vehicles never return to idle), so the ring must
+  // not retry them. Jobs arriving there are reported failed immediately.
+  PointSet unrecoverable_;
+  // Cubes already materialized (corner points).
+  PointSet cubes_;
+  // Cube corner -> ids of the vehicles whose position lies in that cube.
+  std::unordered_map<Point, std::vector<std::size_t>, PointHash>
+      cube_members_;
+  // Pending failure injections keyed by home vertex.
+  std::unordered_map<Point, double, PointHash> longevity_;
+  PointSet silent_homes_;
+
+  OnlineMetrics metrics_;
+};
+
+// Theoretical online capacity bound (Lemma 3.3.1): (4·3^ℓ + ℓ)·ω_c.
+double won_upper_bound(double omega_c, int dim);
+
+}  // namespace cmvrp

@@ -10,28 +10,22 @@
 // over the pair. A monitoring ring (§3.2.5) catches vehicles that die (or
 // fail to initiate) and starts the computation on their behalf.
 //
-// The paper's timing assumption — inter-arrival gaps long enough for any
-// computation and movement — is realized by draining the event queue to
-// quiescence between arrivals.
-//
-// Complexity: serving a job is O(1) plus amortized replacement cost; each
-// Phase I diffusing computation floods the O(s^ℓ) vehicles of one cube
-// through radius-r neighbor lists (O(s^ℓ · (2r+1)^ℓ) messages, realizing
-// Lemma 3.3.1's bounded-search claim), and Phase II relays one move
-// message along the computation tree. Vehicles materialize lazily, so
-// memory is O(touched cubes · s^ℓ).
+// The protocol state machine itself lives in online/fleet_core.h so the
+// same per-cube serving/replacement logic also drives the sharded
+// streaming engine (src/stream/). OnlineSimulation is the legacy
+// single-queue harness around one FleetCore holding every cube: one
+// global EventQueue, one Network with one seeded RNG, drained to
+// quiescence after every arrival — realizing the paper's timing
+// assumption that inter-arrival gaps are long enough for any computation
+// and movement.
 #pragma once
 
 #include <cstddef>
-#include <cstdint>
 #include <optional>
-#include <string>
-#include <unordered_map>
 #include <vector>
 
-#include "grid/box.h"
-#include "grid/neighborhood.h"
 #include "grid/point.h"
+#include "online/fleet_core.h"
 #include "online/pairing.h"
 #include "online/vehicle.h"
 #include "sim/event_queue.h"
@@ -39,29 +33,6 @@
 #include "workload/generators.h"
 
 namespace cmvrp {
-
-struct OnlineConfig {
-  double capacity = 0.0;          // W, per vehicle
-  std::int64_t cube_side = 2;     // s = max(2, ⌈ω_c⌉) by the capacity search
-  Point anchor;                   // partition anchor
-  std::int64_t neighbor_radius = 2;   // communication radius (§3.2: "2")
-  SimTime max_message_delay = 3;      // extra random per-message delay
-  std::uint64_t seed = 1;
-  bool enable_monitoring = true;  // §3.2.5 monitoring ring
-};
-
-struct OnlineMetrics {
-  std::uint64_t jobs_served = 0;
-  std::uint64_t jobs_failed = 0;
-  std::uint64_t replacements = 0;           // completed Phase II relocations
-  std::uint64_t computations_started = 0;   // Phase I initiations
-  std::uint64_t computations_failed = 0;    // no idle vehicle found
-  std::uint64_t monitor_initiations = 0;    // ring-triggered computations
-  NetworkStats network;
-  double max_energy_spent = 0.0;            // over all vehicles
-  double total_energy_spent = 0.0;
-  std::uint64_t total_travel = 0;
-};
 
 class OnlineSimulation {
  public:
@@ -74,67 +45,22 @@ class OnlineSimulation {
   // Runs the whole job stream; returns true when every job was served.
   bool run(const std::vector<Job>& jobs);
 
-  const OnlineMetrics& metrics() const { return metrics_; }
-  const CubePairing& pairing() const { return pairing_; }
+  const OnlineMetrics& metrics() const { return core_.metrics(); }
+  const CubePairing& pairing() const { return core_.pairing(); }
 
   // Introspection for tests.
-  const Vehicle* vehicle_at_home(const Point& home) const;
-  std::size_t vehicle_count() const { return vehicles_.size(); }
-  std::optional<std::size_t> active_of_pair(const Point& any_member) const;
+  const Vehicle* vehicle_at_home(const Point& home) const {
+    return core_.vehicle_at_home(home);
+  }
+  std::size_t vehicle_count() const { return core_.vehicle_count(); }
+  std::optional<std::size_t> active_of_pair(const Point& any_member) const {
+    return core_.active_of_pair(any_member);
+  }
 
  private:
-  std::size_t ensure_vehicle(const Point& home);
-  void ensure_cube(const Point& corner);
-  std::vector<std::size_t>& cube_members_of(const Point& p);
-  std::vector<std::size_t> neighbors_of(std::size_t vid) const;
-  void check_longevity(Vehicle& v);
-
-  void serve_job(const Job& job);
-  void after_serving(std::size_t vid);
-  void initiate_computation(std::size_t initiator, const Point& dest);
-  void on_message(std::size_t to, std::size_t from, const Message& m);
-  void on_query(std::size_t vid, std::size_t from, const QueryMsg& q);
-  void on_reply(std::size_t vid, std::size_t from, const ReplyMsg& r);
-  void on_move(std::size_t vid, std::size_t from, const MoveMsg& m);
-  void finish_phase_one(std::size_t vid);
-  void monitor_sweep();
-  void spend_travel(Vehicle& v, std::int64_t dist);
-  void note_done(Vehicle& v);
-
-  int dim_;
-  OnlineConfig config_;
-  CubePairing pairing_;
   EventQueue queue_;
   Network network_;
-
-  std::vector<Vehicle> vehicles_;
-  std::unordered_map<Point, std::size_t, PointHash> by_home_;
-  // Pair primary -> id of its current active vehicle (if any).
-  std::unordered_map<Point, std::size_t, PointHash> active_of_;
-  // Pair primary -> a replacement request is in flight.
-  std::unordered_map<Point, bool, PointHash> replacement_pending_;
-  // Done/dead vehicle id -> the pair primary it was serving (so the
-  // arriving replacement can register itself).
-  std::unordered_map<Point, Point, PointHash> pair_of_dest_;
-  // Initiator vehicle -> destination its Phase II move must carry.
-  std::unordered_map<std::size_t, Point> initiator_dest_;
-  // Pair slots whose cube ran out of idle vehicles: a failed search can
-  // never succeed later (vehicles never return to idle), so the ring must
-  // not retry them. Jobs arriving there are reported failed immediately.
-  PointSet unrecoverable_;
-  // Cubes already materialized (corner points).
-  PointSet cubes_;
-  // Cube corner -> ids of the vehicles whose position lies in that cube.
-  std::unordered_map<Point, std::vector<std::size_t>, PointHash>
-      cube_members_;
-  // Pending failure injections keyed by home vertex.
-  std::unordered_map<Point, double, PointHash> longevity_;
-  PointSet silent_homes_;
-
-  OnlineMetrics metrics_;
+  FleetCore core_;
 };
-
-// Theoretical online capacity bound (Lemma 3.3.1): (4·3^ℓ + ℓ)·ω_c.
-double won_upper_bound(double omega_c, int dim);
 
 }  // namespace cmvrp

@@ -24,6 +24,21 @@ struct NetworkStats {
   std::uint64_t heartbeats = 0;
 
   std::uint64_t total() const { return queries + replies + moves + heartbeats; }
+
+  void merge(const NetworkStats& other) {
+    queries += other.queries;
+    replies += other.replies;
+    moves += other.moves;
+    heartbeats += other.heartbeats;
+  }
+
+  friend bool operator==(const NetworkStats& a, const NetworkStats& b) {
+    return a.queries == b.queries && a.replies == b.replies &&
+           a.moves == b.moves && a.heartbeats == b.heartbeats;
+  }
+  friend bool operator!=(const NetworkStats& a, const NetworkStats& b) {
+    return !(a == b);
+  }
 };
 
 class Network {

@@ -1,0 +1,66 @@
+#include "stream/pool.h"
+
+#include <utility>
+
+namespace cmvrp {
+
+WorkerPool::WorkerPool(int workers) : workers_(workers < 1 ? 1 : workers) {
+  if (workers_ <= 1) return;
+  threads_.reserve(static_cast<std::size_t>(workers_));
+  for (int w = 0; w < workers_; ++w)
+    threads_.emplace_back([this, w] { worker_loop(w); });
+}
+
+WorkerPool::~WorkerPool() {
+  if (threads_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::run(const std::function<void(int)>& fn) {
+  if (threads_.empty()) {
+    fn(0);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  task_ = &fn;
+  first_error_ = nullptr;
+  running_ = workers_;
+  ++generation_;
+  start_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return running_ == 0; });
+  task_ = nullptr;
+  if (first_error_) std::rethrow_exception(std::exchange(first_error_, {}));
+}
+
+void WorkerPool::worker_loop(int index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock,
+                     [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      task = task_;
+    }
+    std::exception_ptr error;
+    try {
+      (*task)(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error && !first_error_) first_error_ = error;
+      if (--running_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace cmvrp

@@ -1,0 +1,56 @@
+// A tiny fixed-size fork/join worker pool for the streaming engine.
+//
+// The engine's unit of parallelism is one *shard* (a fixed set of cubes),
+// so the pool runs the same callable once per worker index and barriers:
+// run(fn) invokes fn(0..n-1) concurrently and returns when every call has
+// finished. Workers are spawned once and parked between batches; with
+// n <= 1 no thread is ever created and fn runs inline on the caller —
+// which is also why single-threaded runs are exactly reproducible under
+// ThreadSanitizer and on single-core machines.
+//
+// Exceptions thrown inside a worker are captured and rethrown from run()
+// on the calling thread (first one wins).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cmvrp {
+
+class WorkerPool {
+ public:
+  // `workers` is clamped below at 1; 1 means "inline, no threads".
+  explicit WorkerPool(int workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int size() const { return workers_; }
+
+  // Runs fn(w) for every worker index w in [0, size()), blocking until
+  // all calls return. Not reentrant.
+  void run(const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop(int index);
+
+  int workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* task_ = nullptr;  // valid for one generation
+  std::uint64_t generation_ = 0;
+  int running_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace cmvrp

@@ -1,0 +1,85 @@
+#include "stream/shard.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace cmvrp {
+
+std::uint64_t cube_stream_seed(std::uint64_t engine_seed,
+                               const Point& corner) {
+  // splitmix64 finalizer over the seed and each coordinate.
+  auto mix = [](std::uint64_t z) {
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  std::uint64_t h = mix(engine_seed);
+  h = mix(h ^ static_cast<std::uint64_t>(corner.dim()));
+  for (int i = 0; i < corner.dim(); ++i)
+    h = mix(h ^ static_cast<std::uint64_t>(corner[i]));
+  return h;
+}
+
+CubeServer::CubeServer(int dim, const OnlineConfig& config,
+                       const Point& corner)
+    : queue_(),
+      network_(queue_, Rng(cube_stream_seed(config.seed, corner)),
+               config.max_message_delay),
+      core_(dim, config, queue_, network_) {
+  core_.bind_network();
+}
+
+bool CubeServer::serve(const Job& job) {
+  if (!started_) {
+    started_ = true;
+    // Same warm-up as the legacy simulator, scoped to this cube: the
+    // fleet exists from t = 0 and heartbeats precede the first arrival.
+    core_.ensure_cube_at(job.position);
+    if (core_.config().enable_monitoring) {
+      core_.monitor_sweep();
+      queue_.run_to_quiescence();
+    }
+  }
+  const bool ok = core_.serve_job(job);
+  queue_.run_to_quiescence();
+  if (core_.config().enable_monitoring) core_.settle();
+  (ok ? served_ : failed_).push_back(job.index);
+  return ok;
+}
+
+void CubeServer::finish() { core_.finalize_metrics(); }
+
+CubeShard::CubeShard(int dim, const OnlineConfig& config)
+    : dim_(dim),
+      config_(config),
+      pairing_(dim, config.anchor, config.cube_side) {}
+
+void CubeShard::process(const std::vector<Job>& jobs) {
+  for (const Job& job : jobs) {
+    const Point corner = pairing_.cube_corner(job.position);
+    auto it = servers_.find(corner);
+    if (it == servers_.end()) {
+      it = servers_
+               .emplace(corner,
+                        std::make_unique<CubeServer>(dim_, config_, corner))
+               .first;
+    }
+    it->second->serve(job);
+    ++jobs_processed_;
+  }
+}
+
+void CubeShard::finish() {
+  for (auto& [corner, server] : servers_) server->finish();
+}
+
+void CubeShard::collect(
+    std::vector<std::pair<Point, const CubeServer*>>& out) const {
+  for (const auto& [corner, server] : servers_)
+    out.emplace_back(corner, server.get());
+}
+
+}  // namespace cmvrp

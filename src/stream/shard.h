@@ -1,0 +1,95 @@
+// One shard of the streaming engine: a disjoint set of cubes, each cube
+// an independent serving unit.
+//
+// Because every protocol action of the Chapter 3 strategy is intra-cube
+// (neighbor lists, diffusing computations, and the monitoring ring never
+// cross a cube boundary — the decentralization claim of §3.2), a cube can
+// own its *entire* nondeterminism budget: CubeServer gives each cube its
+// own EventQueue, its own Network whose delay RNG is seeded from
+// (engine seed, cube corner), and its own FleetCore. A cube's outcome is
+// then a pure function of (its job subsequence, its seed) — independent
+// of which shard hosts it, how many threads run, or how arrivals are
+// batched. That is the engine's bit-identical-across-thread-counts
+// contract, enforced by tests/stream_test.cpp.
+//
+// CubeShard routes its jobs to per-cube servers in arrival order and
+// folds results by ascending cube corner, so double-valued metric sums
+// are also reproducible.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "grid/point.h"
+#include "online/fleet_core.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "workload/generators.h"
+
+namespace cmvrp {
+
+// Deterministic per-cube seed: splitmix64-style fold of the engine seed
+// and the cube corner coordinates. Identical for every thread count and
+// shard assignment by construction.
+std::uint64_t cube_stream_seed(std::uint64_t engine_seed, const Point& corner);
+
+// A single cube served online: own clock, own network, own fleet.
+class CubeServer {
+ public:
+  CubeServer(int dim, const OnlineConfig& config, const Point& corner);
+
+  // Serves one arrival (which must lie in this cube), then drains the
+  // cube's queue and runs monitoring rounds — the per-cube equivalent of
+  // the legacy simulator's drain-to-quiescence between arrivals.
+  bool serve(const Job& job);
+
+  // Finalizes metrics (network stats + energy aggregates).
+  void finish();
+
+  const OnlineMetrics& metrics() const { return core_.metrics(); }
+  const std::vector<std::int64_t>& served_indices() const { return served_; }
+  const std::vector<std::int64_t>& failed_indices() const { return failed_; }
+
+ private:
+  EventQueue queue_;
+  Network network_;
+  FleetCore core_;
+  bool started_ = false;
+  std::vector<std::int64_t> served_;  // arrival indices, in arrival order
+  std::vector<std::int64_t> failed_;
+};
+
+// Everything one worker owns: the cubes assigned to it by the engine's
+// corner hash. Jobs are processed strictly in the order given.
+class CubeShard {
+ public:
+  CubeShard(int dim, const OnlineConfig& config);
+
+  // Serves a routed job slice in order, creating cube servers on first
+  // arrival. Runs on the shard's worker thread; touches only shard state.
+  void process(const std::vector<Job>& jobs);
+
+  std::size_t cube_count() const { return servers_.size(); }
+  std::uint64_t jobs_processed() const { return jobs_processed_; }
+
+  // Finalizes every cube server's metrics.
+  void finish();
+
+  // Appends this shard's (corner, server) pairs so the engine can fold
+  // all cubes in one globally corner-sorted pass (shard assignment varies
+  // with thread count, so per-shard folds of double sums would not).
+  void collect(std::vector<std::pair<Point, const CubeServer*>>& out) const;
+
+ private:
+  int dim_;
+  OnlineConfig config_;
+  CubePairing pairing_;  // routing only: job position -> cube corner
+  // Ordered by corner so fold_into is deterministic.
+  std::map<Point, std::unique_ptr<CubeServer>> servers_;
+  std::uint64_t jobs_processed_ = 0;
+};
+
+}  // namespace cmvrp

@@ -35,7 +35,10 @@ class RunningStats {
 // sample counts (<= millions), not unbounded telemetry.
 class SampleSet {
  public:
-  void add(double x) { samples_.push_back(x); }
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;  // quantile() re-sorts after interleaved adds
+  }
   std::size_t count() const { return samples_.size(); }
   double mean() const;
   double quantile(double q) const;  // q in [0,1]; linear interpolation

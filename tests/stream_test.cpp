@@ -1,0 +1,188 @@
+// Sharded streaming engine: the bit-identical-across-thread-counts
+// contract, batch invariance, incremental ingest, and the worker pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "online/capacity_search.h"
+#include "online/simulation.h"
+#include "stream/engine.h"
+#include "stream/pool.h"
+#include "stream/shard.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace cmvrp {
+namespace {
+
+std::vector<Job> test_stream(std::int64_t box_side, std::int64_t count,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  const Box box(Point{0, 0}, Point{box_side - 1, box_side - 1});
+  const DemandMap d = uniform_demand(box, count, rng);
+  Rng order(seed + 1);
+  return stream_from_demand(d, ArrivalOrder::kShuffled, order);
+}
+
+StreamConfig test_config(double capacity, int threads,
+                         std::int64_t batch = 64) {
+  StreamConfig cfg;
+  cfg.online.capacity = capacity;
+  cfg.online.cube_side = 4;
+  cfg.online.anchor = Point{0, 0};
+  cfg.online.seed = 7;
+  cfg.threads = threads;
+  cfg.batch_size = batch;
+  return cfg;
+}
+
+void expect_identical(const StreamResult& a, const StreamResult& b) {
+  EXPECT_TRUE(a.metrics == b.metrics);
+  EXPECT_EQ(a.served_jobs, b.served_jobs);
+  EXPECT_EQ(a.failed_jobs, b.failed_jobs);
+  EXPECT_EQ(a.cubes, b.cubes);
+  EXPECT_EQ(a.jobs_ingested, b.jobs_ingested);
+}
+
+// --- the headline contract --------------------------------------------------
+
+TEST(StreamDeterminism, IdenticalAcrossThreadCounts) {
+  const auto jobs = test_stream(32, 600, 11);
+  const StreamResult one = serve_stream(2, test_config(60.0, 1), jobs);
+  ASSERT_GT(one.metrics.jobs_served, 0u);
+  ASSERT_GT(one.cubes, 10u);  // the workload actually spans many cubes
+  for (const int threads : {2, 8}) {
+    const StreamResult many =
+        serve_stream(2, test_config(60.0, threads), jobs);
+    expect_identical(one, many);
+  }
+}
+
+TEST(StreamDeterminism, IdenticalAcrossBatchSizes) {
+  const auto jobs = test_stream(24, 400, 13);
+  const StreamResult base = serve_stream(2, test_config(60.0, 2, 64), jobs);
+  for (const std::int64_t batch : {1, 7, 1000}) {
+    const StreamResult other =
+        serve_stream(2, test_config(60.0, 2, batch), jobs);
+    expect_identical(base, other);
+  }
+  EXPECT_EQ(base.batches, (400 + 63) / 64u);
+}
+
+TEST(StreamDeterminism, SeedChangesDelaysButNotOutcome) {
+  const auto jobs = test_stream(24, 300, 17);
+  StreamConfig a = test_config(60.0, 2);
+  StreamConfig b = a;
+  b.online.seed = 999;
+  const StreamResult ra = serve_stream(2, a, jobs);
+  const StreamResult rb = serve_stream(2, b, jobs);
+  // Delay draws differ, but the protocol outcome is delay-invariant.
+  EXPECT_EQ(ra.served_jobs, rb.served_jobs);
+  EXPECT_EQ(ra.metrics.jobs_served, rb.metrics.jobs_served);
+}
+
+// --- agreement with the legacy single-queue simulator -----------------------
+
+TEST(StreamVsLegacy, SameServiceOutcome) {
+  const auto jobs = test_stream(16, 400, 19);
+  const StreamConfig cfg = test_config(40.0, 2);
+  const StreamResult stream = serve_stream(2, cfg, jobs);
+
+  OnlineSimulation legacy(2, cfg.online);
+  legacy.run(jobs);
+
+  // Message counts and travel legitimately differ (per-cube delay RNGs
+  // pick different replacement vehicles; monitoring sweeps are
+  // per-cube-local here vs global there); the service outcome is
+  // delay-invariant and must agree.
+  EXPECT_EQ(stream.metrics.jobs_served, legacy.metrics().jobs_served);
+  EXPECT_EQ(stream.metrics.jobs_failed, legacy.metrics().jobs_failed);
+}
+
+// --- engine mechanics -------------------------------------------------------
+
+TEST(StreamEngine, IncrementalIngestMatchesOneShot) {
+  const auto jobs = test_stream(24, 300, 23);
+  const StreamResult oneshot = serve_stream(2, test_config(60.0, 2), jobs);
+
+  StreamEngine engine(2, test_config(60.0, 2));
+  const std::size_t cut = jobs.size() / 3;
+  engine.ingest({jobs.begin(), jobs.begin() + static_cast<long>(cut)});
+  engine.ingest({jobs.begin() + static_cast<long>(cut), jobs.end()});
+  expect_identical(oneshot, engine.finish());
+}
+
+TEST(StreamEngine, EveryJobAccountedServedOrFailed) {
+  const auto jobs = test_stream(8, 250, 29);
+  // Deliberately undersized capacity: the cube pools must run dry.
+  const StreamResult r = serve_stream(2, test_config(3.0, 2), jobs);
+  EXPECT_GT(r.failed_jobs.size(), 0u);
+  EXPECT_EQ(r.metrics.jobs_served, r.served_jobs.size());
+  EXPECT_EQ(r.metrics.jobs_failed, r.failed_jobs.size());
+  std::set<std::int64_t> all(r.served_jobs.begin(), r.served_jobs.end());
+  all.insert(r.failed_jobs.begin(), r.failed_jobs.end());
+  EXPECT_EQ(all.size(), jobs.size());  // disjoint and complete
+}
+
+TEST(StreamEngine, TheoryCapacityServesEverything) {
+  const auto jobs = test_stream(24, 400, 31);
+  const DemandMap demand = demand_of_stream(jobs, 2);
+  StreamConfig cfg;
+  cfg.online = default_online_config(demand, 7);
+  cfg.threads = 4;
+  const StreamResult r = serve_stream(2, cfg, jobs);
+  EXPECT_EQ(r.metrics.jobs_failed, 0u);
+  EXPECT_EQ(r.served_jobs.size(), jobs.size());
+}
+
+// --- substrate: per-cube seeds and the worker pool --------------------------
+
+TEST(CubeStreamSeed, DeterministicAndCornerSensitive) {
+  const Point a{0, 0}, b{4, 0}, c{0, 4};
+  EXPECT_EQ(cube_stream_seed(1, a), cube_stream_seed(1, a));
+  EXPECT_NE(cube_stream_seed(1, a), cube_stream_seed(1, b));
+  EXPECT_NE(cube_stream_seed(1, a), cube_stream_seed(1, c));
+  EXPECT_NE(cube_stream_seed(1, a), cube_stream_seed(2, a));
+}
+
+TEST(WorkerPool, RunsEveryIndexConcurrently) {
+  WorkerPool pool(4);
+  std::atomic<int> sum{0};
+  std::vector<std::atomic<int>> hits(4);
+  for (int rep = 0; rep < 50; ++rep) {
+    pool.run([&](int w) {
+      sum += w;
+      ++hits[static_cast<std::size_t>(w)];
+    });
+  }
+  EXPECT_EQ(sum.load(), 50 * (0 + 1 + 2 + 3));
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 50);
+}
+
+TEST(WorkerPool, InlineWhenSingleWorker) {
+  WorkerPool pool(1);
+  int calls = 0;
+  pool.run([&](int w) {
+    EXPECT_EQ(w, 0);
+    ++calls;  // no synchronization needed: runs on this thread
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(WorkerPool, PropagatesWorkerException) {
+  WorkerPool pool(3);
+  EXPECT_THROW(pool.run([](int w) {
+                 if (w == 1) throw std::runtime_error("boom");
+               }),
+               std::runtime_error);
+  // The pool must survive a throwing generation.
+  std::atomic<int> ok{0};
+  pool.run([&](int) { ++ok; });
+  EXPECT_EQ(ok.load(), 3);
+}
+
+}  // namespace
+}  // namespace cmvrp

@@ -177,6 +177,19 @@ TEST(SampleSet, Quantiles) {
   EXPECT_NEAR(s.quantile(0.9), 90.1, 1e-9);
 }
 
+// Regression: add() after a quantile() must invalidate the cached sort —
+// the stale order used to surface later samples at the wrong quantiles.
+TEST(SampleSet, AddAfterQuantileResortsBeforeNextQuantile) {
+  SampleSet s;
+  for (double x : {5.0, 1.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);  // sorts [1, 5, 9]
+  s.add(0.5);                         // must mark the sort stale
+  s.add(20.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.5);
+  EXPECT_DOUBLE_EQ(s.max(), 20.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);  // [0.5, 1, 5, 9, 20]
+}
+
 TEST(Histogram, BucketsAndOverflow) {
   Histogram h(0.0, 10.0, 5);
   for (double x : {-1.0, 0.0, 1.9, 2.0, 9.9, 10.0, 42.0}) h.add(x);

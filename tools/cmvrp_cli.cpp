@@ -8,11 +8,15 @@
 //   cmvrp gen      --workload uniform|clustered|line|point|square
 //                  [--n N] [--count C] [--d D] [--seed S]  emit a demand file
 //   cmvrp fig41    --r1 R                                 Chapter 4 example
+//   cmvrp stream   [--scenario NAME | --file demand.txt]  sharded streaming
+//                  [--threads T] [--batch B] [--jobs J] [--n N] [--order o]
+//                  [--capacity W] [--side S] [--seed S] [--json PATH]
 //   cmvrp bench    --suite NAME [--reps N] [--warmup N]   experiment suites
 //                  [--filter S] [--json PATH] | --list | --scenarios
 //
 // Demand files: lines of "x y demand" (see src/workload/io.h).
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -22,10 +26,13 @@
 #include "core/bounds.h"
 #include "core/offline_planner.h"
 #include "exp/harness.h"
+#include "exp/json.h"
 #include "exp/scenario.h"
 #include "exp/suites.h"
 #include "online/capacity_search.h"
+#include "stream/engine.h"
 #include "util/table.h"
+#include "util/timer.h"
 #include "viz/ascii.h"
 #include "workload/generators.h"
 #include "workload/io.h"
@@ -112,15 +119,18 @@ int cmd_plan(const Args& args) {
   return check.ok ? 0 : 1;
 }
 
+ArrivalOrder order_from_args(const Args& args) {
+  const std::string order_name = args.get("order", "shuffled");
+  if (order_name == "sorted") return ArrivalOrder::kSorted;
+  if (order_name == "roundrobin") return ArrivalOrder::kRoundRobin;
+  CMVRP_CHECK_MSG(order_name == "shuffled", "unknown --order");
+  return ArrivalOrder::kShuffled;
+}
+
 int cmd_online(const Args& args) {
   const DemandMap d = demand_from_args(args);
-  const std::string order_name = args.get("order", "shuffled");
-  ArrivalOrder order = ArrivalOrder::kShuffled;
-  if (order_name == "sorted") order = ArrivalOrder::kSorted;
-  else if (order_name == "roundrobin") order = ArrivalOrder::kRoundRobin;
-  else CMVRP_CHECK_MSG(order_name == "shuffled", "unknown --order");
   Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
-  const auto jobs = stream_from_demand(d, order, rng);
+  const auto jobs = stream_from_demand(d, order_from_args(args), rng);
 
   OnlineConfig cfg = default_online_config(
       d, static_cast<std::uint64_t>(args.get_int("seed", 1)));
@@ -189,6 +199,98 @@ int cmd_fig41(const Args& args) {
   return 0;
 }
 
+// Sharded streaming engine front end. The job stream comes from (in
+// priority order) --scenario NAME (registry), --file demand.txt (expanded
+// with --order/--seed), or a synthetic uniform stream of --jobs arrivals
+// on an --n x --n box.
+int cmd_stream(const Args& args) {
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 1));
+  std::vector<Job> jobs;
+  int dim = 2;
+  if (args.has("scenario")) {
+    const Scenario& sc =
+        ScenarioRegistry::builtin().at(args.get("scenario", ""));
+    jobs = sc.jobs();
+    dim = sc.dim;
+  } else if (args.has("file")) {
+    const DemandMap d = demand_from_args(args);
+    Rng rng(seed);
+    jobs = stream_from_demand(d, order_from_args(args), rng);
+    dim = d.dim();
+  } else {
+    const std::int64_t n = args.get_int("n", 64);
+    const std::int64_t count = args.get_int("jobs", 10000);
+    Rng rng(seed);
+    const Box box(Point{0, 0}, Point{n - 1, n - 1});
+    const DemandMap d = uniform_demand(box, count, rng);
+    Rng order(seed + 1);
+    jobs = stream_from_demand(d, order_from_args(args), order);
+  }
+  CMVRP_CHECK_MSG(!jobs.empty(), "stream has no jobs");
+
+  StreamConfig cfg;
+  cfg.threads = static_cast<int>(args.get_int("threads", 1));
+  cfg.batch_size = args.get_int("batch", 256);
+  cfg.online.seed = seed;
+  if (args.has("capacity") || args.has("side")) {
+    cfg.online.capacity = args.get_double("capacity", 32.0);
+    cfg.online.cube_side = args.get_int("side", 4);
+    cfg.online.anchor = Point::origin(dim);
+  } else {
+    cfg.online = default_online_config(demand_of_stream(jobs, dim), seed);
+  }
+
+  WallTimer timer;
+  const StreamResult r = serve_stream(dim, cfg, jobs);
+  const double ms = timer.elapsed_ms();
+  const double jobs_per_sec =
+      ms > 0.0 ? 1000.0 * static_cast<double>(jobs.size()) / ms : 0.0;
+
+  Table t({"metric", "value"});
+  t.row().cell("threads").cell(static_cast<std::int64_t>(cfg.threads));
+  t.row().cell("batch size").cell(cfg.batch_size);
+  t.row().cell("capacity W").cell(cfg.online.capacity);
+  t.row().cell("cube side").cell(cfg.online.cube_side);
+  t.row().cell("jobs").cell(r.jobs_ingested);
+  t.row().cell("batches").cell(r.batches);
+  t.row().cell("cubes").cell(r.cubes);
+  t.row().cell("served").cell(r.metrics.jobs_served);
+  t.row().cell("failed").cell(r.metrics.jobs_failed);
+  t.row().cell("replacements").cell(r.metrics.replacements);
+  t.row().cell("messages total").cell(r.metrics.network.total());
+  t.row().cell("max energy spent").cell(r.metrics.max_energy_spent);
+  t.row().cell("wall ms").cell(ms);
+  t.row().cell("jobs/sec").cell(jobs_per_sec);
+  t.print(std::cout);
+
+  if (args.has("json")) {
+    Json doc = Json::object();
+    doc.set("schema", "cmvrp-stream-v1");
+    doc.set("threads", static_cast<std::int64_t>(cfg.threads));
+    doc.set("batch_size", cfg.batch_size);
+    doc.set("capacity", cfg.online.capacity);
+    doc.set("cube_side", cfg.online.cube_side);
+    doc.set("seed", static_cast<std::uint64_t>(seed));
+    doc.set("jobs", r.jobs_ingested);
+    doc.set("batches", r.batches);
+    doc.set("cubes", r.cubes);
+    doc.set("served", r.metrics.jobs_served);
+    doc.set("failed", r.metrics.jobs_failed);
+    doc.set("replacements", r.metrics.replacements);
+    doc.set("messages", r.metrics.network.total());
+    doc.set("max_energy", r.metrics.max_energy_spent);
+    doc.set("wall_ms", ms);
+    doc.set("jobs_per_sec", jobs_per_sec);
+    std::ofstream out(args.get("json", ""));
+    CMVRP_CHECK_MSG(out.good(), "cannot open --json path");
+    out << doc.dump(2) << "\n";
+    out.flush();
+    CMVRP_CHECK_MSG(out.good(), "failed writing --json artifact");
+  }
+  return r.metrics.jobs_failed == 0 ? 0 : 1;
+}
+
 int cmd_bench(const Args& args) {
   register_builtin_suites();
   // parse_args maps a valueless flag to the sentinel "true"; every bench
@@ -223,13 +325,17 @@ int cmd_bench(const Args& args) {
 }
 
 int usage(std::ostream& os, int exit_code) {
-  os << "usage: cmvrp <bounds|plan|online|won|gen|fig41|bench> [--flags]\n"
+  os << "usage: cmvrp <bounds|plan|online|won|gen|fig41|stream|bench> "
+         "[--flags]\n"
          "  bounds --file d.txt            offline bounds (Thm 1.4.1)\n"
          "  plan   --file d.txt [--ascii]  Lemma 2.2.5 plan + verification\n"
          "  online --file d.txt [--capacity W] [--order o] [--seed s]\n"
          "  won    --file d.txt [--tol t]  bisect empirical Won\n"
          "  gen    --workload k [--n N] [--count C] [--d D] [--seed s]\n"
          "  fig41  --r1 R [--r2 R2]        Chapter 4 counterexample\n"
+         "  stream [--scenario name | --file d.txt] [--threads T]\n"
+         "         [--batch B] [--jobs J] [--n N] [--order o] [--capacity W]\n"
+         "         [--side S] [--seed s] [--json out]  sharded streaming\n"
          "  bench  --suite s [--reps N] [--warmup N] [--filter f]\n"
          "         [--json out.json]       run an experiment suite\n"
          "  bench  --list | --scenarios    list suites / workload scenarios\n";
@@ -250,6 +356,7 @@ int main(int argc, char** argv) {
     if (args.command == "won") return cmd_won(args);
     if (args.command == "gen") return cmd_gen(args);
     if (args.command == "fig41") return cmd_fig41(args);
+    if (args.command == "stream") return cmd_stream(args);
     if (args.command == "bench") return cmd_bench(args);
     return usage(std::cerr, 2);
   } catch (const std::exception& e) {  // check_error, stoll/stod failures
