@@ -1,0 +1,10 @@
+// E16 — out-of-core trace replay: bit-identical equivalence with
+// in-memory serving, plus replay throughput vs the in-memory
+// stream_scaling baseline. Scenario and metrics live in the
+// "stream_replay" harness suite (src/exp/suites.cpp); run with --json to
+// emit BENCH_stream_replay.json.
+#include "exp/harness.h"
+
+int main(int argc, char** argv) {
+  return cmvrp::bench_driver_main("stream_replay", argc, argv);
+}

@@ -4,6 +4,7 @@
 
 #include "util/check.h"
 #include "util/rng.h"
+#include "workload/stream_gen.h"
 
 namespace cmvrp {
 
@@ -304,6 +305,109 @@ ScenarioRegistry build_builtin() {
                     Box(Point{1, 1, 1, 1}, Point{1, 1, 1, 1}),
                     [] { return point_demand(40.0, Point{1, 1, 1, 1}); },
                     508));
+
+  // --- higher-dimension *stream* scenarios (stream_smoke/stream_scaling:
+  // dim_sweep covers offline+online; these give the engine ℓ = 3/4 work) -
+  r.add(from_demand("uniform3d/8x8x8/n1500", "uniform3d",
+                    "1500 unit demands in an 8^3 box (stream smoke, l = 3)",
+                    Box(Point{0, 0, 0}, Point{7, 7, 7}),
+                    [] {
+                      Rng rng(601);
+                      return uniform_demand(
+                          Box(Point{0, 0, 0}, Point{7, 7, 7}), 1500, rng);
+                    },
+                    602));
+  r.add(from_demand("uniform4d/6x6x6x6/n1000", "uniform4d",
+                    "1000 unit demands in a 6^4 box (stream smoke, l = 4)",
+                    Box(Point{0, 0, 0, 0}, Point{5, 5, 5, 5}),
+                    [] {
+                      Rng rng(603);
+                      return uniform_demand(
+                          Box(Point{0, 0, 0, 0}, Point{5, 5, 5, 5}), 1000,
+                          rng);
+                    },
+                    604));
+  r.add(from_demand("uniform3d/16x16x16/n8000", "uniform3d",
+                    "8000 unit demands in a 16^3 box (stream scaling, l = 3)",
+                    Box(Point{0, 0, 0}, Point{15, 15, 15}),
+                    [] {
+                      Rng rng(605);
+                      return uniform_demand(
+                          Box(Point{0, 0, 0}, Point{15, 15, 15}), 8000, rng);
+                    },
+                    606));
+  r.add(from_demand("uniform4d/8x8x8x8/n4000", "uniform4d",
+                    "4000 unit demands in an 8^4 box (stream scaling, l = 4)",
+                    Box(Point{0, 0, 0, 0}, Point{7, 7, 7, 7}),
+                    [] {
+                      Rng rng(607);
+                      return uniform_demand(
+                          Box(Point{0, 0, 0, 0}, Point{7, 7, 7, 7}), 4000,
+                          rng);
+                    },
+                    608));
+
+  // --- streaming adversarial generators (workload/stream_gen.h) -----------
+  // The same sink-based generators that emit straight into trace files;
+  // collected here so suites can name them. Spans are cubes·side per axis.
+  r.add(from_stream("rrboundary/s4c8/n4000", "rrboundary",
+                    "round-robin across cube walls, side 4, 8 cubes/axis",
+                    Box(Point{0, 0}, Point{31, 31}), [] {
+                      return collect_jobs([](const JobSink& sink) {
+                        boundary_round_robin_stream(2, 4, 8, 4000, sink);
+                      });
+                    }));
+  r.add(from_stream("rrboundary3d/s4c4/n3000", "rrboundary3d",
+                    "round-robin across cube walls in 3-D, side 4, 4 cubes",
+                    Box(Point{0, 0, 0}, Point{15, 15, 15}), [] {
+                      return collect_jobs([](const JobSink& sink) {
+                        boundary_round_robin_stream(3, 4, 4, 3000, sink);
+                      });
+                    }));
+  r.add(from_stream("hotspot/s4c8/n4000/b64", "hotspot",
+                    "bursty hotspot migration, bursts of 64 across 64 cubes",
+                    Box(Point{0, 0}, Point{31, 31}), [] {
+                      return collect_jobs([](const JobSink& sink) {
+                        Rng rng(611);
+                        bursty_hotspot_stream(2, 4, 8, 4000, 64, rng, sink);
+                      });
+                    }));
+  r.add(from_stream("hotspot3d/s4c4/n2400/b48", "hotspot3d",
+                    "bursty hotspot migration in 3-D, bursts of 48",
+                    Box(Point{0, 0, 0}, Point{15, 15, 15}), [] {
+                      return collect_jobs([](const JobSink& sink) {
+                        Rng rng(612);
+                        bursty_hotspot_stream(3, 4, 4, 2400, 48, rng, sink);
+                      });
+                    }));
+  r.add(from_stream("hotspot4d/s2c3/n1200/b32", "hotspot4d",
+                    "bursty hotspot migration in 4-D, bursts of 32",
+                    Box(Point{0, 0, 0, 0}, Point{5, 5, 5, 5}), [] {
+                      return collect_jobs([](const JobSink& sink) {
+                        Rng rng(613);
+                        bursty_hotspot_stream(4, 2, 3, 1200, 32, rng, sink);
+                      });
+                    }));
+  r.add(from_stream("gradient/32x32/n4000/sg2", "gradient",
+                    "drifting-gradient arrivals, sigma 2",
+                    Box(Point{0, 0}, Point{31, 31}), [] {
+                      return collect_jobs([](const JobSink& sink) {
+                        Rng rng(614);
+                        drifting_gradient_stream(
+                            Box(Point{0, 0}, Point{31, 31}), 4000, 2.0, rng,
+                            sink);
+                      });
+                    }));
+  r.add(from_stream("gradient4d/6x6x6x6/n1200/sg1", "gradient4d",
+                    "drifting-gradient arrivals in 4-D, sigma 1",
+                    Box(Point{0, 0, 0, 0}, Point{5, 5, 5, 5}), [] {
+                      return collect_jobs([](const JobSink& sink) {
+                        Rng rng(615);
+                        drifting_gradient_stream(
+                            Box(Point{0, 0, 0, 0}, Point{5, 5, 5, 5}), 1200,
+                            1.0, rng, sink);
+                      });
+                    }));
 
   // --- heavy-tailed grids (Algorithm 1 benches) ---------------------------
   for (const std::int64_t n : {16, 32, 64, 128}) {

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <filesystem>
 #include <optional>
+#include <random>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -30,6 +33,9 @@
 #include "sim/event_queue.h"
 #include "sim/network.h"
 #include "stream/engine.h"
+#include "trace/reader.h"
+#include "trace/replay.h"
+#include "trace/writer.h"
 #include "transfer/cube_collector.h"
 #include "transfer/line_collector.h"
 #include "transfer/theorem51.h"
@@ -38,6 +44,7 @@
 #include "vrp/cvrp.h"
 #include "vrp/greedy_baseline.h"
 #include "workload/generators.h"
+#include "workload/stream_gen.h"
 
 namespace cmvrp {
 
@@ -810,6 +817,44 @@ bool same_stream_outcome(const StreamResult& a, const StreamResult& b) {
          a.failed_jobs == b.failed_jobs && a.cubes == b.cubes;
 }
 
+// Shared by the stream suites' "dims" sections: runs each named ℓ = 3/4
+// scenario at 1 and 2 threads under the theory config, asserting the
+// thread-count determinism contract (and, when `require_complete`,
+// zero dropped jobs).
+void run_dim_stream_cases(BenchRun& b, BenchSection& section,
+                          const std::vector<std::string>& names,
+                          std::int64_t batch_size, bool require_complete) {
+  for (const auto& name : names) {
+    const Scenario& sc = ScenarioRegistry::builtin().at(name);
+    const auto jobs = sc.jobs();
+    StreamConfig cfg;
+    cfg.online = default_online_config(demand_of_stream(jobs, sc.dim), 7);
+    cfg.batch_size = batch_size;
+    std::optional<StreamResult> reference;
+    for (const int threads : {1, 2}) {
+      section.run_case(
+          name + "/threads=" + std::to_string(threads),
+          [&b, &sc, &jobs, cfg, &reference, require_complete,
+           threads](MetricRow& row) {
+            StreamConfig c = cfg;
+            c.threads = threads;
+            const StreamProbe p = probe_stream(sc.dim, c, jobs);
+            if (!reference) reference = p.result;
+            else if (!same_stream_outcome(*reference, p.result))
+              b.fail(sc.name + ": thread count changed the stream outcome");
+            if (require_complete && p.result.metrics.jobs_failed != 0)
+              b.fail(sc.name + ": theory capacity dropped jobs at l = " +
+                     std::to_string(sc.dim));
+            row.metric("l", sc.dim)
+                .metric("served", p.result.metrics.jobs_served)
+                .metric("failed", p.result.metrics.jobs_failed)
+                .metric("cubes", p.result.cubes)
+                .metric("jobs/sec", p.jobs_per_sec, 0);
+          });
+    }
+  }
+}
+
 // E14 — streaming engine CI gate: small stream, the 1-vs-2-thread
 // determinism contract, seconds total.
 void suite_stream_smoke(BenchRun& b) {
@@ -839,9 +884,18 @@ void suite_stream_smoke(BenchRun& b) {
                      .metric("jobs/sec", p.jobs_per_sec, 0);
                });
   }
+
+  // ℓ = 3 and ℓ = 4 streams: the same determinism contract must hold in
+  // every dimension the engine serves (dim_sweep covers offline+online
+  // only). Theory capacity, so complete service is also asserted.
+  run_dim_stream_cases(b, b.section("dims"),
+                       {"uniform3d/8x8x8/n1500", "uniform4d/6x6x6x6/n1000"},
+                       /*batch_size=*/128, /*require_complete=*/true);
+
   b.note("Stream smoke: 2000 jobs over 64 cubes; 1-thread and 2-thread "
          "runs must be bit-identical (all nondeterminism lives in per-cube "
-         "seeds).");
+         "seeds) — and the same contract holds for the l = 3/4 streams at "
+         "theory capacity.");
 }
 
 // E15 — streaming engine scaling: throughput vs threads and batch size on
@@ -905,10 +959,137 @@ void suite_stream_scaling(BenchRun& b) {
                      });
   }
 
+  // Large ℓ = 3/4 streams: throughput and determinism in higher
+  // dimensions (the engine's per-cube fleets are side^l vehicles, so
+  // jobs/sec legitimately drops with l; the artifact tracks by how much).
+  run_dim_stream_cases(b, b.section("dims"),
+                       {"uniform3d/16x16x16/n8000", "uniform4d/8x8x8x8/n4000"},
+                       /*batch_size=*/256, /*require_complete=*/false);
+
   b.note("Stream scaling: 20000 jobs over 256 cubes (side 4). Outcomes "
          "are bit-identical across every thread count and batch size; "
          "speedup tracks physical cores (the 'hw threads' column says what "
-         "this machine can show).");
+         "this machine can show). The dims section extends both claims to "
+         "l = 3 and l = 4 streams.");
+}
+
+// E16 — out-of-core trace replay: bounded-memory replay off an mmap-ed
+// trace must be bit-identical to in-memory serving at every thread
+// count, and the artifact tracks replay jobs/sec against the in-memory
+// stream_scaling baseline.
+void suite_stream_replay(BenchRun& b) {
+  // Per-run unique names: two concurrent suite runs on one machine must
+  // not truncate each other's trace files mid-replay.
+  const std::string token = [] {
+    std::random_device rd;
+    std::ostringstream os;
+    os << std::hex << rd() << rd();
+    return os.str();
+  }();
+  const std::string dir =
+      std::filesystem::temp_directory_path().string() + "/";
+  const std::string hotspot_trace =
+      dir + "cmvrp_replay_hotspot_" + token + ".trace";
+  const std::string scaling_trace =
+      dir + "cmvrp_replay_scaling_" + token + ".trace";
+  struct FileRemover {  // cleanup even when a check_error escapes a case
+    std::string path;
+    ~FileRemover() { std::remove(path.c_str()); }
+  };
+  const FileRemover remove_hotspot{hotspot_trace};
+  const FileRemover remove_scaling{scaling_trace};
+
+  // Producer side of the out-of-core path: streaming generator →
+  // TraceWriter, one record at a time, no job vector.
+  {
+    TraceWriter writer(hotspot_trace, 2);
+    Rng rng(611);
+    bursty_hotspot_stream(2, 4, 8, 4000, 64, rng,
+                          [&writer](const Job& job) { writer.append(job); });
+    writer.close();
+  }
+
+  // In-memory baseline: the trace's own bytes read back into one vector.
+  // Replay equivalence compares bounded replay against serving the
+  // identical jobs from memory — no cross-file coupling to the registry
+  // scenario's generator parameters.
+  const std::vector<Job> jobs = [&hotspot_trace] {
+    TraceReader reader(hotspot_trace);
+    return reader.read_all();
+  }();
+  StreamConfig cfg;
+  cfg.online.capacity = 24.0;
+  cfg.online.cube_side = 4;  // engine cubes align with the generator's walls
+  cfg.online.anchor = Point{0, 0};
+  cfg.online.seed = 7;
+  cfg.batch_size = 256;
+  const StreamProbe memory = probe_stream(2, cfg, jobs);
+
+  BenchSection& eq = b.section("equivalence");
+  for (const int threads : {1, 2, 8}) {
+    eq.run_case("threads=" + std::to_string(threads),
+                [&, threads](MetricRow& row) {
+                  StreamConfig c = cfg;
+                  c.threads = threads;
+                  TraceReader reader(hotspot_trace);
+                  TraceReplayer replayer(2, c);
+                  WallTimer timer;
+                  const StreamResult r = replayer.replay(reader);
+                  const double ms = timer.elapsed_ms();
+                  if (!same_stream_outcome(memory.result, r))
+                    b.fail("trace replay diverged from in-memory serving at "
+                           "threads=" +
+                           std::to_string(threads));
+                  row.metric("served", r.metrics.jobs_served)
+                      .metric("failed", r.metrics.jobs_failed)
+                      .metric("cubes", r.cubes)
+                      .metric_bool("mmap", reader.mapped())
+                      .metric("chunk jobs",
+                              static_cast<std::uint64_t>(
+                                  replayer.chunk_jobs()))
+                      .metric("jobs/sec",
+                              ms > 0.0 ? 1000.0 *
+                                             static_cast<double>(jobs.size()) /
+                                             ms
+                                       : 0.0,
+                              0);
+                });
+  }
+
+  // Replay throughput vs the in-memory stream_scaling baseline on the
+  // same 20000-job stream.
+  const Scenario& big = ScenarioRegistry::builtin().at("uniform/64x64/n20000");
+  const auto big_jobs = big.jobs();
+  {
+    TraceWriter writer(scaling_trace, 2);
+    writer.append(big_jobs.data(), big_jobs.size());
+    writer.close();
+  }
+  BenchSection& tp = b.section("throughput");
+  tp.run_case("memory/64x64/n20000", [&](MetricRow& row) {
+    const StreamProbe p = probe_stream(2, cfg, big_jobs);
+    row.metric("served", p.result.metrics.jobs_served)
+        .metric("jobs/sec", p.jobs_per_sec, 0);
+  });
+  tp.run_case("replay/64x64/n20000", [&](MetricRow& row) {
+    TraceReader reader(scaling_trace);
+    TraceReplayer replayer(2, cfg);
+    WallTimer timer;
+    const StreamResult r = replayer.replay(reader);
+    const double ms = timer.elapsed_ms();
+    row.metric("served", r.metrics.jobs_served)
+        .metric("jobs/sec",
+                ms > 0.0
+                    ? 1000.0 * static_cast<double>(big_jobs.size()) / ms
+                    : 0.0,
+                0);
+  });
+
+  b.note("Replay equivalence: TraceReplayer over the generator-written "
+         "trace is bit-identical to in-memory serve_stream at threads 1/2/8 "
+         "(peak job storage is one engine batch, not the trace). The "
+         "throughput section prices the mmap decode against the in-memory "
+         "baseline on the stream_scaling workload.");
 }
 
 // CI smoke: one tiny offline case and one tiny online case, seconds total.
@@ -1018,6 +1199,10 @@ void register_builtin_suites() {
                     "E15: streaming engine throughput vs threads/batch on "
                     "the large-grid stream",
                     suite_stream_scaling});
+    register_suite({"stream_replay",
+                    "E16: out-of-core trace replay — equivalence with "
+                    "in-memory serving and replay throughput",
+                    suite_stream_replay});
     register_suite({"smoke",
                     "CI quick gate: tiny offline sandwich + tiny online run",
                     suite_smoke});

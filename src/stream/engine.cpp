@@ -21,9 +21,13 @@ StreamEngine::StreamEngine(int dim, const StreamConfig& config)
 }
 
 void StreamEngine::ingest(const std::vector<Job>& jobs) {
+  ingest(jobs.data(), jobs.size());
+}
+
+void StreamEngine::ingest(const Job* jobs, std::size_t count) {
   const auto batch = static_cast<std::size_t>(config_.batch_size);
-  for (std::size_t off = 0; off < jobs.size(); off += batch)
-    run_batch(jobs.data() + off, std::min(batch, jobs.size() - off));
+  for (std::size_t off = 0; off < count; off += batch)
+    run_batch(jobs + off, std::min(batch, count - off));
 }
 
 void StreamEngine::run_batch(const Job* jobs, std::size_t count) {

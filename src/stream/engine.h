@@ -59,8 +59,11 @@ class StreamEngine {
 
   // Consumes a stream segment: splits it into bounded batches, routes
   // each batch to shards, and serves the batches one barrier at a time.
-  // May be called repeatedly (the online front end).
+  // May be called repeatedly (the online front end). The pointer overload
+  // lets out-of-core callers (trace replay) feed reused buffers without
+  // constructing a vector per segment.
   void ingest(const std::vector<Job>& jobs);
+  void ingest(const Job* jobs, std::size_t count);
 
   // Finalizes and merges every cube's results. The engine stays usable:
   // further ingest() calls continue from the same fleet state.

@@ -1,0 +1,88 @@
+// cmvrp-trace-v1: the binary, little-endian, mmap-able job-trace format.
+//
+// Layout (all integers little-endian, regardless of host endianness):
+//   offset  size  field
+//        0     8  magic      "cmvrptrc"
+//        8     4  version    (= 1)
+//       12     4  dim        (1 .. Point::kMaxDim)
+//       16     8  job_count
+//       24     8  flags      (reserved; must be 0 in v1)
+//       32     …  records    job_count records of (dim + 1) int64 fields:
+//                            the dim coordinates, then the arrival index.
+//
+// Fixed-width records make the format seekable and mmap-friendly: record
+// k starts at byte kTraceHeaderSize + k * trace_record_size(dim), so a
+// reader can decode any bounded window of an arbitrarily large trace
+// without touching the rest of the file. TraceWriter streams records and
+// patches job_count on close, so traces can be produced without ever
+// knowing (or materializing) the stream length up front.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cmvrp {
+
+inline constexpr unsigned char kTraceMagic[8] = {'c', 'm', 'v', 'r',
+                                                 'p', 't', 'r', 'c'};
+inline constexpr std::uint32_t kTraceVersion = 1;
+inline constexpr std::size_t kTraceHeaderSize = 32;
+
+// Byte offsets of the header fields (for error messages and tests).
+inline constexpr std::size_t kTraceMagicOffset = 0;
+inline constexpr std::size_t kTraceVersionOffset = 8;
+inline constexpr std::size_t kTraceDimOffset = 12;
+inline constexpr std::size_t kTraceCountOffset = 16;
+inline constexpr std::size_t kTraceFlagsOffset = 24;
+
+// Bytes per job record: dim coordinates plus the arrival index.
+inline constexpr std::size_t trace_record_size(int dim) {
+  return static_cast<std::size_t>(dim + 1) * sizeof(std::int64_t);
+}
+
+// Byte-wise little-endian scalar codecs (host-endianness-proof).
+inline void store_le32(unsigned char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+inline void store_le64(unsigned char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+inline std::uint32_t load_le32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+inline std::uint64_t load_le64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+inline void store_le_i64(unsigned char* p, std::int64_t v) {
+  store_le64(p, static_cast<std::uint64_t>(v));
+}
+
+inline std::int64_t load_le_i64(const unsigned char* p) {
+  return static_cast<std::int64_t>(load_le64(p));
+}
+
+struct TraceHeader {
+  std::uint32_t version = kTraceVersion;
+  std::uint32_t dim = 0;
+  std::uint64_t job_count = 0;
+  std::uint64_t flags = 0;
+};
+
+inline void encode_trace_header(const TraceHeader& h,
+                                unsigned char out[kTraceHeaderSize]) {
+  for (std::size_t i = 0; i < sizeof(kTraceMagic); ++i) out[i] = kTraceMagic[i];
+  store_le32(out + kTraceVersionOffset, h.version);
+  store_le32(out + kTraceDimOffset, h.dim);
+  store_le64(out + kTraceCountOffset, h.job_count);
+  store_le64(out + kTraceFlagsOffset, h.flags);
+}
+
+}  // namespace cmvrp

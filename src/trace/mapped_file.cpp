@@ -1,0 +1,105 @@
+#include "trace/mapped_file.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CMVRP_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define CMVRP_HAVE_MMAP 0
+#include <fstream>
+#endif
+
+namespace cmvrp {
+
+#if CMVRP_HAVE_MMAP
+
+MappedFile::MappedFile(const std::string& path) : path_(path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  CMVRP_CHECK_MSG(fd >= 0, "cannot open trace file: " << path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    CMVRP_CHECK_MSG(false, "cannot stat trace file: " << path);
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ > 0) {
+    void* addr = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      ::close(fd);
+      CMVRP_CHECK_MSG(false, "mmap failed for trace file: " << path);
+    }
+    data_ = static_cast<const unsigned char*>(addr);
+    mapped_ = true;
+  }
+  ::close(fd);  // the mapping stays valid without the descriptor
+}
+
+void MappedFile::release() noexcept {
+  if (mapped_ && data_ != nullptr)
+    ::munmap(const_cast<unsigned char*>(data_), size_);
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+#else  // fallback: read the whole file into an owned buffer
+
+MappedFile::MappedFile(const std::string& path) : path_(path) {
+  std::ifstream in(path, std::ios::binary);
+  CMVRP_CHECK_MSG(in.good(), "cannot open trace file: " << path);
+  in.seekg(0, std::ios::end);
+  size_ = static_cast<std::size_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  fallback_.resize(size_);
+  if (size_ > 0) {
+    in.read(reinterpret_cast<char*>(fallback_.data()),
+            static_cast<std::streamsize>(size_));
+    CMVRP_CHECK_MSG(in.good(), "cannot read trace file: " << path);
+    data_ = fallback_.data();
+  }
+}
+
+void MappedFile::release() noexcept {
+  fallback_.clear();
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+#endif  // CMVRP_HAVE_MMAP
+
+MappedFile::~MappedFile() { release(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : path_(std::move(other.path_)),
+      data_(other.data_),
+      size_(other.size_),
+      mapped_(other.mapped_),
+      fallback_(std::move(other.fallback_)) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    release();
+    path_ = std::move(other.path_);
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    fallback_ = std::move(other.fallback_);
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+  }
+  return *this;
+}
+
+}  // namespace cmvrp

@@ -1,0 +1,45 @@
+// Read-only file mapping behind one RAII class.
+//
+// On POSIX the file is mmap-ed (zero-copy: the OS pages trace bytes in
+// and out on demand, so resident memory is bounded by the working set,
+// not the file size). Platforms without mmap fall back to reading the
+// whole file into an owned buffer — same interface, weaker memory bound;
+// mapped() reports which path is live so tests and tools can tell.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cmvrp {
+
+class MappedFile {
+ public:
+  // Opens and maps `path`; throws check_error when the file cannot be
+  // opened. An empty file yields size() == 0 and a null data pointer.
+  explicit MappedFile(const std::string& path);
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const unsigned char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  // True when backed by a real mmap; false on the read-fallback path.
+  bool mapped() const { return mapped_; }
+
+ private:
+  void release() noexcept;
+
+  std::string path_;
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<unsigned char> fallback_;  // owns the bytes when !mapped_
+};
+
+}  // namespace cmvrp

@@ -1,0 +1,93 @@
+#include "trace/reader.h"
+
+#include <algorithm>
+
+#include "grid/point.h"
+#include "util/check.h"
+
+namespace cmvrp {
+
+TraceReader::TraceReader(const std::string& path) : file_(path) {
+  CMVRP_CHECK_MSG(file_.size() >= kTraceHeaderSize,
+                  "trace too short: " << file_.size() << " bytes, header is "
+                                      << kTraceHeaderSize << ": " << path);
+  const unsigned char* bytes = file_.data();
+  for (std::size_t i = 0; i < sizeof(kTraceMagic); ++i) {
+    CMVRP_CHECK_MSG(bytes[i] == kTraceMagic[i],
+                    "bad trace magic at byte offset "
+                        << kTraceMagicOffset + i << " (not a cmvrp trace): "
+                        << path);
+  }
+  header_.version = load_le32(bytes + kTraceVersionOffset);
+  CMVRP_CHECK_MSG(header_.version == kTraceVersion,
+                  "unsupported trace version " << header_.version
+                                               << " at byte offset "
+                                               << kTraceVersionOffset
+                                               << " (expected " << kTraceVersion
+                                               << "): " << path);
+  header_.dim = load_le32(bytes + kTraceDimOffset);
+  CMVRP_CHECK_MSG(header_.dim >= 1 &&
+                      header_.dim <= static_cast<std::uint32_t>(Point::kMaxDim),
+                  "bad trace dim " << header_.dim << " at byte offset "
+                                   << kTraceDimOffset << " (must be 1.."
+                                   << Point::kMaxDim << "): " << path);
+  header_.job_count = load_le64(bytes + kTraceCountOffset);
+  header_.flags = load_le64(bytes + kTraceFlagsOffset);
+  CMVRP_CHECK_MSG(header_.flags == 0,
+                  "unknown trace flags 0x" << std::hex << header_.flags
+                                           << std::dec << " at byte offset "
+                                           << kTraceFlagsOffset << ": "
+                                           << path);
+
+  const std::size_t record_size = trace_record_size(dim());
+  const std::size_t payload = file_.size() - kTraceHeaderSize;
+  const std::uint64_t whole_records = payload / record_size;
+  CMVRP_CHECK_MSG(payload % record_size == 0,
+                  "truncated trace record: record "
+                      << whole_records << " at byte offset "
+                      << kTraceHeaderSize + whole_records * record_size
+                      << " has only " << payload % record_size << " of "
+                      << record_size << " bytes: " << path);
+  CMVRP_CHECK_MSG(whole_records == header_.job_count,
+                  "trace count/size disagreement: header at byte offset "
+                      << kTraceCountOffset << " claims " << header_.job_count
+                      << " records but " << payload << " payload bytes hold "
+                      << whole_records << ": " << path);
+}
+
+std::size_t TraceReader::next_batch(Job* out, std::size_t max_jobs) {
+  const std::size_t n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(max_jobs, remaining()));
+  const std::size_t record_size = trace_record_size(dim());
+  const unsigned char* record =
+      file_.data() + kTraceHeaderSize + next_ * record_size;
+  for (std::size_t k = 0; k < n; ++k, record += record_size) {
+    Point p = Point::origin(dim());
+    for (int i = 0; i < dim(); ++i)
+      p[i] = load_le_i64(record + static_cast<std::size_t>(i) * 8);
+    out[k].position = p;
+    out[k].index = load_le_i64(record + static_cast<std::size_t>(dim()) * 8);
+  }
+  next_ += n;
+  return n;
+}
+
+std::vector<Job> TraceReader::read_all() {
+  reset();
+  std::vector<Job> jobs(static_cast<std::size_t>(job_count()));
+  const std::size_t n = next_batch(jobs.data(), jobs.size());
+  jobs.resize(n);
+  return jobs;
+}
+
+DemandMap trace_demand(TraceReader& reader) {
+  reader.reset();
+  DemandMap d(reader.dim());
+  std::vector<Job> chunk(4096);
+  while (const std::size_t n = reader.next_batch(chunk.data(), chunk.size()))
+    for (std::size_t i = 0; i < n; ++i) d.add(chunk[i].position, 1.0);
+  reader.reset();
+  return d;
+}
+
+}  // namespace cmvrp

@@ -1,0 +1,62 @@
+// TraceReader: mmap-backed, bounded-memory iteration over a
+// cmvrp-trace-v1 file.
+//
+// The constructor validates the header and the size arithmetic (magic,
+// version, dim, flags, truncated records, count/size disagreement) and
+// throws check_error with the offending byte offset. next_batch()
+// decodes a bounded window of records straight off the mapping into a
+// caller-provided buffer, so iterating a trace of any length costs
+// O(batch) memory — the out-of-core contract the replayer builds on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grid/demand_map.h"
+#include "trace/format.h"
+#include "trace/mapped_file.h"
+#include "workload/generators.h"
+
+namespace cmvrp {
+
+class TraceReader {
+ public:
+  // Opens, maps, and validates; throws check_error on malformed input.
+  explicit TraceReader(const std::string& path);
+
+  int dim() const { return static_cast<int>(header_.dim); }
+  std::uint64_t job_count() const { return header_.job_count; }
+  std::uint64_t flags() const { return header_.flags; }
+  const std::string& path() const { return file_.path(); }
+
+  // True when served by a real mmap (false on the read-fallback path).
+  bool mapped() const { return file_.mapped(); }
+
+  // Decodes up to max_jobs records into `out`, returns the number
+  // decoded (0 at end of trace), and advances the cursor.
+  std::size_t next_batch(Job* out, std::size_t max_jobs);
+
+  // Records not yet consumed by next_batch().
+  std::uint64_t remaining() const { return header_.job_count - next_; }
+
+  // Rewinds the cursor to the first record.
+  void reset() { next_ = 0; }
+
+  // Convenience for small traces and tests: materializes every record.
+  // Out-of-core callers must use next_batch() instead.
+  std::vector<Job> read_all();
+
+ private:
+  MappedFile file_;
+  TraceHeader header_;
+  std::uint64_t next_ = 0;  // index of the next unread record
+};
+
+// Induces the demand map of a trace in one bounded pass (memory is
+// O(distinct positions), not trace length) and rewinds the cursor —
+// how front ends size a fleet for a stream they never materialize.
+DemandMap trace_demand(TraceReader& reader);
+
+}  // namespace cmvrp

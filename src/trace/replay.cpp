@@ -1,0 +1,28 @@
+#include "trace/replay.h"
+
+#include "util/check.h"
+
+namespace cmvrp {
+
+TraceReplayer::TraceReplayer(int dim, const StreamConfig& config)
+    : engine_(dim, config),
+      dim_(dim),
+      chunk_(static_cast<std::size_t>(config.batch_size)) {}
+
+void TraceReplayer::ingest(TraceReader& reader) {
+  CMVRP_CHECK_MSG(reader.dim() == dim_,
+                  "trace dim " << reader.dim() << " does not match engine dim "
+                               << dim_ << ": " << reader.path());
+  while (true) {
+    const std::size_t n = reader.next_batch(chunk_.data(), chunk_.size());
+    if (n == 0) break;
+    engine_.ingest(chunk_.data(), n);
+  }
+}
+
+StreamResult TraceReplayer::replay(TraceReader& reader) {
+  ingest(reader);
+  return finish();
+}
+
+}  // namespace cmvrp

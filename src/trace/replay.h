@@ -1,0 +1,44 @@
+// TraceReplayer: bounded-memory replay of a job trace into the stream
+// engine.
+//
+// Drives StreamEngine::ingest() chunk by chunk straight off the mapping:
+// the only job storage is one reusable chunk buffer of engine-batch-size
+// Jobs, so peak memory is O(batch × threads) — independent of trace
+// length. Because the engine's results are batch-invariant (the PR 3
+// contract), replaying a trace is bit-identical to serving the same jobs
+// from one in-memory vector, at every thread count; tests/trace_test.cpp
+// enforces exactly that equivalence.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stream/engine.h"
+#include "trace/reader.h"
+
+namespace cmvrp {
+
+class TraceReplayer {
+ public:
+  // The chunk size equals the engine's batch size, so replay adds no
+  // buffering beyond what one ingest batch already costs.
+  TraceReplayer(int dim, const StreamConfig& config);
+
+  // Replays `reader` from its current cursor to end of trace and
+  // finishes the engine. The reader's dim must match the engine's.
+  StreamResult replay(TraceReader& reader);
+
+  // Streams one trace segment without finishing (incremental front ends).
+  void ingest(TraceReader& reader);
+
+  StreamResult finish() { return engine_.finish(); }
+
+  std::size_t chunk_jobs() const { return chunk_.size(); }
+
+ private:
+  StreamEngine engine_;
+  int dim_;
+  std::vector<Job> chunk_;  // the only job buffer, reused every batch
+};
+
+}  // namespace cmvrp

@@ -1,0 +1,78 @@
+#include "trace/writer.h"
+
+#include "grid/point.h"
+#include "trace/format.h"
+#include "util/check.h"
+
+namespace cmvrp {
+
+TraceWriter::TraceWriter(const std::string& path, int dim)
+    : path_(path), dim_(dim) {
+  // Validate before opening: the truncating open must not destroy an
+  // existing file when the arguments are rejected.
+  CMVRP_CHECK_MSG(dim >= 1 && dim <= Point::kMaxDim,
+                  "trace dim must be in [1, " << Point::kMaxDim << "], got "
+                                              << dim);
+  out_.open(path, std::ios::binary | std::ios::trunc);
+  CMVRP_CHECK_MSG(out_.good(), "cannot open trace for writing: " << path);
+  TraceHeader header;
+  header.dim = static_cast<std::uint32_t>(dim);
+  header.job_count = 0;  // patched by close()
+  unsigned char bytes[kTraceHeaderSize];
+  encode_trace_header(header, bytes);
+  out_.write(reinterpret_cast<const char*>(bytes), kTraceHeaderSize);
+  CMVRP_CHECK_MSG(out_.good(), "failed writing trace header: " << path);
+}
+
+TraceWriter::~TraceWriter() {
+  if (!closed_) {
+    try {
+      close();
+    } catch (...) {
+      // Destructors must not throw; explicit close() reports the error.
+    }
+  }
+}
+
+void TraceWriter::append(const Job& job) { append(&job, 1); }
+
+void TraceWriter::append(const Job* jobs, std::size_t count) {
+  CMVRP_CHECK_MSG(!closed_, "append on a closed trace writer: " << path_);
+  unsigned char record[(Point::kMaxDim + 1) * sizeof(std::int64_t)];
+  const std::size_t record_size = trace_record_size(dim_);
+  for (std::size_t k = 0; k < count; ++k) {
+    const Job& job = jobs[k];
+    CMVRP_CHECK_MSG(job.position.dim() == dim_,
+                    "job dim " << job.position.dim()
+                               << " does not match trace dim " << dim_);
+    for (int i = 0; i < dim_; ++i)
+      store_le_i64(record + static_cast<std::size_t>(i) * 8, job.position[i]);
+    store_le_i64(record + static_cast<std::size_t>(dim_) * 8, job.index);
+    out_.write(reinterpret_cast<const char*>(record),
+               static_cast<std::streamsize>(record_size));
+    ++count_;
+  }
+  CMVRP_CHECK_MSG(out_.good(),
+                  "trace write failed (disk full?) after record "
+                      << count_ << " (byte offset "
+                      << kTraceHeaderSize + count_ * record_size
+                      << "): " << path_);
+}
+
+void TraceWriter::close() {
+  CMVRP_CHECK_MSG(!closed_, "double close of trace writer: " << path_);
+  closed_ = true;
+  unsigned char bytes[8];
+  store_le64(bytes, count_);
+  out_.seekp(static_cast<std::streamoff>(kTraceCountOffset));
+  out_.write(reinterpret_cast<const char*>(bytes), sizeof(bytes));
+  out_.flush();
+  CMVRP_CHECK_MSG(out_.good(),
+                  "trace close failed (disk full?) after " << count_
+                                                           << " records: "
+                                                           << path_);
+  out_.close();
+  CMVRP_CHECK_MSG(!out_.fail(), "trace close failed: " << path_);
+}
+
+}  // namespace cmvrp

@@ -1,0 +1,56 @@
+// TraceWriter: streaming append of jobs into a cmvrp-trace-v1 file.
+//
+// The writer never needs the stream length: it writes a header with
+// job_count = 0, appends fixed-width records as they are produced, and
+// close() seeks back to patch the real count. Generators can therefore
+// emit directly into a trace without materializing the job vector.
+//
+// Stream health is checked after every append and again after the
+// close-time flush, so a full disk raises check_error instead of
+// silently truncating the trace.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "workload/generators.h"
+
+namespace cmvrp {
+
+class TraceWriter {
+ public:
+  // Opens (truncating) `path` and writes the v1 header; throws
+  // check_error when the file cannot be created or dim is out of range.
+  TraceWriter(const std::string& path, int dim);
+
+  // Best-effort close; errors are swallowed. Call close() explicitly to
+  // get full-disk / write-failure detection.
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  // Appends one record; the job's position must match the trace dim.
+  void append(const Job& job);
+  void append(const Job* jobs, std::size_t count);
+
+  // Patches the header's job_count, flushes, and verifies stream health;
+  // throws check_error when any byte failed to reach the file. The
+  // writer is unusable afterwards.
+  void close();
+
+  int dim() const { return dim_; }
+  std::uint64_t jobs_written() const { return count_; }
+  bool closed() const { return closed_; }
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  int dim_;
+  std::uint64_t count_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace cmvrp

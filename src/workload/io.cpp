@@ -73,6 +73,12 @@ void save_demand_file(const std::string& path, const DemandMap& d) {
   std::ofstream out(path);
   CMVRP_CHECK_MSG(out.good(), "cannot open for writing: " << path);
   save_demand(out, d);
+  // Checking only at open would let a full disk truncate silently: the
+  // stream buffers, and a failed flush at destruction goes unreported.
+  out.flush();
+  CMVRP_CHECK_MSG(out.good(),
+                  "write failed (disk full?), demand file is incomplete: "
+                      << path);
 }
 
 std::vector<Job> load_jobs(std::istream& in, int dim) {
@@ -109,6 +115,10 @@ void save_jobs_file(const std::string& path, const std::vector<Job>& jobs) {
   std::ofstream out(path);
   CMVRP_CHECK_MSG(out.good(), "cannot open for writing: " << path);
   save_jobs(out, jobs);
+  out.flush();
+  CMVRP_CHECK_MSG(out.good(),
+                  "write failed (disk full?), jobs file is incomplete: "
+                      << path);
 }
 
 }  // namespace cmvrp

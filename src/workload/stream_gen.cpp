@@ -1,0 +1,110 @@
+#include "workload/stream_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "grid/point.h"
+#include "util/check.h"
+
+namespace cmvrp {
+
+namespace {
+
+void check_cube_grid(int dim, std::int64_t cube_side,
+                     std::int64_t cubes_per_axis, std::int64_t count) {
+  CMVRP_CHECK_MSG(dim >= 1 && dim <= Point::kMaxDim,
+                  "stream generator dim must be in [1, " << Point::kMaxDim
+                                                         << "]");
+  CMVRP_CHECK(cube_side >= 1);
+  CMVRP_CHECK_MSG(cubes_per_axis >= 2,
+                  "cube-boundary generators need >= 2 cubes per axis");
+  CMVRP_CHECK(count >= 0);
+}
+
+// Center point of the cube grid cell with per-axis indices `cell`.
+Point cube_center(int dim, std::int64_t cube_side,
+                  const std::vector<std::int64_t>& cell) {
+  Point p = Point::origin(dim);
+  for (int i = 0; i < dim; ++i)
+    p[i] = cell[static_cast<std::size_t>(i)] * cube_side + cube_side / 2;
+  return p;
+}
+
+}  // namespace
+
+void boundary_round_robin_stream(int dim, std::int64_t cube_side,
+                                 std::int64_t cubes_per_axis,
+                                 std::int64_t count, const JobSink& sink) {
+  check_cube_grid(dim, cube_side, cubes_per_axis, count);
+  // The straddling pairs: for every interior wall w·side along every
+  // axis, the two center-row points at coordinates w·side − 1 and w·side.
+  // Pairs are listed adjacently, and the pair order flips on every other
+  // wall (low,high,high,low,…) so the seam between wall w's high point
+  // and wall w+1's low point — which sit in the same cube — never makes
+  // two consecutive arrivals share a cube.
+  std::vector<Point> ring;
+  const std::int64_t mid = (cubes_per_axis * cube_side) / 2;
+  for (int axis = 0; axis < dim; ++axis) {
+    for (std::int64_t wall = 1; wall < cubes_per_axis; ++wall) {
+      Point p = Point::origin(dim);
+      for (int i = 0; i < dim; ++i) p[i] = mid;
+      const std::int64_t lo = wall * cube_side - 1;
+      const std::int64_t hi = wall * cube_side;
+      p[axis] = wall % 2 == 1 ? lo : hi;
+      ring.push_back(p);
+      p[axis] = wall % 2 == 1 ? hi : lo;
+      ring.push_back(p);
+    }
+  }
+  for (std::int64_t k = 0; k < count; ++k)
+    sink(Job{ring[static_cast<std::size_t>(k) % ring.size()], k});
+}
+
+void bursty_hotspot_stream(int dim, std::int64_t cube_side,
+                           std::int64_t cubes_per_axis, std::int64_t count,
+                           std::int64_t burst, Rng& rng, const JobSink& sink) {
+  check_cube_grid(dim, cube_side, cubes_per_axis, count);
+  CMVRP_CHECK(burst >= 1);
+  std::vector<std::int64_t> cell(static_cast<std::size_t>(dim));
+  for (auto& c : cell)
+    c = rng.next_int(0, cubes_per_axis - 1);
+  Point hotspot = cube_center(dim, cube_side, cell);
+  std::int64_t in_burst = 0;
+  for (std::int64_t k = 0; k < count; ++k) {
+    if (in_burst == burst) {
+      // Jump: redraw until the hotspot actually changes cube.
+      const std::vector<std::int64_t> old = cell;
+      do {
+        for (auto& c : cell) c = rng.next_int(0, cubes_per_axis - 1);
+      } while (cell == old);
+      hotspot = cube_center(dim, cube_side, cell);
+      in_burst = 0;
+    }
+    sink(Job{hotspot, k});
+    ++in_burst;
+  }
+}
+
+void drifting_gradient_stream(const Box& box, std::int64_t count,
+                              double sigma, Rng& rng, const JobSink& sink) {
+  CMVRP_CHECK(count >= 0);
+  CMVRP_CHECK(sigma >= 0.0);
+  const int dim = box.dim();
+  for (std::int64_t k = 0; k < count; ++k) {
+    const double t =
+        count > 1 ? static_cast<double>(k) / static_cast<double>(count - 1)
+                  : 0.0;
+    Point p = Point::origin(dim);
+    for (int i = 0; i < dim; ++i) {
+      const double center =
+          static_cast<double>(box.lo()[i]) +
+          t * static_cast<double>(box.hi()[i] - box.lo()[i]);
+      const auto c = static_cast<std::int64_t>(
+          std::llround(center + rng.next_gaussian() * sigma));
+      p[i] = std::clamp(c, box.lo()[i], box.hi()[i]);
+    }
+    sink(Job{p, k});
+  }
+}
+
+}  // namespace cmvrp

@@ -1,0 +1,70 @@
+// Streaming adversarial generators: job streams emitted one arrival at a
+// time to a sink, never materialized.
+//
+// The generators in generators.h return std::vector<Job>; these instead
+// push each Job into a JobSink callback, so a trace file (or any other
+// consumer) can absorb streams far larger than memory — the producer
+// side of the out-of-core trace subsystem. Each generator is
+// parameterized by dimension (ℓ = 1..Point::kMaxDim via the box/side
+// arguments), giving the stream engine adversarial 2-D/3-D/4-D
+// scenarios:
+//
+//   * boundary_round_robin_stream — arrivals cycle through point pairs
+//     that straddle interior cube walls, so consecutive jobs land in
+//     different cubes (worst case for shard routing and pair energy);
+//   * bursty_hotspot_stream — a hotspot absorbs a full burst of arrivals,
+//     then jumps to a different cube (drains one cube's idle pool at a
+//     time, exercising Phase I replacement search);
+//   * drifting_gradient_stream — arrivals sample a Gaussian around a
+//     center that drifts corner-to-corner across the box (the moving-
+//     phenomenon reading of §1.2 at trace scale).
+//
+// All randomness comes from the caller's Rng, so a (generator, seed)
+// pair is a reproducible stream: emitting to a TraceWriter and replaying
+// is bit-identical to collecting the same stream in memory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "grid/box.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace cmvrp {
+
+// Consumes one finished arrival; jobs carry ascending indices 0..count-1.
+using JobSink = std::function<void(const Job&)>;
+
+// Arrivals round-robin across the 2·dim·(cubes_per_axis − 1) points that
+// straddle the interior cube walls of a cubes_per_axis^dim cube grid
+// (side `cube_side`, anchored at the origin). Deterministic: no RNG.
+void boundary_round_robin_stream(int dim, std::int64_t cube_side,
+                                 std::int64_t cubes_per_axis,
+                                 std::int64_t count, const JobSink& sink);
+
+// Bursts of `burst` arrivals at a hotspot cube's center; after every
+// burst the hotspot jumps (uniformly, never in place) to another cube of
+// the cubes_per_axis^dim grid.
+void bursty_hotspot_stream(int dim, std::int64_t cube_side,
+                           std::int64_t cubes_per_axis, std::int64_t count,
+                           std::int64_t burst, Rng& rng, const JobSink& sink);
+
+// Arrivals sample a Gaussian (stddev `sigma` per axis, clamped to `box`)
+// around a center that drifts linearly from box.lo() to box.hi() over
+// the course of the stream.
+void drifting_gradient_stream(const Box& box, std::int64_t count,
+                              double sigma, Rng& rng, const JobSink& sink);
+
+// Materializes a sink-based generator into a vector — for the scenario
+// registry and tests; the trace-writing path never calls this.
+template <typename Fn>
+std::vector<Job> collect_jobs(Fn&& generate) {
+  std::vector<Job> out;
+  std::forward<Fn>(generate)([&out](const Job& job) { out.push_back(job); });
+  return out;
+}
+
+}  // namespace cmvrp

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "util/rng.h"
 #include "workload/io.h"
@@ -92,6 +95,39 @@ TEST(Io, MissingFileThrows) {
   EXPECT_THROW(load_demand_file("/nonexistent/cmvrp.txt", 2), check_error);
   EXPECT_THROW(load_jobs_file("/nonexistent/cmvrp.txt", 2), check_error);
 }
+
+TEST(Io, SaveFileRoundTrip) {
+  const std::string demand_path = testing::TempDir() + "cmvrp_io_demand.txt";
+  const std::string jobs_path = testing::TempDir() + "cmvrp_io_jobs.txt";
+  Rng rng(9);
+  const DemandMap d = uniform_demand(Box(Point{0, 0}, Point{7, 7}), 30, rng);
+  save_demand_file(demand_path, d);
+  const DemandMap back = load_demand_file(demand_path, 2);
+  EXPECT_EQ(back.support_size(), d.support_size());
+
+  const std::vector<Job> jobs{{Point{1, 2}, 0}, {Point{3, 4}, 1}};
+  save_jobs_file(jobs_path, jobs);
+  const auto jobs_back = load_jobs_file(jobs_path, 2);
+  ASSERT_EQ(jobs_back.size(), jobs.size());
+  EXPECT_EQ(jobs_back[1].position, jobs[1].position);
+}
+
+#ifdef __linux__
+// A full disk must raise check_error, not silently truncate: /dev/full
+// accepts the open and fails the buffered write at flush time — exactly
+// the path a bare `out.good()`-at-open check misses.
+TEST(Io, FullDiskRaisesOnSave) {
+  std::ifstream probe("/dev/full");
+  if (!probe.good()) GTEST_SKIP() << "/dev/full not available";
+  DemandMap d(2);
+  for (std::int64_t k = 0; k < 20000; ++k) d.add(Point{k, k}, 1.0);
+  EXPECT_THROW(save_demand_file("/dev/full", d), check_error);
+
+  std::vector<Job> jobs;
+  for (std::int64_t k = 0; k < 20000; ++k) jobs.push_back({Point{k, k}, k});
+  EXPECT_THROW(save_jobs_file("/dev/full", jobs), check_error);
+}
+#endif
 
 }  // namespace
 }  // namespace cmvrp

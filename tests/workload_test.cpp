@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "workload/generators.h"
+#include "workload/stream_gen.h"
 
 namespace cmvrp {
 namespace {
@@ -104,6 +107,101 @@ TEST(Workload, AlternatingStream) {
   EXPECT_EQ(jobs[0].position, (Point{0, 0}));
   EXPECT_EQ(jobs[1].position, (Point{4, 0}));
   EXPECT_EQ(jobs[4].position, (Point{0, 0}));
+}
+
+// --- streaming adversarial generators (stream_gen.h) ------------------------
+
+// The cube grid cell of p for origin-anchored cubes of side s.
+std::int64_t cube_cell(const Point& p, int axis, std::int64_t side) {
+  return p[axis] / side;  // all generator coordinates are nonnegative
+}
+
+bool same_cube(const Point& a, const Point& b, std::int64_t side) {
+  for (int i = 0; i < a.dim(); ++i)
+    if (cube_cell(a, i, side) != cube_cell(b, i, side)) return false;
+  return true;
+}
+
+TEST(StreamGen, BoundaryRoundRobinAlternatesCubes) {
+  for (const int dim : {2, 3, 4}) {
+    const auto jobs = collect_jobs([dim](const JobSink& sink) {
+      boundary_round_robin_stream(dim, 4, 3, 60, sink);
+    });
+    ASSERT_EQ(jobs.size(), 60u);
+    const Box box = Box::cube(Point::origin(dim), 3 * 4);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      EXPECT_EQ(jobs[i].position.dim(), dim);
+      EXPECT_EQ(jobs[i].index, static_cast<std::int64_t>(i));
+      EXPECT_TRUE(box.contains(jobs[i].position));
+      // Consecutive arrivals never share a cube — the adversarial point.
+      if (i > 0) {
+        EXPECT_FALSE(same_cube(jobs[i - 1].position, jobs[i].position, 4))
+            << "at arrival " << i;
+      }
+    }
+  }
+}
+
+TEST(StreamGen, BurstyHotspotMigratesCubesBetweenBursts) {
+  Rng rng(41);
+  const auto jobs = collect_jobs([&rng](const JobSink& sink) {
+    bursty_hotspot_stream(3, 4, 4, 200, 25, rng, sink);
+  });
+  ASSERT_EQ(jobs.size(), 200u);
+  for (std::size_t burst = 0; burst * 25 < jobs.size(); ++burst) {
+    const Point& hotspot = jobs[burst * 25].position;
+    // Within a burst every arrival hits the hotspot...
+    for (std::size_t k = 1; k < 25 && burst * 25 + k < jobs.size(); ++k)
+      EXPECT_EQ(jobs[burst * 25 + k].position, hotspot);
+    // ...and the next burst's hotspot sits in a different cube.
+    if ((burst + 1) * 25 < jobs.size()) {
+      EXPECT_FALSE(same_cube(hotspot, jobs[(burst + 1) * 25].position, 4));
+    }
+  }
+}
+
+TEST(StreamGen, DriftingGradientDriftsAcrossTheBox) {
+  const Box box(Point{0, 0, 0, 0}, Point{11, 11, 11, 11});
+  Rng rng(43);
+  const auto jobs = collect_jobs([&box, &rng](const JobSink& sink) {
+    drifting_gradient_stream(box, 400, 1.0, rng, sink);
+  });
+  ASSERT_EQ(jobs.size(), 400u);
+  std::int64_t head = 0, tail = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_TRUE(box.contains(jobs[i].position));
+    EXPECT_EQ(jobs[i].index, static_cast<std::int64_t>(i));
+    if (i < 50) head += jobs[i].position.l1_norm();
+    if (i >= jobs.size() - 50) tail += jobs[i].position.l1_norm();
+  }
+  // The center drifts lo -> hi, so late arrivals sit far from the origin.
+  EXPECT_GT(tail, head);
+}
+
+TEST(StreamGen, SinkOrderMatchesCollectedVectorAndIsDeterministic) {
+  Rng rng1(47), rng2(47);
+  std::vector<Job> direct;
+  bursty_hotspot_stream(2, 4, 8, 150, 16, rng1,
+                        [&direct](const Job& j) { direct.push_back(j); });
+  const auto collected = collect_jobs([&rng2](const JobSink& sink) {
+    bursty_hotspot_stream(2, 4, 8, 150, 16, rng2, sink);
+  });
+  ASSERT_EQ(direct.size(), collected.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(direct[i].position, collected[i].position);
+    EXPECT_EQ(direct[i].index, collected[i].index);
+  }
+}
+
+TEST(StreamGen, RejectsBadParameters) {
+  const auto sink = [](const Job&) {};
+  EXPECT_THROW(boundary_round_robin_stream(5, 4, 3, 10, sink), check_error);
+  EXPECT_THROW(boundary_round_robin_stream(2, 4, 1, 10, sink), check_error);
+  Rng rng(1);
+  EXPECT_THROW(bursty_hotspot_stream(2, 4, 3, 10, 0, rng, sink), check_error);
+  EXPECT_THROW(drifting_gradient_stream(Box(Point{0, 0}, Point{3, 3}), 10,
+                                        -1.0, rng, sink),
+               check_error);
 }
 
 }  // namespace

@@ -8,18 +8,26 @@
 //   cmvrp gen      --workload uniform|clustered|line|point|square
 //                  [--n N] [--count C] [--d D] [--seed S]  emit a demand file
 //   cmvrp fig41    --r1 R                                 Chapter 4 example
-//   cmvrp stream   [--scenario NAME | --file demand.txt]  sharded streaming
+//   cmvrp stream   [--scenario NAME | --file demand.txt | --trace t.bin]
 //                  [--threads T] [--batch B] [--jobs J] [--n N] [--order o]
 //                  [--capacity W] [--side S] [--seed S] [--json PATH]
+//   cmvrp trace    gen --out t.bin --generator g [--dim L] [--count N] ...
+//                  | info --file t.bin
+//                  | replay --file t.bin [--threads T] [--memory] ...
 //   cmvrp bench    --suite NAME [--reps N] [--warmup N]   experiment suites
 //                  [--filter S] [--json PATH] | --list | --scenarios
 //
-// Demand files: lines of "x y demand" (see src/workload/io.h).
+// Demand files: lines of "x y demand" (see src/workload/io.h); traces are
+// the binary cmvrp-trace-v1 format (src/trace/format.h).
 #include <cstdlib>
 #include <fstream>
+#include <functional>
+#include <iomanip>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "broken/scenario.h"
 #include "core/algorithm1.h"
@@ -31,11 +39,16 @@
 #include "exp/suites.h"
 #include "online/capacity_search.h"
 #include "stream/engine.h"
+#include "trace/format.h"
+#include "trace/reader.h"
+#include "trace/replay.h"
+#include "trace/writer.h"
 #include "util/table.h"
 #include "util/timer.h"
 #include "viz/ascii.h"
 #include "workload/generators.h"
 #include "workload/io.h"
+#include "workload/stream_gen.h"
 
 namespace {
 
@@ -43,6 +56,7 @@ using namespace cmvrp;
 
 struct Args {
   std::string command;
+  std::vector<std::string> positional;  // non-flag tokens ("trace gen ...")
   std::map<std::string, std::string> flags;
 
   std::string get(const std::string& key, const std::string& fallback) const {
@@ -72,6 +86,8 @@ Args parse_args(int argc, char** argv) {
       } else {
         args.flags[key] = "true";
       }
+    } else {
+      args.positional.push_back(token);
     }
   }
   return args;
@@ -199,53 +215,27 @@ int cmd_fig41(const Args& args) {
   return 0;
 }
 
-// Sharded streaming engine front end. The job stream comes from (in
-// priority order) --scenario NAME (registry), --file demand.txt (expanded
-// with --order/--seed), or a synthetic uniform stream of --jobs arrivals
-// on an --n x --n box.
-int cmd_stream(const Args& args) {
-  const std::uint64_t seed =
-      static_cast<std::uint64_t>(args.get_int("seed", 1));
-  std::vector<Job> jobs;
-  int dim = 2;
-  if (args.has("scenario")) {
-    const Scenario& sc =
-        ScenarioRegistry::builtin().at(args.get("scenario", ""));
-    jobs = sc.jobs();
-    dim = sc.dim;
-  } else if (args.has("file")) {
-    const DemandMap d = demand_from_args(args);
-    Rng rng(seed);
-    jobs = stream_from_demand(d, order_from_args(args), rng);
-    dim = d.dim();
-  } else {
-    const std::int64_t n = args.get_int("n", 64);
-    const std::int64_t count = args.get_int("jobs", 10000);
-    Rng rng(seed);
-    const Box box(Point{0, 0}, Point{n - 1, n - 1});
-    const DemandMap d = uniform_demand(box, count, rng);
-    Rng order(seed + 1);
-    jobs = stream_from_demand(d, order_from_args(args), order);
+// FNV-1a over an index set — lets two stream reports be diffed for
+// served/failed *set* equality without embedding the full index lists.
+// Rendered as fixed-width hex: Json numbers are doubles, which would
+// silently drop the low bits of a 64-bit digest.
+std::string index_set_hash(const std::vector<std::int64_t>& indices) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::int64_t i : indices) {
+    h ^= static_cast<std::uint64_t>(i);
+    h *= 1099511628211ULL;
   }
-  CMVRP_CHECK_MSG(!jobs.empty(), "stream has no jobs");
+  std::ostringstream os;
+  os << std::hex << std::setw(16) << std::setfill('0') << h;
+  return os.str();
+}
 
-  StreamConfig cfg;
-  cfg.threads = static_cast<int>(args.get_int("threads", 1));
-  cfg.batch_size = args.get_int("batch", 256);
-  cfg.online.seed = seed;
-  if (args.has("capacity") || args.has("side")) {
-    cfg.online.capacity = args.get_double("capacity", 32.0);
-    cfg.online.cube_side = args.get_int("side", 4);
-    cfg.online.anchor = Point::origin(dim);
-  } else {
-    cfg.online = default_online_config(demand_of_stream(jobs, dim), seed);
-  }
-
-  WallTimer timer;
-  const StreamResult r = serve_stream(dim, cfg, jobs);
-  const double ms = timer.elapsed_ms();
+// Shared report for `stream` and `trace replay`: ASCII table plus the
+// cmvrp-stream-v1 JSON artifact. Exit code 0 iff no job failed.
+int report_stream(const Args& args, const StreamConfig& cfg,
+                  const StreamResult& r, double ms) {
   const double jobs_per_sec =
-      ms > 0.0 ? 1000.0 * static_cast<double>(jobs.size()) / ms : 0.0;
+      ms > 0.0 ? 1000.0 * static_cast<double>(r.jobs_ingested) / ms : 0.0;
 
   Table t({"metric", "value"});
   t.row().cell("threads").cell(static_cast<std::int64_t>(cfg.threads));
@@ -271,12 +261,14 @@ int cmd_stream(const Args& args) {
     doc.set("batch_size", cfg.batch_size);
     doc.set("capacity", cfg.online.capacity);
     doc.set("cube_side", cfg.online.cube_side);
-    doc.set("seed", static_cast<std::uint64_t>(seed));
+    doc.set("seed", static_cast<std::uint64_t>(cfg.online.seed));
     doc.set("jobs", r.jobs_ingested);
     doc.set("batches", r.batches);
     doc.set("cubes", r.cubes);
     doc.set("served", r.metrics.jobs_served);
     doc.set("failed", r.metrics.jobs_failed);
+    doc.set("served_hash", index_set_hash(r.served_jobs));
+    doc.set("failed_hash", index_set_hash(r.failed_jobs));
     doc.set("replacements", r.metrics.replacements);
     doc.set("messages", r.metrics.network.total());
     doc.set("max_energy", r.metrics.max_energy_spent);
@@ -289,6 +281,178 @@ int cmd_stream(const Args& args) {
     CMVRP_CHECK_MSG(out.good(), "failed writing --json artifact");
   }
   return r.metrics.jobs_failed == 0 ? 0 : 1;
+}
+
+// Engine config shared by `stream` and `trace replay`: explicit
+// --capacity/--side, or (default) the theory config sized from the
+// stream's induced demand — produced lazily so the trace path only pays
+// its extra bounded pass over the mapping when it is actually needed.
+StreamConfig stream_config_from_args(
+    const Args& args, int dim, const std::function<DemandMap()>& demand) {
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 1));
+  StreamConfig cfg;
+  cfg.threads = static_cast<int>(args.get_int("threads", 1));
+  cfg.batch_size = args.get_int("batch", 256);
+  cfg.online.seed = seed;
+  if (args.has("capacity") || args.has("side")) {
+    cfg.online.capacity = args.get_double("capacity", 32.0);
+    cfg.online.cube_side = args.get_int("side", 4);
+    cfg.online.anchor = Point::origin(dim);
+  } else {
+    cfg.online = default_online_config(demand(), seed);
+  }
+  return cfg;
+}
+
+StreamConfig trace_stream_config(const Args& args, TraceReader& reader) {
+  return stream_config_from_args(args, reader.dim(), [&reader] {
+    return trace_demand(reader);
+  });
+}
+
+// Sharded streaming engine front end. The job stream comes from (in
+// priority order) --trace t.bin (bounded-memory replay off the mapping),
+// --scenario NAME (registry), --file demand.txt (expanded with
+// --order/--seed), or a synthetic uniform stream of --jobs arrivals on
+// an --n x --n box.
+int cmd_stream(const Args& args) {
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  if (args.has("trace")) {
+    TraceReader reader(args.get("trace", ""));
+    CMVRP_CHECK_MSG(reader.job_count() > 0, "trace has no jobs");
+    const StreamConfig cfg = trace_stream_config(args, reader);
+    WallTimer timer;
+    TraceReplayer replayer(reader.dim(), cfg);
+    const StreamResult r = replayer.replay(reader);
+    return report_stream(args, cfg, r, timer.elapsed_ms());
+  }
+
+  std::vector<Job> jobs;
+  int dim = 2;
+  if (args.has("scenario")) {
+    const Scenario& sc =
+        ScenarioRegistry::builtin().at(args.get("scenario", ""));
+    jobs = sc.jobs();
+    dim = sc.dim;
+  } else if (args.has("file")) {
+    const DemandMap d = demand_from_args(args);
+    Rng rng(seed);
+    jobs = stream_from_demand(d, order_from_args(args), rng);
+    dim = d.dim();
+  } else {
+    const std::int64_t n = args.get_int("n", 64);
+    const std::int64_t count = args.get_int("jobs", 10000);
+    Rng rng(seed);
+    const Box box(Point{0, 0}, Point{n - 1, n - 1});
+    const DemandMap d = uniform_demand(box, count, rng);
+    Rng order(seed + 1);
+    jobs = stream_from_demand(d, order_from_args(args), order);
+  }
+  CMVRP_CHECK_MSG(!jobs.empty(), "stream has no jobs");
+
+  const StreamConfig cfg = stream_config_from_args(
+      args, dim, [&jobs, dim] { return demand_of_stream(jobs, dim); });
+
+  WallTimer timer;
+  const StreamResult r = serve_stream(dim, cfg, jobs);
+  return report_stream(args, cfg, r, timer.elapsed_ms());
+}
+
+// `trace gen`: run a streaming generator straight into a TraceWriter —
+// the stream is never materialized, so --count can exceed memory.
+int cmd_trace_gen(const Args& args) {
+  CMVRP_CHECK_MSG(args.has("out"), "--out <trace file> is required");
+  const std::string kind = args.get("generator", "hotspot");
+  const int dim = static_cast<int>(args.get_int("dim", 2));
+  const std::int64_t count = args.get_int("count", 10000);
+  const std::int64_t side = args.get_int("side", 4);
+  const std::int64_t cubes = args.get_int("cubes", 8);
+  const std::int64_t burst = args.get_int("burst", 64);
+  const double sigma = args.get_double("sigma", 2.0);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+
+  // Mirror the generator preconditions before the truncating open, so a
+  // rejected command (typo'd --generator, bad --cubes, ...) cannot
+  // clobber an existing trace at --out.
+  CMVRP_CHECK_MSG(kind == "boundary" || kind == "hotspot" ||
+                      kind == "gradient",
+                  "unknown --generator: " << kind
+                                          << " (boundary|hotspot|gradient)");
+  CMVRP_CHECK_MSG(dim >= 1 && dim <= Point::kMaxDim,
+                  "--dim must be in [1, " << Point::kMaxDim << "]");
+  CMVRP_CHECK_MSG(count >= 0, "--count must be >= 0");
+  CMVRP_CHECK_MSG(side >= 1, "--side must be >= 1");
+  CMVRP_CHECK_MSG(cubes >= 2, "--cubes must be >= 2");
+  CMVRP_CHECK_MSG(burst >= 1, "--burst must be >= 1");
+  CMVRP_CHECK_MSG(sigma >= 0.0, "--sigma must be >= 0");
+
+  TraceWriter writer(args.get("out", ""), dim);
+  const JobSink sink = [&writer](const Job& job) { writer.append(job); };
+  if (kind == "boundary") {
+    boundary_round_robin_stream(dim, side, cubes, count, sink);
+  } else if (kind == "hotspot") {
+    bursty_hotspot_stream(dim, side, cubes, count, burst, rng, sink);
+  } else {
+    Point hi = Point::origin(dim);
+    for (int i = 0; i < dim; ++i) hi[i] = side * cubes - 1;
+    drifting_gradient_stream(Box(Point::origin(dim), hi), count, sigma, rng,
+                             sink);
+  }
+  writer.close();
+  std::cout << "wrote " << writer.jobs_written() << " jobs (dim " << dim
+            << ") to " << args.get("out", "") << "\n";
+  return 0;
+}
+
+int cmd_trace_info(const Args& args) {
+  CMVRP_CHECK_MSG(args.has("file"), "--file <trace file> is required");
+  TraceReader reader(args.get("file", ""));
+  Table t({"field", "value"});
+  t.row().cell("path").cell(reader.path());
+  t.row().cell("format").cell("cmvrp-trace-v1");
+  t.row().cell("dim").cell(static_cast<std::int64_t>(reader.dim()));
+  t.row().cell("jobs").cell(reader.job_count());
+  t.row().cell("record bytes").cell(
+      static_cast<std::uint64_t>(trace_record_size(reader.dim())));
+  t.row().cell("file bytes").cell(static_cast<std::uint64_t>(
+      kTraceHeaderSize + reader.job_count() * trace_record_size(reader.dim())));
+  t.row().cell("mmap").cell(reader.mapped() ? "yes" : "no (read fallback)");
+  t.print(std::cout);
+  return 0;
+}
+
+// `trace replay`: bounded-memory replay (default) or, with --memory, an
+// in-memory serve of the same jobs — the two reports must agree on
+// everything but wall time (the CI round-trip diffs them).
+int cmd_trace_replay(const Args& args) {
+  CMVRP_CHECK_MSG(args.has("file"), "--file <trace file> is required");
+  TraceReader reader(args.get("file", ""));
+  CMVRP_CHECK_MSG(reader.job_count() > 0, "trace has no jobs");
+  const StreamConfig cfg = trace_stream_config(args, reader);
+  if (args.has("memory")) {
+    const std::vector<Job> jobs = reader.read_all();
+    WallTimer timer;
+    const StreamResult r = serve_stream(reader.dim(), cfg, jobs);
+    return report_stream(args, cfg, r, timer.elapsed_ms());
+  }
+  WallTimer timer;
+  TraceReplayer replayer(reader.dim(), cfg);
+  const StreamResult r = replayer.replay(reader);
+  return report_stream(args, cfg, r, timer.elapsed_ms());
+}
+
+int cmd_trace(const Args& args) {
+  const std::string action =
+      args.positional.empty() ? "" : args.positional.front();
+  if (action == "gen") return cmd_trace_gen(args);
+  if (action == "info") return cmd_trace_info(args);
+  if (action == "replay") return cmd_trace_replay(args);
+  CMVRP_CHECK_MSG(false,
+                  "trace needs an action: trace gen|info|replay [--flags]");
+  return 2;
 }
 
 int cmd_bench(const Args& args) {
@@ -325,7 +489,7 @@ int cmd_bench(const Args& args) {
 }
 
 int usage(std::ostream& os, int exit_code) {
-  os << "usage: cmvrp <bounds|plan|online|won|gen|fig41|stream|bench> "
+  os << "usage: cmvrp <bounds|plan|online|won|gen|fig41|stream|trace|bench> "
          "[--flags]\n"
          "  bounds --file d.txt            offline bounds (Thm 1.4.1)\n"
          "  plan   --file d.txt [--ascii]  Lemma 2.2.5 plan + verification\n"
@@ -333,9 +497,19 @@ int usage(std::ostream& os, int exit_code) {
          "  won    --file d.txt [--tol t]  bisect empirical Won\n"
          "  gen    --workload k [--n N] [--count C] [--d D] [--seed s]\n"
          "  fig41  --r1 R [--r2 R2]        Chapter 4 counterexample\n"
-         "  stream [--scenario name | --file d.txt] [--threads T]\n"
-         "         [--batch B] [--jobs J] [--n N] [--order o] [--capacity W]\n"
-         "         [--side S] [--seed s] [--json out]  sharded streaming\n"
+         "  stream [--scenario name | --file d.txt | --trace t.bin]\n"
+         "         [--threads T] [--batch B] [--jobs J] [--n N] [--order o]\n"
+         "         [--capacity W] [--side S] [--seed s] [--json out]\n"
+         "                                 sharded streaming\n"
+         "  trace gen --out t.bin [--generator boundary|hotspot|gradient]\n"
+         "            [--dim L] [--count N] [--side S] [--cubes C]\n"
+         "            [--burst B] [--sigma X] [--seed s]\n"
+         "                                 stream a generator into a trace\n"
+         "  trace info --file t.bin        print trace header fields\n"
+         "  trace replay --file t.bin [--threads T] [--batch B] [--memory]\n"
+         "               [--capacity W] [--side S] [--seed s] [--json out]\n"
+         "                                 bounded-memory replay (or\n"
+         "                                 --memory: in-memory reference)\n"
          "  bench  --suite s [--reps N] [--warmup N] [--filter f]\n"
          "         [--json out.json]       run an experiment suite\n"
          "  bench  --list | --scenarios    list suites / workload scenarios\n";
@@ -357,6 +531,7 @@ int main(int argc, char** argv) {
     if (args.command == "gen") return cmd_gen(args);
     if (args.command == "fig41") return cmd_fig41(args);
     if (args.command == "stream") return cmd_stream(args);
+    if (args.command == "trace") return cmd_trace(args);
     if (args.command == "bench") return cmd_bench(args);
     return usage(std::cerr, 2);
   } catch (const std::exception& e) {  // check_error, stoll/stod failures
