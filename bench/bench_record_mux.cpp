@@ -1,0 +1,10 @@
+// E17 — recorder + multiplexer: engine-side outcome recording audited
+// against the in-memory served/failed digests, and deterministic k-way
+// multi-trace replay vs the in-memory merge reference. Scenario and
+// metrics live in the "record_mux" harness suite (src/exp/suites.cpp);
+// run with --json to emit BENCH_record_mux.json.
+#include "exp/harness.h"
+
+int main(int argc, char** argv) {
+  return cmvrp::bench_driver_main("record_mux", argc, argv);
+}

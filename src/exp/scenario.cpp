@@ -398,6 +398,56 @@ ScenarioRegistry build_builtin() {
                             sink);
                       });
                     }));
+  r.add(from_stream("heavytail2d/s4c8/n4000/a1.2", "heavytail2d",
+                    "Pareto(1.2) dwell hotspot migration, 64 cubes",
+                    Box(Point{0, 0}, Point{31, 31}), [] {
+                      return collect_jobs([](const JobSink& sink) {
+                        Rng rng(616);
+                        heavy_tailed_hotspot_stream(2, 4, 8, 4000, 1.2, rng,
+                                                    sink);
+                      });
+                    }));
+  r.add(from_stream("heavytail3d/s4c4/n2400/a1.5", "heavytail3d",
+                    "Pareto(1.5) dwell hotspot migration in 3-D",
+                    Box(Point{0, 0, 0}, Point{15, 15, 15}), [] {
+                      return collect_jobs([](const JobSink& sink) {
+                        Rng rng(617);
+                        heavy_tailed_hotspot_stream(3, 4, 4, 2400, 1.5, rng,
+                                                    sink);
+                      });
+                    }));
+  // Mixture streams: several generators merged by arrival index with the
+  // TraceMux rule (merge_streams), re-indexed 0..N-1 — the in-memory
+  // face of multi-trace replay (multi-depot arrivals served by one
+  // fleet).
+  r.add(from_stream("mix/hotspot+gradient/32x32/n8000", "mix",
+                    "hotspot + gradient sources merged by arrival index",
+                    Box(Point{0, 0}, Point{31, 31}), [] {
+                      auto hotspot = collect_jobs([](const JobSink& sink) {
+                        Rng rng(611);
+                        bursty_hotspot_stream(2, 4, 8, 4000, 64, rng, sink);
+                      });
+                      auto gradient = collect_jobs([](const JobSink& sink) {
+                        Rng rng(614);
+                        drifting_gradient_stream(
+                            Box(Point{0, 0}, Point{31, 31}), 4000, 2.0, rng,
+                            sink);
+                      });
+                      return merge_streams({hotspot, gradient});
+                    }));
+  r.add(from_stream("mix/heavytail+boundary/32x32/n8000", "mix",
+                    "Pareto-dwell hotspot + cube-wall round-robin merged",
+                    Box(Point{0, 0}, Point{31, 31}), [] {
+                      auto heavy = collect_jobs([](const JobSink& sink) {
+                        Rng rng(616);
+                        heavy_tailed_hotspot_stream(2, 4, 8, 4000, 1.2, rng,
+                                                    sink);
+                      });
+                      auto boundary = collect_jobs([](const JobSink& sink) {
+                        boundary_round_robin_stream(2, 4, 8, 4000, sink);
+                      });
+                      return merge_streams({heavy, boundary});
+                    }));
   r.add(from_stream("gradient4d/6x6x6x6/n1200/sg1", "gradient4d",
                     "drifting-gradient arrivals in 4-D, sigma 1",
                     Box(Point{0, 0, 0, 0}, Point{5, 5, 5, 5}), [] {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <deque>
 #include <filesystem>
 #include <optional>
 #include <random>
@@ -32,6 +33,8 @@
 #include "online/simulation.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
+#include "record/mux.h"
+#include "record/recorder.h"
 #include "stream/engine.h"
 #include "trace/reader.h"
 #include "trace/replay.h"
@@ -39,6 +42,7 @@
 #include "transfer/cube_collector.h"
 #include "transfer/line_collector.h"
 #include "transfer/theorem51.h"
+#include "util/digest.h"
 #include "util/rng.h"
 #include "util/timer.h"
 #include "vrp/cvrp.h"
@@ -817,6 +821,37 @@ bool same_stream_outcome(const StreamResult& a, const StreamResult& b) {
          a.failed_jobs == b.failed_jobs && a.cubes == b.cubes;
 }
 
+// A per-run-unique trace path under the temp directory, removed on
+// destruction (also when a check_error escapes a case) — so two
+// concurrent suite runs on one machine never truncate each other's
+// files mid-replay. Non-copyable: a copy's destructor would delete a
+// live file; keep instances in a std::deque, whose growth never moves
+// elements.
+class ScopedTempFile {
+ public:
+  explicit ScopedTempFile(const std::string& stem)
+      : path_(std::filesystem::temp_directory_path().string() + "/cmvrp_" +
+              stem + "_" + run_token() + ".trace") {}
+  ~ScopedTempFile() { std::remove(path_.c_str()); }
+  ScopedTempFile(const ScopedTempFile&) = delete;
+  ScopedTempFile& operator=(const ScopedTempFile&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  static const std::string& run_token() {
+    static const std::string token = [] {
+      std::random_device rd;
+      std::ostringstream os;
+      os << std::hex << rd() << rd();
+      return os.str();
+    }();
+    return token;
+  }
+
+  std::string path_;
+};
+
 // Shared by the stream suites' "dims" sections: runs each named ℓ = 3/4
 // scenario at 1 and 2 threads under the theory config, asserting the
 // thread-count determinism contract (and, when `require_complete`,
@@ -909,6 +944,13 @@ void suite_stream_scaling(BenchRun& b) {
   cfg.online.anchor = Point{0, 0};
   cfg.online.seed = 7;
   cfg.batch_size = 256;
+  // PR 5 throughput lever: amortize the §3.2.5 monitoring sweep + drain
+  // across batched arrivals (one settle per 16 arrivals per cube instead
+  // of one per arrival). Outcome metrics — served/failed/replacements/
+  // cubes and the served/failed set hashes — are unchanged vs the
+  // stride-1 baseline (heartbeats are protocol no-ops on failure-free
+  // streams); only jobs/sec moves.
+  cfg.online.monitor_stride = 16;
 
   const unsigned hw = std::thread::hardware_concurrency();
 
@@ -978,26 +1020,10 @@ void suite_stream_scaling(BenchRun& b) {
 // count, and the artifact tracks replay jobs/sec against the in-memory
 // stream_scaling baseline.
 void suite_stream_replay(BenchRun& b) {
-  // Per-run unique names: two concurrent suite runs on one machine must
-  // not truncate each other's trace files mid-replay.
-  const std::string token = [] {
-    std::random_device rd;
-    std::ostringstream os;
-    os << std::hex << rd() << rd();
-    return os.str();
-  }();
-  const std::string dir =
-      std::filesystem::temp_directory_path().string() + "/";
-  const std::string hotspot_trace =
-      dir + "cmvrp_replay_hotspot_" + token + ".trace";
-  const std::string scaling_trace =
-      dir + "cmvrp_replay_scaling_" + token + ".trace";
-  struct FileRemover {  // cleanup even when a check_error escapes a case
-    std::string path;
-    ~FileRemover() { std::remove(path.c_str()); }
-  };
-  const FileRemover remove_hotspot{hotspot_trace};
-  const FileRemover remove_scaling{scaling_trace};
+  const ScopedTempFile hotspot_file("replay_hotspot");
+  const ScopedTempFile scaling_file("replay_scaling");
+  const std::string& hotspot_trace = hotspot_file.path();
+  const std::string& scaling_trace = scaling_file.path();
 
   // Producer side of the out-of-core path: streaming generator →
   // TraceWriter, one record at a time, no job vector.
@@ -1090,6 +1116,136 @@ void suite_stream_replay(BenchRun& b) {
          "(peak job storage is one engine batch, not the trace). The "
          "throughput section prices the mmap decode against the in-memory "
          "baseline on the stream_scaling workload.");
+}
+
+// E17 — recorder + multiplexer: engine-side outcome recording must leave
+// an audit trail bit-identical to the in-memory digests at every thread
+// count, and deterministic k-way multi-trace replay must match the
+// in-memory merge reference across thread counts and source orderings.
+void suite_record_mux(BenchRun& b) {
+  const ScopedTempFile outcome_file("record_outcomes");
+  const std::string& outcome_trace = outcome_file.path();
+
+  StreamConfig cfg;
+  cfg.online.capacity = 24.0;
+  cfg.online.cube_side = 4;  // engine cubes align with the generators' walls
+  cfg.online.anchor = Point{0, 0};
+  cfg.online.seed = 7;
+  cfg.online.monitor_stride = 16;  // the amortized-monitoring path
+  cfg.batch_size = 256;
+
+  // --- recording: outcome trail vs in-memory digests ----------------------
+  const auto& reg = ScenarioRegistry::builtin();
+  const auto jobs = reg.at("hotspot/s4c8/n4000/b64").jobs();
+  const StreamProbe plain = probe_stream(2, cfg, jobs);
+  const std::uint64_t served_ref = index_set_digest(plain.result.served_jobs);
+  const std::uint64_t failed_ref = index_set_digest(plain.result.failed_jobs);
+
+  BenchSection& record = b.section("record");
+  for (const int threads : {1, 2}) {
+    record.run_case(
+        "threads=" + std::to_string(threads), [&, threads](MetricRow& row) {
+          StreamConfig c = cfg;
+          c.threads = threads;
+          StreamEngine engine(2, c);
+          OutcomeRecorder recorder(outcome_trace, 2);
+          engine.set_observer(&recorder);
+          WallTimer timer;
+          engine.ingest(jobs);
+          const StreamResult r = engine.finish();
+          recorder.close();
+          const double ms = timer.elapsed_ms();
+          if (!same_stream_outcome(plain.result, r))
+            b.fail("recording changed the serving outcome at threads=" +
+                   std::to_string(threads));
+          if (recorder.served_digest() != served_ref ||
+              recorder.failed_digest() != failed_ref)
+            b.fail("outcome trail digests diverged from the in-memory "
+                   "served/failed sets at threads=" +
+                   std::to_string(threads));
+          TraceReader back(outcome_trace);
+          const OutcomeSummary audit = scan_outcomes(back);
+          if (audit.served_digest != served_ref ||
+              audit.failed_digest != failed_ref)
+            b.fail("on-disk audit scan disagreed with the recorder");
+          row.metric("served", r.metrics.jobs_served)
+              .metric("failed", r.metrics.jobs_failed)
+              .metric("recorded", recorder.recorded())
+              .metric("plain jobs/sec", plain.jobs_per_sec, 0)
+              .metric("jobs/sec",
+                      ms > 0.0
+                          ? 1000.0 * static_cast<double>(jobs.size()) / ms
+                          : 0.0,
+                      0);
+        });
+  }
+
+  // --- mux: k traces, one engine, order-invariant ------------------------
+  const std::vector<std::string> source_names = {
+      "hotspot/s4c8/n4000/b64", "gradient/32x32/n4000/sg2",
+      "heavytail2d/s4c8/n4000/a1.2"};
+  std::vector<std::vector<Job>> source_jobs;
+  std::vector<std::string> source_paths;
+  std::deque<ScopedTempFile> source_files;  // deque: growth never moves
+  for (std::size_t s = 0; s < source_names.size(); ++s) {
+    source_jobs.push_back(reg.at(source_names[s]).jobs());
+    source_files.emplace_back("mux_src" + std::to_string(s));
+    source_paths.push_back(source_files.back().path());
+    TraceWriter writer(source_paths.back(), 2);
+    writer.append(source_jobs.back().data(), source_jobs.back().size());
+    writer.close();
+  }
+  const std::vector<Job> merged = merge_streams(source_jobs);
+  const StreamProbe reference = probe_stream(2, cfg, merged);
+
+  BenchSection& mux = b.section("mux");
+  for (const int threads : {1, 2}) {
+    for (const bool reversed : {false, true}) {
+      mux.run_case(
+          "threads=" + std::to_string(threads) +
+              (reversed ? "/reversed" : "/in-order"),
+          [&, threads, reversed](MetricRow& row) {
+            StreamConfig c = cfg;
+            c.threads = threads;
+            TraceMux m(2, c);
+            if (reversed) {
+              for (auto it = source_paths.rbegin(); it != source_paths.rend();
+                   ++it)
+                m.add_source(*it);
+            } else {
+              for (const auto& path : source_paths) m.add_source(path);
+            }
+            WallTimer timer;
+            const StreamResult r = m.replay();
+            const double ms = timer.elapsed_ms();
+            if (!same_stream_outcome(reference.result, r))
+              b.fail("mux replay diverged from the in-memory merge at "
+                     "threads=" +
+                     std::to_string(threads) +
+                     (reversed ? " (reversed sources)" : ""));
+            row.metric("sources",
+                       static_cast<std::uint64_t>(m.source_count()))
+                .metric("jobs", r.jobs_ingested)
+                .metric("served", r.metrics.jobs_served)
+                .metric("failed", r.metrics.jobs_failed)
+                .metric("cubes", r.cubes)
+                .metric("jobs/sec",
+                        ms > 0.0 ? 1000.0 *
+                                       static_cast<double>(r.jobs_ingested) /
+                                       ms
+                                 : 0.0,
+                        0);
+          });
+    }
+  }
+
+  b.note("Recorder: the outcome trail written during serving carries the "
+         "same served/failed digests as the in-memory result at 1 and 2 "
+         "threads (the O(batch x threads) audit-trail contract). Mux: three "
+         "generator traces (hotspot, gradient, Pareto heavy-tail) merged by "
+         "arrival index replay bit-identically to the in-memory "
+         "merge_streams reference at every thread count and source "
+         "ordering.");
 }
 
 // CI smoke: one tiny offline case and one tiny online case, seconds total.
@@ -1203,6 +1359,10 @@ void register_builtin_suites() {
                     "E16: out-of-core trace replay — equivalence with "
                     "in-memory serving and replay throughput",
                     suite_stream_replay});
+    register_suite({"record_mux",
+                    "E17: outcome recording audit trail + deterministic "
+                    "k-way multi-trace replay",
+                    suite_record_mux});
     register_suite({"smoke",
                     "CI quick gate: tiny offline sandwich + tiny online run",
                     suite_smoke});

@@ -23,6 +23,8 @@ FleetCore::FleetCore(int dim, const OnlineConfig& config, EventQueue& queue,
   CMVRP_CHECK(config.capacity >= 0.0);
   CMVRP_CHECK_MSG(config.cube_side >= 2,
                   "cube side must be >= 2 so every pair has an idle partner");
+  CMVRP_CHECK_MSG(config.monitor_stride >= 1,
+                  "monitor stride must be >= 1 arrival between sweeps");
 }
 
 void FleetCore::bind_network() {

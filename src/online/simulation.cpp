@@ -33,14 +33,20 @@ bool OnlineSimulation::run(const std::vector<Job>& jobs) {
     core_.monitor_sweep();
     queue_.run_to_quiescence();
   }
+  // Monitoring settles every `monitor_stride` arrivals (1 = after each,
+  // the historical cadence), with a catch-up settle after the last job so
+  // trailing failures are still detected and replaced.
+  std::int64_t since_settle = 0;
   for (const auto& job : jobs) {
     core_.serve_job(job);
     queue_.run_to_quiescence();
-    if (monitoring) {
+    if (monitoring && ++since_settle >= core_.config().monitor_stride) {
       // A replacement can itself break; sweep until stable (bounded).
       core_.settle();
+      since_settle = 0;
     }
   }
+  if (monitoring && since_settle > 0) core_.settle();
   core_.finalize_metrics();
   return core_.metrics().jobs_failed == 0;
 }

@@ -1,0 +1,80 @@
+#include "record/recorder.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cmvrp {
+
+OutcomeRecorder::OutcomeRecorder(const std::string& path, int dim)
+    : path_(path), writer_(path, dim, kTraceVersionV2) {}
+
+void OutcomeRecorder::on_batch(const JobOutcome* outcomes,
+                               std::size_t count) {
+  for (std::size_t k = 0; k < count; ++k) {
+    const JobOutcome& o = outcomes[k];
+    writer_.append_event(outcome_event(o.job, o.served, o.corner));
+    if (o.served) {
+      ++served_count_;
+      served_digest_ = index_digest_step(served_digest_, o.job.index);
+    } else {
+      ++failed_count_;
+      failed_digest_ = index_digest_step(failed_digest_, o.job.index);
+    }
+  }
+}
+
+void OutcomeRecorder::on_inject(const Point& home) {
+  writer_.append_event(silent_done_event(home));
+}
+
+void OutcomeRecorder::close() { writer_.close(); }
+
+OutcomeSets read_outcome_sets(TraceReader& reader) {
+  CMVRP_CHECK_MSG(reader.has_outcomes(),
+                  "not an outcome trace (v2 outcomes flag unset): "
+                      << reader.path());
+  reader.reset();
+  OutcomeSets sets;
+  std::vector<TraceEvent> chunk(4096);
+  while (const std::size_t n =
+             reader.next_events(chunk.data(), chunk.size())) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (chunk[i].kind != TraceEventKind::kOutcome) continue;
+      (chunk[i].served ? sets.served : sets.failed)
+          .push_back(chunk[i].job.index);
+    }
+  }
+  reader.reset();
+  std::sort(sets.served.begin(), sets.served.end());
+  std::sort(sets.failed.begin(), sets.failed.end());
+  return sets;
+}
+
+OutcomeSummary scan_outcomes(TraceReader& reader) {
+  CMVRP_CHECK_MSG(reader.has_outcomes(),
+                  "not an outcome trace (v2 outcomes flag unset): "
+                      << reader.path());
+  reader.reset();
+  OutcomeSummary summary;
+  std::vector<TraceEvent> chunk(4096);
+  while (const std::size_t n =
+             reader.next_events(chunk.data(), chunk.size())) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (chunk[i].kind != TraceEventKind::kOutcome) continue;
+      if (chunk[i].served) {
+        ++summary.served;
+        summary.served_digest =
+            index_digest_step(summary.served_digest, chunk[i].job.index);
+      } else {
+        ++summary.failed;
+        summary.failed_digest =
+            index_digest_step(summary.failed_digest, chunk[i].job.index);
+      }
+    }
+  }
+  reader.reset();
+  return summary;
+}
+
+}  // namespace cmvrp

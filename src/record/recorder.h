@@ -1,0 +1,97 @@
+// OutcomeRecorder: the engine-side audit trail.
+//
+// A StreamObserver that streams every job's serving outcome back to disk
+// *during* serving, as cmvrp-trace-v2 outcome events (served/failed +
+// assigned cube corner). Hooked into StreamEngine::set_observer, it sees
+// each batch's outcomes in ascending arrival-index order after the batch
+// barrier, appends them through a TraceWriter, and folds the served and
+// failed index digests incrementally (order-invariant, util/digest.h)
+// — so a bounded-memory run of any length leaves (a) a complete,
+// replayable outcome trace and (b) two 64-bit digests that must equal
+// the in-memory result's served_jobs/failed_jobs digests
+// (tests/record_test.cpp enforces the bit-identity at several thread
+// counts). Silent-done injections forwarded by the engine (on_inject)
+// are written as failure events in stream position. Peak memory is the
+// engine's own O(batch × threads) outcome fold; the recorder adds only
+// the file buffer.
+//
+// The on-disk trail replays: a v2 outcome trace's job-bearing records
+// ARE the original arrival sequence (TraceReader::next_batch yields
+// them) and recorded injections re-apply between the same arrivals, so
+// `cmvrp trace replay` over an audit trail reproduces the run it
+// recorded.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stream/engine.h"
+#include "trace/reader.h"
+#include "trace/writer.h"
+#include "util/digest.h"
+
+namespace cmvrp {
+
+class OutcomeRecorder final : public StreamObserver {
+ public:
+  // Opens (truncating) a v2 trace at `path`; throws check_error when the
+  // file cannot be created or dim is out of range.
+  OutcomeRecorder(const std::string& path, int dim);
+
+  // StreamObserver: appends one outcome event per entry, in the order
+  // delivered (ascending arrival index within the batch).
+  void on_batch(const JobOutcome* outcomes, std::size_t count) override;
+
+  // StreamObserver: records a silent-done injection as a v2 failure
+  // event, so the trail carries the injection at its stream position.
+  void on_inject(const Point& home) override;
+
+  // Patches the trace header (count + outcome flag) and verifies stream
+  // health; throws check_error when any byte failed to reach the file.
+  // The recorder is unusable afterwards.
+  void close();
+
+  const std::string& path() const { return path_; }
+  std::uint64_t recorded() const { return served_count_ + failed_count_; }
+  std::uint64_t served_count() const { return served_count_; }
+  std::uint64_t failed_count() const { return failed_count_; }
+
+  // Incremental order-invariant folds (util/digest.h) over the
+  // served/failed arrival indices: always equal to index_set_digest of
+  // the in-memory result's served_jobs/failed_jobs, regardless of the
+  // stream's index pattern or delivery order.
+  std::uint64_t served_digest() const { return served_digest_; }
+  std::uint64_t failed_digest() const { return failed_digest_; }
+
+ private:
+  std::string path_;
+  TraceWriter writer_;
+  std::uint64_t served_count_ = 0;
+  std::uint64_t failed_count_ = 0;
+  std::uint64_t served_digest_ = kIndexDigestBasis;
+  std::uint64_t failed_digest_ = kIndexDigestBasis;
+};
+
+// The two index sets of an outcome trace, materialized (sorted
+// ascending, like StreamResult's served_jobs/failed_jobs). For tests and
+// small audits; unbounded in trace length.
+struct OutcomeSets {
+  std::vector<std::int64_t> served;
+  std::vector<std::int64_t> failed;
+};
+OutcomeSets read_outcome_sets(TraceReader& reader);
+
+// One bounded pass over an outcome trace: counts and digests only, O(1)
+// memory — the out-of-core way to audit a recorded run against a
+// report's served_hash/failed_hash.
+struct OutcomeSummary {
+  std::uint64_t served = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t served_digest = kIndexDigestBasis;
+  std::uint64_t failed_digest = kIndexDigestBasis;
+};
+OutcomeSummary scan_outcomes(TraceReader& reader);
+
+}  // namespace cmvrp

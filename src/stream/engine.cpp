@@ -18,6 +18,11 @@ StreamEngine::StreamEngine(int dim, const StreamConfig& config)
   for (int s = 0; s < pool_.size(); ++s)
     shards_.emplace_back(dim_, config_.online);
   routed_.resize(static_cast<std::size_t>(pool_.size()));
+  outcomes_.resize(static_cast<std::size_t>(pool_.size()));
+}
+
+void StreamEngine::set_observer(StreamObserver* observer) {
+  observer_ = observer;
 }
 
 void StreamEngine::ingest(const std::vector<Job>& jobs) {
@@ -28,6 +33,18 @@ void StreamEngine::ingest(const Job* jobs, std::size_t count) {
   const auto batch = static_cast<std::size_t>(config_.batch_size);
   for (std::size_t off = 0; off < count; off += batch)
     run_batch(jobs + off, std::min(batch, count - off));
+}
+
+void StreamEngine::inject_silent_done(const Point& home) {
+  CMVRP_CHECK_MSG(home.dim() == dim_,
+                  "silent-done home dim " << home.dim()
+                                          << " does not match engine dim "
+                                          << dim_);
+  PointHash hash;
+  const Point corner = pairing_.cube_corner(home);
+  shards_[hash(corner) % static_cast<std::size_t>(pool_.size())]
+      .inject_silent_done(home);
+  if (observer_ != nullptr) observer_->on_inject(home);
 }
 
 void StreamEngine::run_batch(const Job* jobs, std::size_t count) {
@@ -43,10 +60,34 @@ void StreamEngine::run_batch(const Job* jobs, std::size_t count) {
   // Fork/join barrier: every arrival of this batch is fully served (queue
   // drained, monitoring settled) before the next batch is admitted —
   // the stream-scale reading of the paper's long inter-arrival gaps.
-  pool_.run([this](int w) {
-    shards_[static_cast<std::size_t>(w)].process(
-        routed_[static_cast<std::size_t>(w)]);
+  const bool observing = observer_ != nullptr;
+  pool_.run([this, observing](int w) {
+    const auto s = static_cast<std::size_t>(w);
+    shards_[s].process(routed_[s], observing ? &outcomes_[s] : nullptr);
   });
+  if (observing) {
+    // Fold the shards' per-thread buffers into ascending arrival-index
+    // order — within one batch indices are unique, so the sort restores
+    // the exact ingest order regardless of shard assignment.
+    outcome_fold_.clear();
+    for (auto& shard_outcomes : outcomes_) {
+      outcome_fold_.insert(outcome_fold_.end(), shard_outcomes.begin(),
+                           shard_outcomes.end());
+      shard_outcomes.clear();
+    }
+    // Total order (index, position, served): indices are unique within a
+    // batch for ordinary streams, but even degenerate inputs with
+    // duplicate indices must fold — and hit the disk — deterministically
+    // at every thread count.
+    std::sort(outcome_fold_.begin(), outcome_fold_.end(),
+              [](const JobOutcome& a, const JobOutcome& b) {
+                if (a.job.index != b.job.index) return a.job.index < b.job.index;
+                if (!(a.job.position == b.job.position))
+                  return a.job.position < b.job.position;
+                return a.served < b.served;
+              });
+    observer_->on_batch(outcome_fold_.data(), outcome_fold_.size());
+  }
   jobs_ingested_ += count;
   ++batches_;
 }

@@ -12,19 +12,25 @@
 //   serve   — N worker shards process their routed jobs concurrently,
 //             each cube on its own deterministic EventQueue + per-cube
 //             seeded Network (see stream/shard.h),
+//   observe — when a StreamObserver is attached, every batch's outcomes
+//             are folded in ascending arrival-index order after the
+//             barrier and handed to the observer on the ingest thread
+//             (the OutcomeRecorder streams them to disk at
+//             O(batch × threads) peak RSS),
 //   merge   — per-cube OnlineMetrics and served/failed index sets fold in
 //             ascending-corner order into one StreamResult.
 //
 // Contract: results are bit-identical for every thread count and batch
 // size, because all nondeterminism lives in per-cube seeds and each
-// cube's job subsequence is order-preserved. Threads only change wall
-// time. Against the *legacy* simulator only the delay-invariant service
-// outcome (served/failed sets) is expected to agree: per-cube delay RNGs
-// draw differently from the legacy global RNG, so Phase I searches can
-// pick different idle replacements (different travel/energy split), and
-// monitoring heartbeats are per-cube-local here whereas the legacy
-// simulator sweeps every cube after every arrival (different message
-// counts).
+// cube's job subsequence is order-preserved (the monitoring cadence is a
+// per-cube arrival stride, never a batch boundary — see stream/shard.h).
+// Threads only change wall time. Against the *legacy* simulator only the
+// delay-invariant service outcome (served/failed sets) is expected to
+// agree: per-cube delay RNGs draw differently from the legacy global
+// RNG, so Phase I searches can pick different idle replacements
+// (different travel/energy split), and monitoring heartbeats are
+// per-cube-local here whereas the legacy simulator sweeps every cube
+// after every arrival (different message counts).
 #pragma once
 
 #include <cstddef>
@@ -53,9 +59,29 @@ struct StreamResult {
   std::vector<std::int64_t> failed_jobs;  // sorted arrival indices
 };
 
+// Engine-side outcome observation. on_batch fires after every batch
+// barrier with that batch's outcomes sorted by ascending arrival index
+// (so for a stream indexed 0..N-1 the concatenation over batches is the
+// global arrival order), on the thread that called ingest(). on_inject
+// fires for every silent-done injection, at its position between
+// batches — so an observer recording the run (OutcomeRecorder) captures
+// failure injections too and its trail replays to the same run.
+// Observers must not re-enter the engine.
+class StreamObserver {
+ public:
+  virtual ~StreamObserver() = default;
+  virtual void on_batch(const JobOutcome* outcomes, std::size_t count) = 0;
+  virtual void on_inject(const Point& home) { (void)home; }
+};
+
 class StreamEngine {
  public:
   StreamEngine(int dim, const StreamConfig& config);
+
+  // Attaches (or, with nullptr, detaches) an outcome observer. Borrowed;
+  // must outlive serving. Call before ingest() — outcomes of batches
+  // already served are not replayed.
+  void set_observer(StreamObserver* observer);
 
   // Consumes a stream segment: splits it into bounded batches, routes
   // each batch to shards, and serves the batches one barrier at a time.
@@ -64,6 +90,13 @@ class StreamEngine {
   // constructing a vector per segment.
   void ingest(const std::vector<Job>& jobs);
   void ingest(const Job* jobs, std::size_t count);
+
+  // Failure injection between ingest() calls: the vehicle homed at
+  // `home` goes silent-done (serves until exhausted, never initiates its
+  // own replacement — §3.2.5's scenario 2). Routed to the owning cube's
+  // shard deterministically; takes effect for all arrivals ingested
+  // afterwards. The trace replayer maps v2 silent-done events here.
+  void inject_silent_done(const Point& home);
 
   // Finalizes and merges every cube's results. The engine stays usable:
   // further ingest() calls continue from the same fleet state.
@@ -80,6 +113,11 @@ class StreamEngine {
   std::vector<CubeShard> shards_;
   // Per-shard routing buffers, reused across batches.
   std::vector<std::vector<Job>> routed_;
+  // Per-shard outcome buffers + the merged fold, reused across batches;
+  // only populated while an observer is attached (O(batch × threads)).
+  std::vector<std::vector<JobOutcome>> outcomes_;
+  std::vector<JobOutcome> outcome_fold_;
+  StreamObserver* observer_ = nullptr;
   WorkerPool pool_;
   std::uint64_t jobs_ingested_ = 0;
   std::uint64_t batches_ = 0;

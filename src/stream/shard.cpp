@@ -32,6 +32,13 @@ CubeServer::CubeServer(int dim, const OnlineConfig& config,
   core_.bind_network();
 }
 
+void CubeServer::settle_if_due() {
+  if (!core_.config().enable_monitoring) return;
+  if (++since_settle_ < core_.config().monitor_stride) return;
+  core_.settle();
+  since_settle_ = 0;
+}
+
 bool CubeServer::serve(const Job& job) {
   if (!started_) {
     started_ = true;
@@ -45,31 +52,53 @@ bool CubeServer::serve(const Job& job) {
   }
   const bool ok = core_.serve_job(job);
   queue_.run_to_quiescence();
-  if (core_.config().enable_monitoring) core_.settle();
+  settle_if_due();
   (ok ? served_ : failed_).push_back(job.index);
   return ok;
 }
 
-void CubeServer::finish() { core_.finalize_metrics(); }
+void CubeServer::inject_silent_done(const Point& home) {
+  core_.inject_silent_done(home);
+}
+
+void CubeServer::finish() {
+  // Catch-up settle: a stride > 1 may have deferred the detection of a
+  // trailing failure past the last arrival.
+  if (core_.config().enable_monitoring && since_settle_ > 0) {
+    core_.settle();
+    since_settle_ = 0;
+  }
+  core_.finalize_metrics();
+}
 
 CubeShard::CubeShard(int dim, const OnlineConfig& config)
     : dim_(dim),
       config_(config),
       pairing_(dim, config.anchor, config.cube_side) {}
 
-void CubeShard::process(const std::vector<Job>& jobs) {
+CubeServer& CubeShard::server_for(const Point& corner) {
+  auto it = servers_.find(corner);
+  if (it == servers_.end()) {
+    it = servers_
+             .emplace(corner,
+                      std::make_unique<CubeServer>(dim_, config_, corner))
+             .first;
+  }
+  return *it->second;
+}
+
+void CubeShard::process(const std::vector<Job>& jobs,
+                        std::vector<JobOutcome>* outcomes) {
   for (const Job& job : jobs) {
     const Point corner = pairing_.cube_corner(job.position);
-    auto it = servers_.find(corner);
-    if (it == servers_.end()) {
-      it = servers_
-               .emplace(corner,
-                        std::make_unique<CubeServer>(dim_, config_, corner))
-               .first;
-    }
-    it->second->serve(job);
+    const bool served = server_for(corner).serve(job);
+    if (outcomes != nullptr) outcomes->push_back({job, corner, served});
     ++jobs_processed_;
   }
+}
+
+void CubeShard::inject_silent_done(const Point& home) {
+  server_for(pairing_.cube_corner(home)).inject_silent_done(home);
 }
 
 void CubeShard::finish() {

@@ -12,9 +12,20 @@
 // batched. That is the engine's bit-identical-across-thread-counts
 // contract, enforced by tests/stream_test.cpp.
 //
+// Monitoring cadence: CubeServer settles the §3.2.5 ring every
+// OnlineConfig::monitor_stride arrivals *of its own cube* (plus a
+// catch-up settle in finish()). Sweeping exactly once per ingest batch
+// would be cheaper still, but would make heartbeat counts — and, because
+// heartbeat delays draw from the per-cube RNG, travel/energy splits —
+// depend on the batch size, breaking the bit-identical contract; a fixed
+// per-cube stride gives the same amortization with results that stay a
+// pure function of the cube's arrival subsequence.
+//
 // CubeShard routes its jobs to per-cube servers in arrival order and
 // folds results by ascending cube corner, so double-valued metric sums
-// are also reproducible.
+// are also reproducible. When the engine carries a StreamObserver, the
+// shard additionally records one JobOutcome per arrival into an
+// engine-owned per-shard buffer (O(batch) each, no cross-thread sharing).
 #pragma once
 
 #include <cstdint>
@@ -36,17 +47,34 @@ namespace cmvrp {
 // shard assignment by construction.
 std::uint64_t cube_stream_seed(std::uint64_t engine_seed, const Point& corner);
 
+// What one arrival came to: the job, the cube that served (or failed)
+// it, and whether it was served — the unit the OutcomeRecorder streams
+// back to disk.
+struct JobOutcome {
+  Job job;
+  Point corner;        // cube corner the job was routed to
+  bool served = false;
+};
+
 // A single cube served online: own clock, own network, own fleet.
 class CubeServer {
  public:
   CubeServer(int dim, const OnlineConfig& config, const Point& corner);
 
   // Serves one arrival (which must lie in this cube), then drains the
-  // cube's queue and runs monitoring rounds — the per-cube equivalent of
-  // the legacy simulator's drain-to-quiescence between arrivals.
+  // cube's queue; the monitoring ring settles every monitor_stride-th
+  // arrival — the per-cube equivalent of the legacy simulator's
+  // drain-to-quiescence between arrivals, amortized across batches.
   bool serve(const Job& job);
 
-  // Finalizes metrics (network stats + energy aggregates).
+  // Failure injection: the vehicle homed at `home` (which must lie in
+  // this cube) goes silent-done — it serves until exhausted but never
+  // initiates its own replacement, so only the §3.2.5 ring can recover
+  // the pair. Takes effect for all subsequent arrivals.
+  void inject_silent_done(const Point& home);
+
+  // Runs any monitoring rounds deferred by the stride, then finalizes
+  // metrics (network stats + energy aggregates).
   void finish();
 
   const OnlineMetrics& metrics() const { return core_.metrics(); }
@@ -54,10 +82,13 @@ class CubeServer {
   const std::vector<std::int64_t>& failed_indices() const { return failed_; }
 
  private:
+  void settle_if_due();
+
   EventQueue queue_;
   Network network_;
   FleetCore core_;
   bool started_ = false;
+  std::int64_t since_settle_ = 0;  // arrivals since the last ring settle
   std::vector<std::int64_t> served_;  // arrival indices, in arrival order
   std::vector<std::int64_t> failed_;
 };
@@ -69,8 +100,16 @@ class CubeShard {
   CubeShard(int dim, const OnlineConfig& config);
 
   // Serves a routed job slice in order, creating cube servers on first
-  // arrival. Runs on the shard's worker thread; touches only shard state.
-  void process(const std::vector<Job>& jobs);
+  // arrival. When `outcomes` is non-null, appends one JobOutcome per job
+  // in processing order. Runs on the shard's worker thread; touches only
+  // shard state (and its own outcome buffer).
+  void process(const std::vector<Job>& jobs,
+               std::vector<JobOutcome>* outcomes = nullptr);
+
+  // Failure injection routed by the engine: creates the cube server for
+  // `home`'s cube if needed (creation is deterministic per corner) and
+  // marks the vehicle silent-done. Must be called between batches.
+  void inject_silent_done(const Point& home);
 
   std::size_t cube_count() const { return servers_.size(); }
   std::uint64_t jobs_processed() const { return jobs_processed_; }
@@ -84,6 +123,8 @@ class CubeShard {
   void collect(std::vector<std::pair<Point, const CubeServer*>>& out) const;
 
  private:
+  CubeServer& server_for(const Point& corner);
+
   int dim_;
   OnlineConfig config_;
   CubePairing pairing_;  // routing only: job position -> cube corner

@@ -1,5 +1,8 @@
 #include "trace/mapped_file.h"
 
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <utility>
 
 #include "util/check.h"
@@ -12,27 +15,42 @@
 #include <unistd.h>
 #else
 #define CMVRP_HAVE_MMAP 0
-#include <fstream>
 #endif
 
 namespace cmvrp {
 
+bool MappedFile::mmap_disabled_by_env() {
+  const char* v = std::getenv("CMVRP_NO_MMAP");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+MappedFile::MappedFile(const std::string& path)
+    : MappedFile(path, !mmap_disabled_by_env()) {}
+
+MappedFile::MappedFile(const std::string& path, bool allow_mmap)
+    : path_(path) {
+  if (CMVRP_HAVE_MMAP && allow_mmap)
+    open_mapped();
+  else
+    open_fallback();
+}
+
 #if CMVRP_HAVE_MMAP
 
-MappedFile::MappedFile(const std::string& path) : path_(path) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  CMVRP_CHECK_MSG(fd >= 0, "cannot open trace file: " << path);
+void MappedFile::open_mapped() {
+  const int fd = ::open(path_.c_str(), O_RDONLY);
+  CMVRP_CHECK_MSG(fd >= 0, "cannot open trace file: " << path_);
   struct stat st;
   if (::fstat(fd, &st) != 0) {
     ::close(fd);
-    CMVRP_CHECK_MSG(false, "cannot stat trace file: " << path);
+    CMVRP_CHECK_MSG(false, "cannot stat trace file: " << path_);
   }
   size_ = static_cast<std::size_t>(st.st_size);
   if (size_ > 0) {
     void* addr = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
     if (addr == MAP_FAILED) {
       ::close(fd);
-      CMVRP_CHECK_MSG(false, "mmap failed for trace file: " << path);
+      CMVRP_CHECK_MSG(false, "mmap failed for trace file: " << path_);
     }
     data_ = static_cast<const unsigned char*>(addr);
     mapped_ = true;
@@ -40,19 +58,15 @@ MappedFile::MappedFile(const std::string& path) : path_(path) {
   ::close(fd);  // the mapping stays valid without the descriptor
 }
 
-void MappedFile::release() noexcept {
-  if (mapped_ && data_ != nullptr)
-    ::munmap(const_cast<unsigned char*>(data_), size_);
-  data_ = nullptr;
-  size_ = 0;
-  mapped_ = false;
-}
+#else
 
-#else  // fallback: read the whole file into an owned buffer
+void MappedFile::open_mapped() { open_fallback(); }
 
-MappedFile::MappedFile(const std::string& path) : path_(path) {
-  std::ifstream in(path, std::ios::binary);
-  CMVRP_CHECK_MSG(in.good(), "cannot open trace file: " << path);
+#endif  // CMVRP_HAVE_MMAP
+
+void MappedFile::open_fallback() {
+  std::ifstream in(path_, std::ios::binary);
+  CMVRP_CHECK_MSG(in.good(), "cannot open trace file: " << path_);
   in.seekg(0, std::ios::end);
   size_ = static_cast<std::size_t>(in.tellg());
   in.seekg(0, std::ios::beg);
@@ -60,19 +74,21 @@ MappedFile::MappedFile(const std::string& path) : path_(path) {
   if (size_ > 0) {
     in.read(reinterpret_cast<char*>(fallback_.data()),
             static_cast<std::streamsize>(size_));
-    CMVRP_CHECK_MSG(in.good(), "cannot read trace file: " << path);
+    CMVRP_CHECK_MSG(in.good(), "cannot read trace file: " << path_);
     data_ = fallback_.data();
   }
 }
 
 void MappedFile::release() noexcept {
+#if CMVRP_HAVE_MMAP
+  if (mapped_ && data_ != nullptr)
+    ::munmap(const_cast<unsigned char*>(data_), size_);
+#endif
   fallback_.clear();
   data_ = nullptr;
   size_ = 0;
   mapped_ = false;
 }
-
-#endif  // CMVRP_HAVE_MMAP
 
 MappedFile::~MappedFile() { release(); }
 
@@ -82,6 +98,8 @@ MappedFile::MappedFile(MappedFile&& other) noexcept
       size_(other.size_),
       mapped_(other.mapped_),
       fallback_(std::move(other.fallback_)) {
+  // A moved-from fallback vector may reallocate-free; re-point at ours.
+  if (!mapped_ && data_ != nullptr) data_ = fallback_.data();
   other.data_ = nullptr;
   other.size_ = 0;
   other.mapped_ = false;
@@ -95,6 +113,7 @@ MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
     size_ = other.size_;
     mapped_ = other.mapped_;
     fallback_ = std::move(other.fallback_);
+    if (!mapped_ && data_ != nullptr) data_ = fallback_.data();
     other.data_ = nullptr;
     other.size_ = 0;
     other.mapped_ = false;

@@ -5,6 +5,12 @@
 // not the file size). Platforms without mmap fall back to reading the
 // whole file into an owned buffer — same interface, weaker memory bound;
 // mapped() reports which path is live so tests and tools can tell.
+//
+// The fallback can also be forced on mmap-capable platforms, either per
+// instance (the allow_mmap constructor) or process-wide by setting the
+// CMVRP_NO_MMAP environment variable to anything but "0" — which is how
+// tests pin the fallback path and how operators can sidestep a broken
+// mmap (e.g. some network filesystems).
 #pragma once
 
 #include <cstddef>
@@ -15,9 +21,15 @@ namespace cmvrp {
 
 class MappedFile {
  public:
-  // Opens and maps `path`; throws check_error when the file cannot be
-  // opened. An empty file yields size() == 0 and a null data pointer.
+  // Opens and maps `path` (honouring CMVRP_NO_MMAP); throws check_error
+  // when the file cannot be opened. An empty file yields size() == 0 and
+  // a null data pointer.
   explicit MappedFile(const std::string& path);
+
+  // As above, but the caller decides: allow_mmap = false forces the
+  // read-into-buffer fallback regardless of platform and environment.
+  MappedFile(const std::string& path, bool allow_mmap);
+
   ~MappedFile();
 
   MappedFile(MappedFile&& other) noexcept;
@@ -32,7 +44,12 @@ class MappedFile {
   // True when backed by a real mmap; false on the read-fallback path.
   bool mapped() const { return mapped_; }
 
+  // True when the CMVRP_NO_MMAP environment variable disables mapping.
+  static bool mmap_disabled_by_env();
+
  private:
+  void open_mapped();
+  void open_fallback();
   void release() noexcept;
 
   std::string path_;

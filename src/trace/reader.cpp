@@ -19,12 +19,12 @@ TraceReader::TraceReader(const std::string& path) : file_(path) {
                         << path);
   }
   header_.version = load_le32(bytes + kTraceVersionOffset);
-  CMVRP_CHECK_MSG(header_.version == kTraceVersion,
-                  "unsupported trace version " << header_.version
-                                               << " at byte offset "
-                                               << kTraceVersionOffset
-                                               << " (expected " << kTraceVersion
-                                               << "): " << path);
+  CMVRP_CHECK_MSG(header_.version == kTraceVersion ||
+                      header_.version == kTraceVersionV2,
+                  "unsupported trace version "
+                      << header_.version << " at byte offset "
+                      << kTraceVersionOffset << " (expected " << kTraceVersion
+                      << " or " << kTraceVersionV2 << "): " << path);
   header_.dim = load_le32(bytes + kTraceDimOffset);
   CMVRP_CHECK_MSG(header_.dim >= 1 &&
                       header_.dim <= static_cast<std::uint32_t>(Point::kMaxDim),
@@ -33,50 +33,105 @@ TraceReader::TraceReader(const std::string& path) : file_(path) {
                                    << Point::kMaxDim << "): " << path);
   header_.job_count = load_le64(bytes + kTraceCountOffset);
   header_.flags = load_le64(bytes + kTraceFlagsOffset);
-  CMVRP_CHECK_MSG(header_.flags == 0,
+  const std::uint64_t known =
+      header_.version == kTraceVersionV2 ? kTraceKnownFlagsV2 : 0;
+  CMVRP_CHECK_MSG((header_.flags & ~known) == 0,
                   "unknown trace flags 0x" << std::hex << header_.flags
                                            << std::dec << " at byte offset "
-                                           << kTraceFlagsOffset << ": "
-                                           << path);
+                                           << kTraceFlagsOffset << " (v"
+                                           << header_.version
+                                           << " allows 0x" << std::hex << known
+                                           << std::dec << "): " << path);
+  job_kind_ = has_outcomes() ? TraceEventKind::kOutcome
+                             : TraceEventKind::kArrival;
 
-  const std::size_t record_size = trace_record_size(dim());
+  record_size_ = trace_record_size(dim(), header_.version);
   const std::size_t payload = file_.size() - kTraceHeaderSize;
-  const std::uint64_t whole_records = payload / record_size;
-  CMVRP_CHECK_MSG(payload % record_size == 0,
+  const std::uint64_t whole_records = payload / record_size_;
+  CMVRP_CHECK_MSG(payload % record_size_ == 0,
                   "truncated trace record: record "
                       << whole_records << " at byte offset "
-                      << kTraceHeaderSize + whole_records * record_size
-                      << " has only " << payload % record_size << " of "
-                      << record_size << " bytes: " << path);
+                      << kTraceHeaderSize + whole_records * record_size_
+                      << " has only " << payload % record_size_ << " of "
+                      << record_size_ << " bytes: " << path);
   CMVRP_CHECK_MSG(whole_records == header_.job_count,
                   "trace count/size disagreement: header at byte offset "
                       << kTraceCountOffset << " claims " << header_.job_count
                       << " records but " << payload << " payload bytes hold "
                       << whole_records << ": " << path);
+
+}
+
+const unsigned char* TraceReader::record_at(std::uint64_t index) const {
+  return file_.data() + kTraceHeaderSize + index * record_size_;
+}
+
+TraceEvent TraceReader::decode_at(std::uint64_t index) const {
+  if (header_.version == kTraceVersionV2) {
+    // Kind words are validated here, on first decode, rather than by an
+    // O(file) pass at open — opening a huge trace for a bounded window
+    // (or `trace info`) must not fault in every page.
+    const std::uint32_t kind = load_le32(record_at(index));
+    CMVRP_CHECK_MSG(kind <= kTraceMaxEventKind,
+                    "unknown trace event kind "
+                        << kind << " in record " << index
+                        << " at byte offset "
+                        << kTraceHeaderSize + index * record_size_ << ": "
+                        << path());
+    return decode_trace_event(record_at(index), dim());
+  }
+  const unsigned char* record = record_at(index);
+  Job job;
+  Point p = Point::origin(dim());
+  for (int i = 0; i < dim(); ++i)
+    p[i] = load_le_i64(record + static_cast<std::size_t>(i) * 8);
+  job.position = p;
+  job.index = load_le_i64(record + static_cast<std::size_t>(dim()) * 8);
+  return arrival_event(job);
 }
 
 std::size_t TraceReader::next_batch(Job* out, std::size_t max_jobs) {
-  const std::size_t n = static_cast<std::size_t>(
-      std::min<std::uint64_t>(max_jobs, remaining()));
-  const std::size_t record_size = trace_record_size(dim());
-  const unsigned char* record =
-      file_.data() + kTraceHeaderSize + next_ * record_size;
-  for (std::size_t k = 0; k < n; ++k, record += record_size) {
-    Point p = Point::origin(dim());
-    for (int i = 0; i < dim(); ++i)
-      p[i] = load_le_i64(record + static_cast<std::size_t>(i) * 8);
-    out[k].position = p;
-    out[k].index = load_le_i64(record + static_cast<std::size_t>(dim()) * 8);
+  std::size_t n = 0;
+  if (header_.version == kTraceVersion) {
+    // v1: every record is a job — decode the window straight off the map.
+    n = static_cast<std::size_t>(std::min<std::uint64_t>(max_jobs,
+                                                         remaining()));
+    const unsigned char* record = record_at(next_);
+    for (std::size_t k = 0; k < n; ++k, record += record_size_) {
+      Point p = Point::origin(dim());
+      for (int i = 0; i < dim(); ++i)
+        p[i] = load_le_i64(record + static_cast<std::size_t>(i) * 8);
+      out[k].position = p;
+      out[k].index = load_le_i64(record + static_cast<std::size_t>(dim()) * 8);
+    }
+    next_ += n;
+    return n;
   }
+  // v2: collect the job-bearing kind, skipping other event kinds.
+  while (n < max_jobs && next_ < header_.job_count) {
+    const TraceEvent e = decode_at(next_);
+    ++next_;
+    if (e.kind == job_kind_) out[n++] = e.job;
+  }
+  return n;
+}
+
+std::size_t TraceReader::next_events(TraceEvent* out, std::size_t max_events) {
+  const std::size_t n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(max_events, remaining()));
+  for (std::size_t k = 0; k < n; ++k) out[k] = decode_at(next_ + k);
   next_ += n;
   return n;
 }
 
 std::vector<Job> TraceReader::read_all() {
   reset();
-  std::vector<Job> jobs(static_cast<std::size_t>(job_count()));
-  const std::size_t n = next_batch(jobs.data(), jobs.size());
-  jobs.resize(n);
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(job_count()));
+  std::vector<Job> chunk(4096);
+  while (const std::size_t n = next_batch(chunk.data(), chunk.size()))
+    jobs.insert(jobs.end(), chunk.begin(),
+                chunk.begin() + static_cast<std::ptrdiff_t>(n));
   return jobs;
 }
 

@@ -1,5 +1,5 @@
-// TraceReader: mmap-backed, bounded-memory iteration over a
-// cmvrp-trace-v1 file.
+// TraceReader: mmap-backed, bounded-memory iteration over a cmvrp-trace
+// file, v1 (job records) or v2 (event records).
 //
 // The constructor validates the header and the size arithmetic (magic,
 // version, dim, flags, truncated records, count/size disagreement) and
@@ -7,6 +7,13 @@
 // decodes a bounded window of records straight off the mapping into a
 // caller-provided buffer, so iterating a trace of any length costs
 // O(batch) memory — the out-of-core contract the replayer builds on.
+//
+// v2 traces are event streams. next_events() surfaces raw events (a v1
+// trace surfaces its records as arrival events), while next_batch()
+// yields the trace's *job stream*: the job-bearing event kind — outcome
+// records when the header's outcomes flag is set (an OutcomeRecorder
+// audit trail replays as the original arrival sequence), arrival records
+// otherwise — with other kinds skipped.
 #pragma once
 
 #include <cstddef>
@@ -27,36 +34,58 @@ class TraceReader {
   explicit TraceReader(const std::string& path);
 
   int dim() const { return static_cast<int>(header_.dim); }
+  std::uint32_t version() const { return header_.version; }
   std::uint64_t job_count() const { return header_.job_count; }
   std::uint64_t flags() const { return header_.flags; }
   const std::string& path() const { return file_.path(); }
 
+  // True when the trace carries v2 silent-done failure-injection events.
+  bool has_failure_events() const {
+    return (header_.flags & kTraceFlagFailureEvents) != 0;
+  }
+  // True when the trace is an outcome audit trail (v2 outcomes flag).
+  bool has_outcomes() const {
+    return (header_.flags & kTraceFlagOutcomes) != 0;
+  }
+
   // True when served by a real mmap (false on the read-fallback path).
   bool mapped() const { return file_.mapped(); }
 
-  // Decodes up to max_jobs records into `out`, returns the number
-  // decoded (0 at end of trace), and advances the cursor.
+  // Decodes records from the cursor, collecting up to max_jobs jobs of
+  // the trace's job-bearing kind (see header comment); returns the
+  // number collected (0 only when no job-bearing record remains) and
+  // advances the cursor past every record scanned.
   std::size_t next_batch(Job* out, std::size_t max_jobs);
 
-  // Records not yet consumed by next_batch().
+  // Decodes up to max_events raw events (0 at end of trace). v1 records
+  // surface as kArrival events.
+  std::size_t next_events(TraceEvent* out, std::size_t max_events);
+
+  // Records (of any event kind) not yet consumed by the cursor.
   std::uint64_t remaining() const { return header_.job_count - next_; }
 
   // Rewinds the cursor to the first record.
   void reset() { next_ = 0; }
 
-  // Convenience for small traces and tests: materializes every record.
+  // Convenience for small traces and tests: materializes the job stream.
   // Out-of-core callers must use next_batch() instead.
   std::vector<Job> read_all();
 
  private:
+  const unsigned char* record_at(std::uint64_t index) const;
+  TraceEvent decode_at(std::uint64_t index) const;
+
   MappedFile file_;
   TraceHeader header_;
+  std::size_t record_size_ = 0;
+  TraceEventKind job_kind_ = TraceEventKind::kArrival;
   std::uint64_t next_ = 0;  // index of the next unread record
 };
 
-// Induces the demand map of a trace in one bounded pass (memory is
-// O(distinct positions), not trace length) and rewinds the cursor —
-// how front ends size a fleet for a stream they never materialize.
+// Induces the demand map of a trace's job stream in one bounded pass
+// (memory is O(distinct positions), not trace length) and rewinds the
+// cursor — how front ends size a fleet for a stream they never
+// materialize.
 DemandMap trace_demand(TraceReader& reader);
 
 }  // namespace cmvrp

@@ -9,15 +9,55 @@ TraceReplayer::TraceReplayer(int dim, const StreamConfig& config)
       dim_(dim),
       chunk_(static_cast<std::size_t>(config.batch_size)) {}
 
+void TraceReplayer::set_observer(StreamObserver* observer) {
+  engine_.set_observer(observer);
+}
+
 void TraceReplayer::ingest(TraceReader& reader) {
   CMVRP_CHECK_MSG(reader.dim() == dim_,
                   "trace dim " << reader.dim() << " does not match engine dim "
                                << dim_ << ": " << reader.path());
+  if (reader.has_failure_events()) {
+    ingest_events(reader);
+    return;
+  }
   while (true) {
     const std::size_t n = reader.next_batch(chunk_.data(), chunk_.size());
     if (n == 0) break;
     engine_.ingest(chunk_.data(), n);
   }
+}
+
+void TraceReplayer::ingest_events(TraceReader& reader) {
+  // Event-aware path: arrivals buffer into the chunk; a silent-done
+  // marker flushes the chunk (so the injection lands between exactly the
+  // arrivals it sat between in the trace) and then marks the home.
+  const TraceEventKind job_kind = reader.has_outcomes()
+                                      ? TraceEventKind::kOutcome
+                                      : TraceEventKind::kArrival;
+  std::vector<TraceEvent> events(chunk_.size());
+  std::size_t pending = 0;
+  while (const std::size_t n =
+             reader.next_events(events.data(), events.size())) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const TraceEvent& e = events[i];
+      if (e.kind == TraceEventKind::kSilentDone) {
+        if (pending > 0) {
+          engine_.ingest(chunk_.data(), pending);
+          pending = 0;
+        }
+        engine_.inject_silent_done(e.job.position);
+        continue;
+      }
+      if (e.kind != job_kind) continue;
+      chunk_[pending++] = e.job;
+      if (pending == chunk_.size()) {
+        engine_.ingest(chunk_.data(), pending);
+        pending = 0;
+      }
+    }
+  }
+  if (pending > 0) engine_.ingest(chunk_.data(), pending);
 }
 
 StreamResult TraceReplayer::replay(TraceReader& reader) {

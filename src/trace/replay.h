@@ -8,6 +8,13 @@
 // contract), replaying a trace is bit-identical to serving the same jobs
 // from one in-memory vector, at every thread count; tests/trace_test.cpp
 // enforces exactly that equivalence.
+//
+// v2 traces replay by event kind: job-bearing records stream into the
+// engine as arrivals, and silent-done failure-injection markers flush
+// the pending chunk and then mark the named home vertex silent-done
+// (StreamEngine::inject_silent_done) — so the injection lands between
+// exactly the arrivals it sat between in the trace, at every thread
+// count and batch size.
 #pragma once
 
 #include <cstddef>
@@ -24,6 +31,10 @@ class TraceReplayer {
   // buffering beyond what one ingest batch already costs.
   TraceReplayer(int dim, const StreamConfig& config);
 
+  // Forwarded to the engine (e.g. an OutcomeRecorder; replay + record
+  // re-audits a trace).
+  void set_observer(StreamObserver* observer);
+
   // Replays `reader` from its current cursor to end of trace and
   // finishes the engine. The reader's dim must match the engine's.
   StreamResult replay(TraceReader& reader);
@@ -36,6 +47,8 @@ class TraceReplayer {
   std::size_t chunk_jobs() const { return chunk_.size(); }
 
  private:
+  void ingest_events(TraceReader& reader);
+
   StreamEngine engine_;
   int dim_;
   std::vector<Job> chunk_;  // the only job buffer, reused every batch

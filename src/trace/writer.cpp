@@ -6,18 +6,24 @@
 
 namespace cmvrp {
 
-TraceWriter::TraceWriter(const std::string& path, int dim)
-    : path_(path), dim_(dim) {
+TraceWriter::TraceWriter(const std::string& path, int dim,
+                         std::uint32_t version)
+    : path_(path), dim_(dim), version_(version) {
   // Validate before opening: the truncating open must not destroy an
   // existing file when the arguments are rejected.
   CMVRP_CHECK_MSG(dim >= 1 && dim <= Point::kMaxDim,
                   "trace dim must be in [1, " << Point::kMaxDim << "], got "
                                               << dim);
+  CMVRP_CHECK_MSG(version == kTraceVersion || version == kTraceVersionV2,
+                  "trace version must be " << kTraceVersion << " or "
+                                           << kTraceVersionV2 << ", got "
+                                           << version);
   out_.open(path, std::ios::binary | std::ios::trunc);
   CMVRP_CHECK_MSG(out_.good(), "cannot open trace for writing: " << path);
   TraceHeader header;
+  header.version = version;
   header.dim = static_cast<std::uint32_t>(dim);
-  header.job_count = 0;  // patched by close()
+  header.job_count = 0;  // patched by close(), together with flags
   unsigned char bytes[kTraceHeaderSize];
   encode_trace_header(header, bytes);
   out_.write(reinterpret_cast<const char*>(bytes), kTraceHeaderSize);
@@ -34,9 +40,25 @@ TraceWriter::~TraceWriter() {
   }
 }
 
+void TraceWriter::write_record(const unsigned char* record,
+                               std::size_t record_size) {
+  out_.write(reinterpret_cast<const char*>(record),
+             static_cast<std::streamsize>(record_size));
+  ++count_;
+  CMVRP_CHECK_MSG(out_.good(),
+                  "trace write failed (disk full?) after record "
+                      << count_ << " (byte offset "
+                      << kTraceHeaderSize + count_ * record_size
+                      << "): " << path_);
+}
+
 void TraceWriter::append(const Job& job) { append(&job, 1); }
 
 void TraceWriter::append(const Job* jobs, std::size_t count) {
+  if (version_ == kTraceVersionV2) {
+    for (std::size_t k = 0; k < count; ++k) append_event(arrival_event(jobs[k]));
+    return;
+  }
   CMVRP_CHECK_MSG(!closed_, "append on a closed trace writer: " << path_);
   unsigned char record[(Point::kMaxDim + 1) * sizeof(std::int64_t)];
   const std::size_t record_size = trace_record_size(dim_);
@@ -48,22 +70,52 @@ void TraceWriter::append(const Job* jobs, std::size_t count) {
     for (int i = 0; i < dim_; ++i)
       store_le_i64(record + static_cast<std::size_t>(i) * 8, job.position[i]);
     store_le_i64(record + static_cast<std::size_t>(dim_) * 8, job.index);
-    out_.write(reinterpret_cast<const char*>(record),
-               static_cast<std::streamsize>(record_size));
-    ++count_;
+    write_record(record, record_size);
   }
-  CMVRP_CHECK_MSG(out_.good(),
-                  "trace write failed (disk full?) after record "
-                      << count_ << " (byte offset "
-                      << kTraceHeaderSize + count_ * record_size
-                      << "): " << path_);
+}
+
+void TraceWriter::append_event(const TraceEvent& event) {
+  CMVRP_CHECK_MSG(!closed_, "append on a closed trace writer: " << path_);
+  CMVRP_CHECK_MSG(event.job.position.dim() == dim_,
+                  "event dim " << event.job.position.dim()
+                               << " does not match trace dim " << dim_);
+  if (version_ == kTraceVersion) {
+    CMVRP_CHECK_MSG(event.kind == TraceEventKind::kArrival,
+                    "cmvrp-trace-v1 encodes only arrival records; event kind "
+                        << static_cast<std::uint32_t>(event.kind)
+                        << " needs a v2 writer: " << path_);
+    append(&event.job, 1);
+    return;
+  }
+  CMVRP_CHECK_MSG(
+      static_cast<std::uint32_t>(event.kind) <= kTraceMaxEventKind,
+      "unknown trace event kind " << static_cast<std::uint32_t>(event.kind));
+  if (event.kind == TraceEventKind::kOutcome) {
+    CMVRP_CHECK_MSG(event.corner.dim() == dim_,
+                    "outcome corner dim " << event.corner.dim()
+                                          << " does not match trace dim "
+                                          << dim_);
+    flags_ |= kTraceFlagOutcomes;
+  } else if (event.kind == TraceEventKind::kSilentDone) {
+    flags_ |= kTraceFlagFailureEvents;
+  }
+  unsigned char record[16 + 2 * Point::kMaxDim * 8];
+  const std::size_t record_size = trace_record_size(dim_, version_);
+  TraceEvent normalized = event;
+  if (normalized.corner.dim() != dim_)
+    normalized.corner = Point::origin(dim_);
+  encode_trace_event(normalized, dim_, record);
+  write_record(record, record_size);
 }
 
 void TraceWriter::close() {
   CMVRP_CHECK_MSG(!closed_, "double close of trace writer: " << path_);
   closed_ = true;
-  unsigned char bytes[8];
+  // Count and flags are adjacent (offsets 16 and 24): patch both with one
+  // seek. v1 flags stay zero by construction.
+  unsigned char bytes[16];
   store_le64(bytes, count_);
+  store_le64(bytes + 8, flags_);
   out_.seekp(static_cast<std::streamoff>(kTraceCountOffset));
   out_.write(reinterpret_cast<const char*>(bytes), sizeof(bytes));
   out_.flush();

@@ -1,9 +1,13 @@
-// TraceWriter: streaming append of jobs into a cmvrp-trace-v1 file.
+// TraceWriter: streaming append of records into a cmvrp-trace file
+// (v1 job traces or v2 event traces).
 //
 // The writer never needs the stream length: it writes a header with
 // job_count = 0, appends fixed-width records as they are produced, and
-// close() seeks back to patch the real count. Generators can therefore
-// emit directly into a trace without materializing the job vector.
+// close() seeks back to patch the real count (and, for v2, the flags
+// word summarizing which event kinds the trace carries). Generators can
+// therefore emit directly into a trace without materializing the job
+// vector, and the engine's OutcomeRecorder can stream outcomes during
+// serving.
 //
 // Stream health is checked after every append and again after the
 // close-time flush, so a full disk raises check_error instead of
@@ -15,15 +19,18 @@
 #include <fstream>
 #include <string>
 
+#include "trace/format.h"
 #include "workload/generators.h"
 
 namespace cmvrp {
 
 class TraceWriter {
  public:
-  // Opens (truncating) `path` and writes the v1 header; throws
-  // check_error when the file cannot be created or dim is out of range.
-  TraceWriter(const std::string& path, int dim);
+  // Opens (truncating) `path` and writes the header; throws check_error
+  // when the file cannot be created, dim is out of range, or version is
+  // not 1 or 2.
+  TraceWriter(const std::string& path, int dim,
+              std::uint32_t version = kTraceVersion);
 
   // Best-effort close; errors are swallowed. Call close() explicitly to
   // get full-disk / write-failure detection.
@@ -32,23 +39,35 @@ class TraceWriter {
   TraceWriter(const TraceWriter&) = delete;
   TraceWriter& operator=(const TraceWriter&) = delete;
 
-  // Appends one record; the job's position must match the trace dim.
+  // Appends one arrival; the job's position must match the trace dim.
+  // Valid for both versions (a v2 writer encodes an arrival event).
   void append(const Job& job);
   void append(const Job* jobs, std::size_t count);
 
-  // Patches the header's job_count, flushes, and verifies stream health;
-  // throws check_error when any byte failed to reach the file. The
-  // writer is unusable afterwards.
+  // Appends one event record. A v1 writer accepts only kArrival (the
+  // other kinds have no v1 encoding); a v2 writer accepts every kind and
+  // accumulates the header flags patched by close().
+  void append_event(const TraceEvent& event);
+
+  // Patches the header's job_count (and flags for v2), flushes, and
+  // verifies stream health; throws check_error when any byte failed to
+  // reach the file. The writer is unusable afterwards.
   void close();
 
   int dim() const { return dim_; }
+  std::uint32_t version() const { return version_; }
+  std::uint64_t flags() const { return flags_; }
   std::uint64_t jobs_written() const { return count_; }
   bool closed() const { return closed_; }
 
  private:
+  void write_record(const unsigned char* record, std::size_t record_size);
+
   std::ofstream out_;
   std::string path_;
   int dim_;
+  std::uint32_t version_;
+  std::uint64_t flags_ = 0;
   std::uint64_t count_ = 0;
   bool closed_ = false;
 };

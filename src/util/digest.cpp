@@ -1,0 +1,14 @@
+#include "util/digest.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace cmvrp {
+
+std::string digest_hex(std::uint64_t digest) {
+  std::ostringstream os;
+  os << std::hex << std::setw(16) << std::setfill('0') << digest;
+  return os.str();
+}
+
+}  // namespace cmvrp

@@ -1,0 +1,43 @@
+// Order-invariant digests over arrival-index sets.
+//
+// Two stream reports (or a report and an on-disk outcome trace) can be
+// diffed for served/failed *set* equality without embedding the full
+// index lists: each index is scrambled through a splitmix64 finalizer
+// and the results are summed mod 2^64, so the digest depends only on
+// the multiset of indices — never on fold order. That is what lets the
+// OutcomeRecorder accumulate incrementally in delivery order while
+// streaming outcomes to disk and still land exactly on the digest of
+// the engine's sorted served/failed sets, proving a bounded-memory
+// run's audit trail bit-identical to the in-memory result. Digests
+// render as fixed-width hex because JSON numbers are doubles, which
+// would silently drop the low bits of a 64-bit value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cmvrp {
+
+// Empty-set digest: a nonzero basis so {} and {0-hash preimage} differ.
+inline constexpr std::uint64_t kIndexDigestBasis = 1469598103934665603ULL;
+
+// Folds one index into a digest (commutative and associative).
+inline std::uint64_t index_digest_step(std::uint64_t h, std::int64_t value) {
+  std::uint64_t z = static_cast<std::uint64_t>(value) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return h + (z ^ (z >> 31));
+}
+
+// Digest of an index multiset; any iteration order gives the same value.
+inline std::uint64_t index_set_digest(const std::vector<std::int64_t>& idx) {
+  std::uint64_t h = kIndexDigestBasis;
+  for (const std::int64_t i : idx) h = index_digest_step(h, i);
+  return h;
+}
+
+// Fixed-width (16 hex digit) rendering for JSON artifacts and tables.
+std::string digest_hex(std::uint64_t digest);
+
+}  // namespace cmvrp

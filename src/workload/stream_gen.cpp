@@ -107,4 +107,62 @@ void drifting_gradient_stream(const Box& box, std::int64_t count,
   }
 }
 
+void heavy_tailed_hotspot_stream(int dim, std::int64_t cube_side,
+                                 std::int64_t cubes_per_axis,
+                                 std::int64_t count, double alpha, Rng& rng,
+                                 const JobSink& sink) {
+  check_cube_grid(dim, cube_side, cubes_per_axis, count);
+  CMVRP_CHECK_MSG(alpha > 0.0, "Pareto shape alpha must be > 0");
+  std::vector<std::int64_t> cell(static_cast<std::size_t>(dim));
+  for (auto& c : cell) c = rng.next_int(0, cubes_per_axis - 1);
+  Point hotspot = cube_center(dim, cube_side, cell);
+  std::int64_t dwell = 0;
+  for (std::int64_t k = 0; k < count; ++k) {
+    if (dwell == 0) {
+      if (k > 0) {
+        // Jump: redraw until the hotspot actually changes cube.
+        const std::vector<std::int64_t> old = cell;
+        do {
+          for (auto& c : cell) c = rng.next_int(0, cubes_per_axis - 1);
+        } while (cell == old);
+        hotspot = cube_center(dim, cube_side, cell);
+      }
+      // Pareto(alpha, x_m = 1) via inverse transform; u in (0, 1].
+      const double u = 1.0 - rng.next_double();
+      const double raw = std::pow(u, -1.0 / alpha);
+      // Clamp before the int cast: a heavy tail overflows int64 easily.
+      const double capped =
+          std::min(raw, static_cast<double>(count - k));
+      dwell = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(std::ceil(capped)));
+    }
+    sink(Job{hotspot, k});
+    --dwell;
+  }
+}
+
+std::vector<Job> merge_streams(const std::vector<std::vector<Job>>& sources) {
+  std::vector<Job> out;
+  std::size_t total = 0;
+  for (const auto& s : sources) total += s.size();
+  out.reserve(total);
+  std::vector<std::size_t> head(sources.size(), 0);
+  auto merges_before = [](const Job& a, const Job& b) {
+    if (a.index != b.index) return a.index < b.index;
+    return a.position < b.position;
+  };
+  while (out.size() < total) {
+    std::size_t pick = sources.size();
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      if (head[s] == sources[s].size()) continue;
+      if (pick == sources.size() ||
+          merges_before(sources[s][head[s]], sources[pick][head[pick]]))
+        pick = s;
+    }
+    const Job& next = sources[pick][head[pick]++];
+    out.push_back(Job{next.position, static_cast<std::int64_t>(out.size())});
+  }
+  return out;
+}
+
 }  // namespace cmvrp

@@ -17,7 +17,12 @@
 //     time, exercising Phase I replacement search);
 //   * drifting_gradient_stream — arrivals sample a Gaussian around a
 //     center that drifts corner-to-corner across the box (the moving-
-//     phenomenon reading of §1.2 at trace scale).
+//     phenomenon reading of §1.2 at trace scale);
+//   * heavy_tailed_hotspot_stream — hotspot migration whose dwell
+//     lengths are Pareto-distributed, so the gap (in arrivals) between
+//     cube switches is heavy-tailed: most dwells are a handful of jobs,
+//     a few pin one cube for a huge run (the worst of both the hotspot
+//     and uniform worlds for pool exhaustion).
 //
 // All randomness comes from the caller's Rng, so a (generator, seed)
 // pair is a reproducible stream: emitting to a TraceWriter and replaying
@@ -57,6 +62,25 @@ void bursty_hotspot_stream(int dim, std::int64_t cube_side,
 // the course of the stream.
 void drifting_gradient_stream(const Box& box, std::int64_t count,
                               double sigma, Rng& rng, const JobSink& sink);
+
+// Hotspot migration with heavy-tailed dwells: each dwell pins the
+// hotspot to one cube center of the cubes_per_axis^dim grid for
+// ceil(Pareto(alpha, x_m = 1)) arrivals, then jumps (uniformly, never in
+// place). Smaller alpha = heavier tail; alpha <= 1 has infinite mean
+// dwell (dwells are clamped to the stream remainder). Requires
+// alpha > 0.
+void heavy_tailed_hotspot_stream(int dim, std::int64_t cube_side,
+                                 std::int64_t cubes_per_axis,
+                                 std::int64_t count, double alpha, Rng& rng,
+                                 const JobSink& sink);
+
+// Deterministic k-way merge of job streams by (arrival index, position
+// lexicographic), re-indexed 0..N-1 in merge order — the in-memory
+// reference for TraceMux (record/mux.h implements the identical rule
+// out-of-core). Invariant under permutations of `sources`: tied heads
+// are identical records, so the merged position sequence cannot depend
+// on slot order.
+std::vector<Job> merge_streams(const std::vector<std::vector<Job>>& sources);
 
 // Materializes a sink-based generator into a vector — for the scenario
 // registry and tests; the trace-writing path never calls this.

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -311,6 +312,61 @@ TEST(MappedFileTest, MapsRealFilesOnThisPlatform) {
   EXPECT_EQ(moved.data()[2], 3);
   EXPECT_EQ(file.size(), 0u);  // NOLINT(bugprone-use-after-move): spec'd
 }
+
+TEST(MappedFileTest, ConstructorToggleForcesReadFallback) {
+  const std::string path = temp_path("fallback.bin");
+  write_bytes(path, {9, 8, 7, 6});
+  MappedFile file(path, /*allow_mmap=*/false);
+  EXPECT_FALSE(file.mapped());
+  ASSERT_EQ(file.size(), 4u);
+  EXPECT_EQ(file.data()[0], 9);
+  EXPECT_EQ(file.data()[3], 6);
+
+  // Moves keep the fallback buffer's bytes reachable.
+  MappedFile moved(std::move(file));
+  EXPECT_FALSE(moved.mapped());
+  ASSERT_EQ(moved.size(), 4u);
+  EXPECT_EQ(moved.data()[1], 8);
+
+  EXPECT_THROW(MappedFile("/nonexistent/cmvrp.bin", false), check_error);
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+TEST(MappedFileTest, EnvironmentToggleForcesReadFallbackEndToEnd) {
+  // CMVRP_NO_MMAP pins the whole reader stack to the fallback path; the
+  // decode (and therefore replay) must be byte-identical either way.
+  const std::string path = temp_path("env_fallback.trace");
+  {
+    TraceWriter writer(path, 2);
+    Rng rng(623);
+    bursty_hotspot_stream(2, 4, 4, 300, 16, rng,
+                          [&writer](const Job& j) { writer.append(j); });
+    writer.close();
+  }
+  TraceReader mapped(path);
+  EXPECT_TRUE(mapped.mapped());
+  const auto expected = mapped.read_all();
+
+  ASSERT_EQ(setenv("CMVRP_NO_MMAP", "1", 1), 0);
+  EXPECT_TRUE(MappedFile::mmap_disabled_by_env());
+  {
+    TraceReader fallback(path);
+    EXPECT_FALSE(fallback.mapped());
+    const auto jobs = fallback.read_all();
+    ASSERT_EQ(jobs.size(), expected.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      EXPECT_EQ(jobs[i].position, expected[i].position);
+      EXPECT_EQ(jobs[i].index, expected[i].index);
+    }
+  }
+  ASSERT_EQ(unsetenv("CMVRP_NO_MMAP"), 0);
+  EXPECT_FALSE(MappedFile::mmap_disabled_by_env());
+  // "0" (and empty) keep mmap enabled.
+  ASSERT_EQ(setenv("CMVRP_NO_MMAP", "0", 1), 0);
+  EXPECT_FALSE(MappedFile::mmap_disabled_by_env());
+  ASSERT_EQ(unsetenv("CMVRP_NO_MMAP"), 0);
+}
+#endif
 
 // --- replay equivalence: the acceptance contract -----------------------------
 

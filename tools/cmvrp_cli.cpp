@@ -11,20 +11,25 @@
 //   cmvrp stream   [--scenario NAME | --file demand.txt | --trace t.bin]
 //                  [--threads T] [--batch B] [--jobs J] [--n N] [--order o]
 //                  [--capacity W] [--side S] [--seed S] [--json PATH]
+//                  [--record out.trace] [--monitor-stride K]
+//   cmvrp record   --out outcomes.trace [stream flags]    serve + audit trail
 //   cmvrp trace    gen --out t.bin --generator g [--dim L] [--count N] ...
 //                  | info --file t.bin
 //                  | replay --file t.bin [--threads T] [--memory] ...
+//                  | mux t1.bin t2.bin ... [--threads T] [--record o.trace]
 //   cmvrp bench    --suite NAME [--reps N] [--warmup N]   experiment suites
 //                  [--filter S] [--json PATH] | --list | --scenarios
 //
 // Demand files: lines of "x y demand" (see src/workload/io.h); traces are
-// the binary cmvrp-trace-v1 format (src/trace/format.h).
+// the binary cmvrp-trace-v1/v2 formats (src/trace/format.h) — v2 carries
+// per-record event kinds (arrivals, silent-done failure markers, serving
+// outcomes), which is what `record` writes and `trace mux` merges.
 #include <cstdlib>
 #include <fstream>
 #include <functional>
-#include <iomanip>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -38,11 +43,14 @@
 #include "exp/scenario.h"
 #include "exp/suites.h"
 #include "online/capacity_search.h"
+#include "record/mux.h"
+#include "record/recorder.h"
 #include "stream/engine.h"
 #include "trace/format.h"
 #include "trace/reader.h"
 #include "trace/replay.h"
 #include "trace/writer.h"
+#include "util/digest.h"
 #include "util/table.h"
 #include "util/timer.h"
 #include "viz/ascii.h"
@@ -215,19 +223,11 @@ int cmd_fig41(const Args& args) {
   return 0;
 }
 
-// FNV-1a over an index set — lets two stream reports be diffed for
-// served/failed *set* equality without embedding the full index lists.
-// Rendered as fixed-width hex: Json numbers are doubles, which would
-// silently drop the low bits of a 64-bit digest.
+// Served/failed *set* digests (util/digest.h) let two stream reports be
+// diffed for set equality without embedding the full index lists, and
+// let a report be audited against an on-disk outcome trace.
 std::string index_set_hash(const std::vector<std::int64_t>& indices) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (const std::int64_t i : indices) {
-    h ^= static_cast<std::uint64_t>(i);
-    h *= 1099511628211ULL;
-  }
-  std::ostringstream os;
-  os << std::hex << std::setw(16) << std::setfill('0') << h;
-  return os.str();
+  return digest_hex(index_set_digest(indices));
 }
 
 // Shared report for `stream` and `trace replay`: ASCII table plus the
@@ -240,6 +240,7 @@ int report_stream(const Args& args, const StreamConfig& cfg,
   Table t({"metric", "value"});
   t.row().cell("threads").cell(static_cast<std::int64_t>(cfg.threads));
   t.row().cell("batch size").cell(cfg.batch_size);
+  t.row().cell("monitor stride").cell(cfg.online.monitor_stride);
   t.row().cell("capacity W").cell(cfg.online.capacity);
   t.row().cell("cube side").cell(cfg.online.cube_side);
   t.row().cell("jobs").cell(r.jobs_ingested);
@@ -259,6 +260,7 @@ int report_stream(const Args& args, const StreamConfig& cfg,
     doc.set("schema", "cmvrp-stream-v1");
     doc.set("threads", static_cast<std::int64_t>(cfg.threads));
     doc.set("batch_size", cfg.batch_size);
+    doc.set("monitor_stride", cfg.online.monitor_stride);
     doc.set("capacity", cfg.online.capacity);
     doc.set("cube_side", cfg.online.cube_side);
     doc.set("seed", static_cast<std::uint64_t>(cfg.online.seed));
@@ -302,6 +304,10 @@ StreamConfig stream_config_from_args(
   } else {
     cfg.online = default_online_config(demand(), seed);
   }
+  // Monitoring amortization (outcome-preserving on failure-free streams;
+  // failure detection latency <= stride arrivals per cube). 1 = sweep
+  // after every arrival, the legacy cadence.
+  cfg.online.monitor_stride = args.get_int("monitor-stride", 1);
   return cfg;
 }
 
@@ -311,14 +317,34 @@ StreamConfig trace_stream_config(const Args& args, TraceReader& reader) {
   });
 }
 
-// Sharded streaming engine front end. The job stream comes from (in
-// priority order) --trace t.bin (bounded-memory replay off the mapping),
-// --scenario NAME (registry), --file demand.txt (expanded with
-// --order/--seed), or a synthetic uniform stream of --jobs arrivals on
-// an --n x --n box.
-int cmd_stream(const Args& args) {
+// Closes the recorder, audits its incremental digests against the
+// result's served/failed sets (the bounded-memory run must leave a trail
+// bit-identical to the in-memory digests), and prints a summary line.
+void finish_recording(OutcomeRecorder& recorder, const StreamResult& r) {
+  recorder.close();
+  CMVRP_CHECK_MSG(recorder.served_digest() == index_set_digest(r.served_jobs) &&
+                      recorder.failed_digest() ==
+                          index_set_digest(r.failed_jobs),
+                  "outcome trail digests diverged from the in-memory "
+                  "served/failed sets: "
+                      << recorder.path());
+  std::cout << "recorded " << recorder.recorded() << " outcomes ("
+            << recorder.served_count() << " served, "
+            << recorder.failed_count()
+            << " failed; digests match the report) to " << recorder.path()
+            << "\n";
+}
+
+// Sharded streaming engine front end, shared by `stream` (record_path
+// optional, from --record) and `record` (record_path required, from
+// --out). The job stream comes from (in priority order) --trace t.bin
+// (bounded-memory replay off the mapping), --scenario NAME (registry),
+// --file demand.txt (expanded with --order/--seed), or a synthetic
+// uniform stream of --jobs arrivals on an --n x --n box.
+int run_stream_serving(const Args& args, const std::string& record_path) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(args.get_int("seed", 1));
+  std::optional<OutcomeRecorder> recorder;
 
   if (args.has("trace")) {
     TraceReader reader(args.get("trace", ""));
@@ -326,8 +352,14 @@ int cmd_stream(const Args& args) {
     const StreamConfig cfg = trace_stream_config(args, reader);
     WallTimer timer;
     TraceReplayer replayer(reader.dim(), cfg);
+    if (!record_path.empty()) {
+      recorder.emplace(record_path, reader.dim());
+      replayer.set_observer(&*recorder);
+    }
     const StreamResult r = replayer.replay(reader);
-    return report_stream(args, cfg, r, timer.elapsed_ms());
+    const double ms = timer.elapsed_ms();
+    if (recorder) finish_recording(*recorder, r);
+    return report_stream(args, cfg, r, ms);
   }
 
   std::vector<Job> jobs;
@@ -357,8 +389,32 @@ int cmd_stream(const Args& args) {
       args, dim, [&jobs, dim] { return demand_of_stream(jobs, dim); });
 
   WallTimer timer;
-  const StreamResult r = serve_stream(dim, cfg, jobs);
-  return report_stream(args, cfg, r, timer.elapsed_ms());
+  StreamEngine engine(dim, cfg);
+  if (!record_path.empty()) {
+    recorder.emplace(record_path, dim);
+    engine.set_observer(&*recorder);
+  }
+  engine.ingest(jobs);
+  const StreamResult r = engine.finish();
+  const double ms = timer.elapsed_ms();
+  if (recorder) finish_recording(*recorder, r);
+  return report_stream(args, cfg, r, ms);
+}
+
+int cmd_stream(const Args& args) {
+  CMVRP_CHECK_MSG(!args.has("record") || args.get("record", "") != "true",
+                  "--record needs a file path");
+  return run_stream_serving(args, args.get("record", ""));
+}
+
+// `record`: serve a stream with the engine-side OutcomeRecorder attached
+// — every job's outcome (served/failed + assigned cube corner) streams
+// to --out during serving as a cmvrp-trace-v2 audit trail, verified
+// bit-identical to the in-memory digests before the report prints.
+int cmd_record(const Args& args) {
+  CMVRP_CHECK_MSG(args.has("out") && args.get("out", "") != "true",
+                  "--out <outcome trace> is required");
+  return run_stream_serving(args, args.get("out", ""));
 }
 
 // `trace gen`: run a streaming generator straight into a TraceWriter —
@@ -407,21 +463,116 @@ int cmd_trace_gen(const Args& args) {
   return 0;
 }
 
+// Renders the (validated) header flags word with its named bits — the
+// reader has already rejected unknown bits, so every set bit has a name.
+std::string render_trace_flags(const TraceReader& reader) {
+  std::ostringstream os;
+  os << "0x" << std::hex << reader.flags() << std::dec;
+  if (reader.flags() == 0) {
+    os << " (none)";
+    return os.str();
+  }
+  os << " (";
+  bool first = true;
+  if (reader.has_failure_events()) {
+    os << "failure-events";
+    first = false;
+  }
+  if (reader.has_outcomes()) os << (first ? "" : ", ") << "outcomes";
+  os << ")";
+  return os.str();
+}
+
 int cmd_trace_info(const Args& args) {
   CMVRP_CHECK_MSG(args.has("file"), "--file <trace file> is required");
   TraceReader reader(args.get("file", ""));
+  const std::size_t record_size =
+      trace_record_size(reader.dim(), reader.version());
   Table t({"field", "value"});
   t.row().cell("path").cell(reader.path());
-  t.row().cell("format").cell("cmvrp-trace-v1");
+  t.row().cell("format").cell(reader.version() == kTraceVersionV2
+                                  ? "cmvrp-trace-v2"
+                                  : "cmvrp-trace-v1");
   t.row().cell("dim").cell(static_cast<std::int64_t>(reader.dim()));
-  t.row().cell("jobs").cell(reader.job_count());
-  t.row().cell("record bytes").cell(
-      static_cast<std::uint64_t>(trace_record_size(reader.dim())));
+  t.row().cell("records").cell(reader.job_count());
+  t.row().cell("flags").cell(render_trace_flags(reader));
+  // Both versions' record sizes at this dim, the file's own marked.
+  const std::string v1_mark = reader.version() == kTraceVersion ? " *" : "";
+  const std::string v2_mark = reader.version() == kTraceVersionV2 ? " *" : "";
+  t.row().cell("record bytes (v1)").cell(
+      std::to_string(trace_record_size(reader.dim(), kTraceVersion)) +
+      v1_mark);
+  t.row().cell("record bytes (v2)").cell(
+      std::to_string(trace_record_size(reader.dim(), kTraceVersionV2)) +
+      v2_mark);
   t.row().cell("file bytes").cell(static_cast<std::uint64_t>(
-      kTraceHeaderSize + reader.job_count() * trace_record_size(reader.dim())));
+      kTraceHeaderSize + reader.job_count() * record_size));
+  if (reader.version() == kTraceVersionV2) {
+    // One bounded pass: per-kind event counts.
+    std::uint64_t arrivals = 0, silent = 0, outcomes = 0;
+    std::vector<TraceEvent> chunk(4096);
+    while (const std::size_t n =
+               reader.next_events(chunk.data(), chunk.size())) {
+      for (std::size_t i = 0; i < n; ++i) {
+        switch (chunk[i].kind) {
+          case TraceEventKind::kArrival: ++arrivals; break;
+          case TraceEventKind::kSilentDone: ++silent; break;
+          case TraceEventKind::kOutcome: ++outcomes; break;
+        }
+      }
+    }
+    reader.reset();
+    t.row().cell("arrival events").cell(arrivals);
+    t.row().cell("silent-done events").cell(silent);
+    t.row().cell("outcome events").cell(outcomes);
+  }
   t.row().cell("mmap").cell(reader.mapped() ? "yes" : "no (read fallback)");
   t.print(std::cout);
   return 0;
+}
+
+// `trace mux`: deterministic k-way merge-replay of several traces
+// (possibly different generators, same dimension) into one engine —
+// merged by arrival index, re-indexed 0..N-1, bit-identical across
+// thread counts, batch sizes, and the order the files are listed.
+int cmd_trace_mux(const Args& args) {
+  std::vector<std::string> paths(args.positional.begin() + 1,
+                                 args.positional.end());
+  CMVRP_CHECK_MSG(paths.size() >= 2,
+                  "trace mux needs >= 2 trace files: trace mux a.bin b.bin "
+                  "[--flags]");
+  // Dimension from the first source; config sized from the *merged*
+  // demand of all sources unless --capacity/--side pin it.
+  const int dim = [&paths] {
+    TraceReader first(paths.front());
+    return first.dim();
+  }();
+  const StreamConfig cfg = stream_config_from_args(args, dim, [&paths, dim] {
+    DemandMap merged(dim);
+    for (const auto& path : paths) {
+      TraceReader reader(path);
+      const DemandMap d = trace_demand(reader);
+      for (const auto& p : d.support()) merged.add(p, d.at(p));
+    }
+    return merged;
+  });
+
+  std::optional<OutcomeRecorder> recorder;
+  WallTimer timer;
+  TraceMux mux(dim, cfg);
+  for (const auto& path : paths) mux.add_source(path);
+  if (args.has("record")) {
+    CMVRP_CHECK_MSG(args.get("record", "") != "true",
+                    "--record needs a file path");
+    recorder.emplace(args.get("record", ""), dim);
+    mux.set_observer(&*recorder);
+  }
+  const StreamResult r = mux.replay();
+  const double ms = timer.elapsed_ms();
+  std::cout << "muxed " << paths.size() << " traces, " << mux.jobs_merged()
+            << " jobs merged by arrival index\n";
+  if (recorder) finish_recording(*recorder, r);
+  return report_stream(args, cfg, r, ms);
 }
 
 // `trace replay`: bounded-memory replay (default) or, with --memory, an
@@ -450,8 +601,9 @@ int cmd_trace(const Args& args) {
   if (action == "gen") return cmd_trace_gen(args);
   if (action == "info") return cmd_trace_info(args);
   if (action == "replay") return cmd_trace_replay(args);
-  CMVRP_CHECK_MSG(false,
-                  "trace needs an action: trace gen|info|replay [--flags]");
+  if (action == "mux") return cmd_trace_mux(args);
+  CMVRP_CHECK_MSG(
+      false, "trace needs an action: trace gen|info|replay|mux [--flags]");
   return 2;
 }
 
@@ -489,7 +641,8 @@ int cmd_bench(const Args& args) {
 }
 
 int usage(std::ostream& os, int exit_code) {
-  os << "usage: cmvrp <bounds|plan|online|won|gen|fig41|stream|trace|bench> "
+  os << "usage: cmvrp "
+         "<bounds|plan|online|won|gen|fig41|stream|record|trace|bench> "
          "[--flags]\n"
          "  bounds --file d.txt            offline bounds (Thm 1.4.1)\n"
          "  plan   --file d.txt [--ascii]  Lemma 2.2.5 plan + verification\n"
@@ -500,16 +653,26 @@ int usage(std::ostream& os, int exit_code) {
          "  stream [--scenario name | --file d.txt | --trace t.bin]\n"
          "         [--threads T] [--batch B] [--jobs J] [--n N] [--order o]\n"
          "         [--capacity W] [--side S] [--seed s] [--json out]\n"
+         "         [--record o.trace] [--monitor-stride K]\n"
          "                                 sharded streaming\n"
+         "  record --out o.trace [stream flags]\n"
+         "                                 serve + stream every outcome to a\n"
+         "                                 v2 audit trace (digest-verified)\n"
          "  trace gen --out t.bin [--generator boundary|hotspot|gradient]\n"
          "            [--dim L] [--count N] [--side S] [--cubes C]\n"
          "            [--burst B] [--sigma X] [--seed s]\n"
          "                                 stream a generator into a trace\n"
-         "  trace info --file t.bin        print trace header fields\n"
+         "  trace info --file t.bin        print + validate header fields\n"
+         "                                 (flags bits, v1/v2 record sizes,\n"
+         "                                 v2 event-kind counts)\n"
          "  trace replay --file t.bin [--threads T] [--batch B] [--memory]\n"
          "               [--capacity W] [--side S] [--seed s] [--json out]\n"
          "                                 bounded-memory replay (or\n"
          "                                 --memory: in-memory reference)\n"
+         "  trace mux t1.bin t2.bin ... [--threads T] [--batch B]\n"
+         "            [--record o.trace] [--json out]\n"
+         "                                 merge k traces by arrival index\n"
+         "                                 into one engine (deterministic)\n"
          "  bench  --suite s [--reps N] [--warmup N] [--filter f]\n"
          "         [--json out.json]       run an experiment suite\n"
          "  bench  --list | --scenarios    list suites / workload scenarios\n";
@@ -531,6 +694,7 @@ int main(int argc, char** argv) {
     if (args.command == "gen") return cmd_gen(args);
     if (args.command == "fig41") return cmd_fig41(args);
     if (args.command == "stream") return cmd_stream(args);
+    if (args.command == "record") return cmd_record(args);
     if (args.command == "trace") return cmd_trace(args);
     if (args.command == "bench") return cmd_bench(args);
     return usage(std::cerr, 2);
