@@ -1,0 +1,78 @@
+#include "core/incremental_omega.h"
+
+#include <algorithm>
+
+#include "grid/neighborhood.h"
+#include "util/check.h"
+
+namespace cmvrp {
+
+BoxOmega::BoxOmega(const Box& box, double initial_sum)
+    : sides_(box.sides()), sum_(initial_sum) {
+  CMVRP_CHECK(initial_sum >= 0.0);
+  grow_table(8);
+}
+
+void BoxOmega::add(double delta) {
+  sum_ += delta;
+  CMVRP_CHECK_MSG(sum_ >= 0.0, "demand sum went negative");
+}
+
+void BoxOmega::set_sum(double sum) {
+  CMVRP_CHECK(sum >= 0.0);
+  sum_ = sum;
+}
+
+double BoxOmega::omega() { return omega_for_sum(sum_); }
+
+double BoxOmega::omega_for_sum(double s) {
+  CMVRP_CHECK(s >= 0.0);
+  if (s == 0.0) return 0.0;
+  const std::int64_t k = segment_for(s);
+  const auto vol = static_cast<double>(vol_[static_cast<std::size_t>(k)]);
+  if (s < static_cast<double>(k) * vol)
+    return static_cast<double>(k);  // jump overshoots: inf is k
+  return s / vol;                   // interior crossing
+}
+
+double BoxOmega::hi_of(std::int64_t k) const {
+  return (static_cast<double>(k) + 1.0) *
+         static_cast<double>(vol_[static_cast<std::size_t>(k)]);
+}
+
+std::int64_t BoxOmega::segment_for(double s) {
+  // Ensure the table covers the answer: (k+1)·vol(k) is strictly
+  // increasing, so the last entry bounding s from above suffices.
+  while (hi_of(static_cast<std::int64_t>(vol_.size()) - 1) <= s) {
+    CMVRP_CHECK_MSG(vol_.size() < (std::size_t{1} << 40),
+                    "omega search diverged");
+    grow_table(static_cast<std::int64_t>(vol_.size()) * 2);
+  }
+  const auto last = static_cast<std::int64_t>(vol_.size()) - 1;
+  // Serving streams move S by one job at a time, so the crossing segment
+  // rarely strays from the previous query's — probe the hint and its
+  // successor before paying the binary search.
+  std::int64_t k = std::min(hint_, last);
+  if (s < hi_of(k)) {
+    if (k == 0 || hi_of(k - 1) <= s) return hint_ = k;
+  } else if (k + 1 <= last && hi_of(k) <= s && s < hi_of(k + 1)) {
+    return hint_ = k + 1;
+  }
+  // Binary search for the smallest k with s < (k+1)·vol(k).
+  std::int64_t lo = 0, hi = last;
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (s < hi_of(mid))
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  return hint_ = lo;
+}
+
+void BoxOmega::grow_table(std::int64_t min_radius) {
+  if (static_cast<std::int64_t>(vol_.size()) > min_radius) return;
+  vol_ = box_neighborhood_volumes(sides_, min_radius);
+}
+
+}  // namespace cmvrp

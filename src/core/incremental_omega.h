@@ -1,0 +1,56 @@
+// Incremental ω_T for a fixed box T under point-delta demand updates.
+//
+// omega_for_box recomputes the neighborhood-volume DP from scratch on
+// every call — fine for one-shot analysis, ruinous on a serving path that
+// re-evaluates ω after every demand arrival. For a FIXED box the volume
+// table vol(k) = |N_k(T)| never changes; only the demand sum S moves. So
+// BoxOmega caches vol(0..K) (built in one O(ℓ·K) pass, doubled lazily as
+// S grows) and answers each query by locating the segment that g(ω) =
+// ω·vol(⌊ω⌋) crosses S on:
+//
+//   k* = min{k : S < (k+1)·vol(k)}          ((k+1)·vol(k) is strictly
+//   ω  = k*            if S < k*·vol(k*)     increasing, so k* is binary-
+//      = S / vol(k*)   otherwise             searchable)
+//
+// which is exactly the semantics of the marching loop in omega.cpp —
+// tests cross-check randomized delta sequences against omega_for_box.
+// Queries sit near the previous answer in a serving stream, so a
+// last-answer hint is probed before falling back to binary search:
+// amortized O(1) per update vs O(ℓ·K) per full rebuild.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/box.h"
+
+namespace cmvrp {
+
+class BoxOmega {
+ public:
+  explicit BoxOmega(const Box& box, double initial_sum = 0.0);
+
+  // Point-delta update: demand arrived (or was consumed) inside the box.
+  void add(double delta);
+  void set_sum(double sum);
+  double sum() const { return sum_; }
+
+  // ω_T at the current demand sum.
+  double omega();
+
+  // ω_T at an arbitrary sum, without disturbing the tracked state.
+  double omega_for_sum(double s);
+
+ private:
+  // Smallest k with s < (k+1)·vol(k); grows the table as needed.
+  std::int64_t segment_for(double s);
+  void grow_table(std::int64_t min_radius);
+  double hi_of(std::int64_t k) const;  // (k+1)·vol(k)
+
+  std::vector<std::int64_t> sides_;
+  std::vector<std::int64_t> vol_;  // vol_[k] = |N_k(box)|
+  double sum_ = 0.0;
+  std::int64_t hint_ = 0;  // segment of the previous query
+};
+
+}  // namespace cmvrp

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <unordered_map>
+#include <utility>
 
+#include "grid/corner_hash.h"
 #include "util/check.h"
+#include "util/flat_map.h"
 
 namespace cmvrp {
 
@@ -55,18 +57,22 @@ OfflinePlan plan_offline(const DemandMap& d) {
   const double b = plan.in_place_budget;
   CMVRP_CHECK_MSG(b > 0.0, "non-empty demand must give positive budget");
 
-  // Group demand points by cube.
-  std::map<std::vector<std::int64_t>, std::vector<Point>> cubes;
-  for (const auto& p : d.support()) {
-    const Point corner = cube_corner(p, anchor, s);
-    std::vector<std::int64_t> key(static_cast<std::size_t>(dim));
-    for (int i = 0; i < dim; ++i) key[static_cast<std::size_t>(i)] = corner[i];
-    cubes[key].push_back(p);
-  }
+  // Group demand points by cube — hashed on the shared corner-key hasher
+  // instead of the old vector<int64_t>-keyed rb-tree (one probe per point
+  // rather than a log-depth key-vector comparison walk). Cubes are then
+  // processed in ascending corner order, matching the former std::map
+  // iteration exactly.
+  FlatMap<Point, std::vector<Point>, CornerHash> cubes;
+  for (const auto& p : d.support())
+    cubes[cube_corner(p, anchor, s)].push_back(p);
+  std::vector<std::pair<Point, std::vector<Point>*>> cube_order;
+  cube_order.reserve(cubes.size());
+  for (auto& item : cubes) cube_order.emplace_back(item.key, &item.value);
+  std::sort(cube_order.begin(), cube_order.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
 
-  for (auto& [key, points] : cubes) {
-    Point corner = Point::origin(dim);
-    for (int i = 0; i < dim; ++i) corner[i] = key[static_cast<std::size_t>(i)];
+  for (auto& [corner, points_ptr] : cube_order) {
+    std::vector<Point>& points = *points_ptr;
     const Box cube = Box::cube(corner, s);
 
     std::sort(points.begin(), points.end());

@@ -18,6 +18,7 @@
 #include "core/bounds.h"
 #include "core/closed_forms.h"
 #include "core/cube_bound.h"
+#include "core/incremental_omega.h"
 #include "core/offline_planner.h"
 #include "core/omega.h"
 #include "exp/harness.h"
@@ -647,6 +648,30 @@ void suite_substrates(BenchRun& b) {
     const Box box = Box::cube(Point{0, 0}, 64);
     looped(200, [&box] { return omega_for_box(box, 1e9); }, row);
   });
+  b.run_case("omega_incremental/s=64", [&](MetricRow& row) {
+    // Incremental point-delta ω vs the from-scratch DP: 200 random deltas
+    // on a fixed box, each answer cross-checked against omega_for_box.
+    const Box box = Box::cube(Point{0, 0}, 64);
+    looped(5,
+           [&box, &b] {
+             Rng rng(11);
+             BoxOmega inc(box);
+             double sum = 0.0;
+             double last = 0.0;
+             for (int i = 0; i < 200; ++i) {
+               const double delta =
+                   static_cast<double>(rng.next_int(1, 1 << 20));
+               inc.add(delta);
+               sum += delta;
+               last = inc.omega();
+               const double full = omega_for_box(box, sum);
+               if (std::abs(last - full) > 1e-6 * std::max(1.0, full))
+                 b.fail("incremental omega diverged from omega_for_box");
+             }
+             return last;
+           },
+           row);
+  });
   b.run_case("prefix_sums/n=256", [&](MetricRow& row) {
     Rng rng(3);
     DemandMap d(2);
@@ -657,6 +682,26 @@ void suite_substrates(BenchRun& b) {
            [&grid] {
              const PrefixSums ps(grid);
              return ps.max_cube_sum(4);
+           },
+           row);
+  });
+  b.run_case("prefix_sums_reference/n=256", [&](MetricRow& row) {
+    // The per-element reference build, kept beside the blocked case above
+    // so the JSON artifact tracks the speedup — and the values must agree
+    // bit-for-bit (both builds add each lattice chain in the same order).
+    Rng rng(3);
+    DemandMap d(2);
+    for (std::int64_t k = 0; k < 256; ++k)
+      d.add(Point{rng.next_int(0, 255), rng.next_int(0, 255)}, 1.0);
+    const DenseGrid grid = DenseGrid::from_demand(d);
+    const PrefixSums blocked(grid, PrefixBuild::kBlocked);
+    looped(20,
+           [&grid, &blocked, &b] {
+             const PrefixSums ps(grid, PrefixBuild::kReference);
+             const double ref = ps.max_cube_sum(4);
+             if (ref != blocked.max_cube_sum(4))
+               b.fail("blocked prefix build diverged from the reference");
+             return ref;
            },
            row);
   });
@@ -865,6 +910,7 @@ void run_dim_stream_cases(BenchRun& b, BenchSection& section,
     StreamConfig cfg;
     cfg.online = default_online_config(demand_of_stream(jobs, sc.dim), 7);
     cfg.batch_size = batch_size;
+    cfg.region = sc.region;  // dense cube-slot routing (flat shard state)
     std::optional<StreamResult> reference;
     for (const int threads : {1, 2}) {
       section.run_case(
@@ -901,6 +947,7 @@ void suite_stream_smoke(BenchRun& b) {
   cfg.online.anchor = Point{0, 0};
   cfg.online.seed = 7;
   cfg.batch_size = 128;
+  cfg.region = sc.region;
 
   std::optional<StreamResult> reference;
   for (const int threads : {1, 2}) {
@@ -944,6 +991,10 @@ void suite_stream_scaling(BenchRun& b) {
   cfg.online.anchor = Point{0, 0};
   cfg.online.seed = 7;
   cfg.batch_size = 256;
+  // Dense cube-slot routing: the scenario's bounding region lets the
+  // engine precompute the corner→slot table, so every in-region job takes
+  // the flat-array path (no per-job hashing on the route or serve side).
+  cfg.region = sc.region;
   // PR 5 throughput lever: amortize the §3.2.5 monitoring sweep + drain
   // across batched arrivals (one settle per 16 arrivals per cube instead
   // of one per arrival). Outcome metrics — served/failed/replacements/
@@ -979,6 +1030,10 @@ void suite_stream_scaling(BenchRun& b) {
                            .metric("replacements",
                                    p.result.metrics.replacements)
                            .metric("cubes", p.result.cubes)
+                           .metric("cube slots", p.result.cube_slots)
+                           .metric("route par", p.result.routed_parallel_batches)
+                           .metric("route ser", p.result.routed_serial_batches)
+                           .metric("routing ms", p.result.routing_ms, 2)
                            .metric("jobs/sec", p.jobs_per_sec, 0)
                            .metric("speedup vs 1t",
                                    p.ms > 0.0 ? ms_at_1 / p.ms : 0.0, 2);

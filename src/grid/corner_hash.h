@@ -1,0 +1,29 @@
+// The repo's one corner-key hasher: a mix64 fold over (dim, coords).
+//
+// Cube corners are multiples of the partition side, so their low bits are
+// constant — FNV-style byte hashes (PointHash) work, but every corner-
+// keyed structure rolling its own key (vector<int64_t> in the planner and
+// collector, pair-folds elsewhere) made the hashing discipline diffuse.
+// CornerHash is the shared functor for FlatMap<Point, …> keyed by cube
+// corners; it folds exactly like cube_stream_seed (same mix64 chain over
+// dim then coordinates), minus the engine-seed prefix.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "grid/point.h"
+#include "util/hash.h"
+
+namespace cmvrp {
+
+struct CornerHash {
+  std::size_t operator()(const Point& p) const {
+    std::uint64_t h = mix64(static_cast<std::uint64_t>(p.dim()));
+    for (int i = 0; i < p.dim(); ++i)
+      h = mix64(h ^ static_cast<std::uint64_t>(p[i]));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace cmvrp

@@ -53,10 +53,19 @@ class DenseGrid {
   std::vector<double> data_;
 };
 
+// How PrefixSums builds its table. kBlocked views the padded array as
+// [outer][len][inner] runs per axis and accumulates over contiguous inner
+// spans — no per-element index division, vectorizable. kReference is the
+// original per-element walk, kept as the oracle that tests cross-check
+// the blocked build against bit-for-bit (both perform each lattice
+// chain's additions in the same order, so the floats agree exactly).
+enum class PrefixBuild { kBlocked, kReference };
+
 // Inclusive ℓ-dimensional prefix sums over a DenseGrid snapshot.
 class PrefixSums {
  public:
-  explicit PrefixSums(const DenseGrid& grid);
+  explicit PrefixSums(const DenseGrid& grid,
+                      PrefixBuild build = PrefixBuild::kBlocked);
 
   // Sum of the grid restricted to `query` (clipped to the grid's box).
   double box_sum(const Box& query) const;

@@ -43,20 +43,23 @@ std::int64_t l1_ball_volume(int dim, std::int64_t r) {
   return narrow_to_int64(total);
 }
 
-std::int64_t box_neighborhood_volume(const std::vector<std::int64_t>& sides,
-                                     std::int64_t r) {
+namespace {
+
+// A point y lies in N_r(B) iff Σ_i dist(y_i, [lo_i, hi_i]) <= r.
+// Per axis, the number of coordinates at outside-distance d is
+//   f_i(0) = side_i,   f_i(d) = 2 for d >= 1.
+// Returns g(t) = # of outside-distance vectors summing to exactly t for
+// t = 0..r, built by convolving the f_i; since f_i is 2 beyond zero, each
+// convolution is
+//   g'(t) = side_i * g(t) + 2 * prefix(g)(t-1),
+// giving O(ℓ·r) total work. Each g(t), t <= r, is exact: capping the
+// array at r only discards distances beyond r.
+std::vector<unsigned __int128> outside_distance_counts(
+    const std::vector<std::int64_t>& sides, std::int64_t r) {
   CMVRP_CHECK(!sides.empty() &&
               sides.size() <= static_cast<std::size_t>(Point::kMaxDim));
   CMVRP_CHECK(r >= 0);
   for (auto s : sides) CMVRP_CHECK(s >= 1);
-
-  // A point y lies in N_r(B) iff Σ_i dist(y_i, [lo_i, hi_i]) <= r.
-  // Per axis, the number of coordinates at outside-distance d is
-  //   f_i(0) = side_i,   f_i(d) = 2 for d >= 1.
-  // g(t) = # of outside-distance vectors summing to exactly t, built by
-  // convolving the f_i; since f_i is 2 beyond zero, each convolution is
-  //   g'(t) = side_i * g(t) + 2 * prefix(g)(t-1),
-  // giving O(ℓ·r) total work.
   const auto n = static_cast<std::size_t>(r) + 1;
   std::vector<unsigned __int128> g(n, 0);
   g[0] = 1;
@@ -72,9 +75,29 @@ std::int64_t box_neighborhood_volume(const std::vector<std::int64_t>& sides,
       g[t] = v;
     }
   }
+  return g;
+}
+
+}  // namespace
+
+std::int64_t box_neighborhood_volume(const std::vector<std::int64_t>& sides,
+                                     std::int64_t r) {
+  const auto g = outside_distance_counts(sides, r);
   unsigned __int128 total = 0;
-  for (std::size_t t = 0; t < n; ++t) total += g[t];
+  for (const auto v : g) total += v;
   return narrow_to_int64(total);
+}
+
+std::vector<std::int64_t> box_neighborhood_volumes(
+    const std::vector<std::int64_t>& sides, std::int64_t r) {
+  const auto g = outside_distance_counts(sides, r);
+  std::vector<std::int64_t> vols(g.size());
+  unsigned __int128 running = 0;
+  for (std::size_t t = 0; t < g.size(); ++t) {
+    running += g[t];
+    vols[t] = narrow_to_int64(running);
+  }
+  return vols;
 }
 
 PointSet neighborhood(const PointSet& t, std::int64_t r) {

@@ -46,54 +46,77 @@ void FleetCore::inject_break_after(const Point& home, double longevity) {
     vehicles_[it->second].dead = true;
 }
 
-std::size_t FleetCore::ensure_vehicle(const Point& home) {
+std::size_t FleetCore::ensure_vehicle(const Point& home, const Point& corner) {
   auto it = by_home_.find(home);
   if (it != by_home_.end()) return it->second;
+  const std::int64_t k = pairing_.snake_index(home, corner);
   Vehicle v;
   v.id = vehicles_.size();
   v.home = home;
   v.pos = home;
   v.capacity = config_.capacity;
-  v.s1 = pairing_.is_primary(home) ? WorkState::kActive : WorkState::kIdle;
+  v.s1 = k % 2 == 0 ? WorkState::kActive : WorkState::kIdle;
   v.s2 = TransferState::kWaiting;
   if (silent_homes_.count(home)) v.silent_done = true;
   auto lg = longevity_.find(home);
   if (lg != longevity_.end() && lg->second == 0.0) v.dead = true;
   vehicles_.push_back(v);
   by_home_.emplace(home, v.id);
-  cube_members_of(home).push_back(v.id);
+  cube_members_[corner].push_back(v.id);
   if (v.s1 == WorkState::kActive && !v.dead)
-    active_of_.emplace(home, v.id);
+    state_of(corner).active_by_pair[static_cast<std::size_t>(k / 2)] = v.id;
   return v.id;
 }
 
-std::vector<std::size_t>& FleetCore::cube_members_of(const Point& p) {
-  return cube_members_[pairing_.cube_corner(p)];
+FleetCore::CubeState& FleetCore::state_of(const Point& corner) {
+  if (state_cache_ != nullptr && corner == state_corner_)
+    return *state_cache_;
+  auto it = cube_state_.find(corner);
+  CMVRP_CHECK_MSG(it != cube_state_.end(),
+                  "cube state accessed before materialization");
+  state_corner_ = corner;
+  state_cache_ = &it->second;
+  return it->second;
 }
 
 void FleetCore::ensure_cube(const Point& corner) {
   if (!cubes_.insert(corner).second) return;
-  Box::cube(corner, pairing_.side())
-      .for_each_point([this](const Point& p) { ensure_vehicle(p); });
+  auto& state = cube_state_[corner];
+  state.active_by_pair.assign(
+      static_cast<std::size_t>((pairing_.cube_volume() + 1) / 2), SIZE_MAX);
+  Box::cube(corner, pairing_.side()).for_each_point([this, &corner](
+      const Point& p) { ensure_vehicle(p, corner); });
 }
 
 void FleetCore::ensure_cube_at(const Point& position) {
   ensure_cube(pairing_.cube_corner(position));
 }
 
-std::vector<std::size_t> FleetCore::neighbors_of(std::size_t vid) const {
+void FleetCore::neighbors_into(std::size_t vid,
+                               std::vector<std::size_t>& out) const {
+  out.clear();
   const Vehicle& v = vehicles_[vid];
   const Point corner = pairing_.cube_corner(v.pos);
-  std::vector<std::size_t> out;
   auto it = cube_members_.find(corner);
-  if (it == cube_members_.end()) return out;
+  if (it == cube_members_.end()) return;
   for (std::size_t other : it->second) {
     if (other == vid) continue;
     const Vehicle& o = vehicles_[other];
     if (l1_distance(o.pos, v.pos) <= config_.neighbor_radius)
       out.push_back(other);
   }
-  return out;
+}
+
+const std::vector<Point>& FleetCore::primaries_of(const Point& corner) {
+  if (primaries_last_ != nullptr && corner == primaries_corner_)
+    return *primaries_last_;
+  auto it = primaries_cache_.find(corner);
+  if (it == primaries_cache_.end())
+    it = primaries_cache_.emplace(corner, pairing_.primaries_in_cube(corner))
+             .first;
+  primaries_corner_ = corner;
+  primaries_last_ = &it->second;  // node-based map: rehash-stable
+  return it->second;
 }
 
 void FleetCore::spend_travel(Vehicle& v, std::int64_t dist) {
@@ -103,29 +126,39 @@ void FleetCore::spend_travel(Vehicle& v, std::int64_t dist) {
 }
 
 void FleetCore::check_longevity(Vehicle& v) {
+  // Runs twice per served job; streams with no longevity injections at
+  // all (the common case) must not pay a hash probe for it.
+  if (longevity_.empty()) return;
   auto it = longevity_.find(v.home);
   if (it == longevity_.end() || v.dead) return;
   if (v.spent() >= it->second * v.capacity - 1e-9) v.dead = true;
 }
 
-void FleetCore::note_done(Vehicle& v) {
+void FleetCore::note_done(Vehicle& v, const Point& cube_corner,
+                          const Point& primary) {
   v.s1 = WorkState::kDone;
-  const Point primary = pairing_.primary(v.pos);
-  auto it = active_of_.find(primary);
-  if (it != active_of_.end() && it->second == v.id) active_of_.erase(it);
+  auto& slot = state_of(cube_corner).active_by_pair[static_cast<std::size_t>(
+      pairing_.snake_index(primary, cube_corner) / 2)];
+  if (slot == v.id) slot = SIZE_MAX;
   pair_of_dest_[v.pos] = primary;
 }
 
 bool FleetCore::serve_job(const Job& job) {
+  const Point corner = pairing_.cube_corner(job.position);
+  ensure_cube(corner);
+  return serve_job(job, corner);
+}
+
+bool FleetCore::serve_job(const Job& job, const Point& cube_corner) {
   CMVRP_CHECK(job.position.dim() == dim_);
-  ensure_cube(pairing_.cube_corner(job.position));
-  const Point primary = pairing_.primary(job.position);
-  auto it = active_of_.find(primary);
-  if (it == active_of_.end()) {
+  const std::int64_t k = pairing_.snake_index(job.position, cube_corner);
+  const std::size_t vid = state_of(cube_corner)
+                              .active_by_pair[static_cast<std::size_t>(k / 2)];
+  if (vid == SIZE_MAX) {
     ++metrics_.jobs_failed;
     return false;
   }
-  Vehicle& v = vehicles_[it->second];
+  Vehicle& v = vehicles_[vid];
   if (!v.can_serve()) {
     ++metrics_.jobs_failed;
     return false;
@@ -142,24 +175,28 @@ bool FleetCore::serve_job(const Job& job) {
   v.spent_service += 1.0;
   check_longevity(v);
   ++metrics_.jobs_served;
-  after_serving(v.id);
+  after_serving(v.id, cube_corner);
   return true;
 }
 
-void FleetCore::after_serving(std::size_t vid) {
+void FleetCore::after_serving(std::size_t vid, const Point& cube_corner) {
+  // Fast exit for the common case (vehicle healthy, not exhausted): the
+  // pair primary is only resolved on the rare done/dead branches.
   Vehicle& v = vehicles_[vid];
   if (v.dead) {
     // Broke mid-service (longevity): the monitoring ring must notice.
-    const Point primary = pairing_.primary(v.pos);
-    auto it = active_of_.find(primary);
-    if (it != active_of_.end() && it->second == vid) active_of_.erase(it);
+    const Point primary = pairing_.primary(v.pos, cube_corner);
+    auto& slot =
+        state_of(cube_corner).active_by_pair[static_cast<std::size_t>(
+            pairing_.snake_index(primary, cube_corner) / 2)];
+    if (slot == vid) slot = SIZE_MAX;
     pair_of_dest_[v.pos] = primary;
     return;
   }
   if (!v.exhausted()) return;
   const Point dest = v.pos;
-  const Point primary = pairing_.primary(dest);
-  note_done(v);
+  const Point primary = pairing_.primary(dest, cube_corner);
+  note_done(v, cube_corner, primary);
   if (v.silent_done) return;  // scenario 2: never initiates
   replacement_pending_[primary] = true;
   initiate_computation(vid, dest);
@@ -174,7 +211,8 @@ void FleetCore::initiate_computation(std::size_t initiator,
   v.init = InitTag{initiator, ++v.init_seq};
   initiator_dest_[initiator] = dest;
   ++metrics_.computations_started;
-  const auto nb = neighbors_of(initiator);
+  auto& nb = neighbor_scratch_;
+  neighbors_into(initiator, nb);
   v.num = static_cast<int>(nb.size());
   if (nb.empty()) {
     v.s2 = TransferState::kWaiting;
@@ -214,7 +252,8 @@ void FleetCore::on_query(std::size_t vid, std::size_t from,
     }
     // Active, done, or broken vehicles relay the search.
     v.s2 = TransferState::kSearching;
-    const auto nb = neighbors_of(vid);
+    auto& nb = neighbor_scratch_;
+    neighbors_into(vid, nb);
     v.num = static_cast<int>(nb.size());
     if (v.num == 0) {
       // Degenerate: nobody else to ask.
@@ -298,13 +337,15 @@ void FleetCore::on_move(std::size_t vid, std::size_t from, const MoveMsg& m) {
     CMVRP_CHECK_MSG(pit != pair_of_dest_.end(),
                     "move destination has no registered pair");
     const Point primary = pit->second;
-    active_of_[primary] = vid;
+    const Point corner = pairing_.cube_corner(primary);
+    state_of(corner).active_by_pair[static_cast<std::size_t>(
+        pairing_.snake_index(primary, corner) / 2)] = vid;
     replacement_pending_[primary] = false;
     ++metrics_.replacements;
     // A replacement that arrives already too drained to accept work hands
     // the pair off immediately (only reachable at undersized capacities).
     if (v.exhausted()) {
-      note_done(v);
+      note_done(v, corner, primary);
       if (!v.silent_done) {
         replacement_pending_[primary] = true;
         initiate_computation(vid, m.dest);
@@ -329,32 +370,36 @@ void FleetCore::monitor_sweep() {
   // ring predecessor, and a slot whose beacon is missing gets a diffusing
   // computation initiated on its behalf by that predecessor.
   for (const auto& corner : cubes_) {
-    const auto primaries = pairing_.primaries_in_cube(corner);
-    // Healthy active vehicles, in ring (primaries) order.
-    std::vector<std::size_t> ring;  // indices into `primaries`
+    const auto& primaries = primaries_of(corner);
+    // The flat pair-slot array (slot i <-> primaries[i]: both are ordered
+    // by ascending even snake index) is read live: one array load per
+    // slot, and any replacement a mid-sweep computation activates is
+    // visible to later slots with no cache-invalidation bookkeeping.
+    auto& active = state_of(corner).active_by_pair;
+    auto& ring = ring_scratch_;  // indices into `primaries`
+    ring.clear();
     for (std::size_t i = 0; i < primaries.size(); ++i) {
-      auto it = active_of_.find(primaries[i]);
-      if (it == active_of_.end()) continue;
-      const Vehicle& v = vehicles_[it->second];
+      const std::size_t vid = active[i];
+      if (vid == SIZE_MAX) continue;
+      const Vehicle& v = vehicles_[vid];
       if (!v.dead && v.s1 == WorkState::kActive) ring.push_back(i);
     }
     if (ring.empty()) continue;  // nobody left to monitor or initiate
     // Heartbeat round: each ring member beacons the previous ring member.
     for (std::size_t k = 0; k < ring.size(); ++k) {
-      const auto from = active_of_.at(primaries[ring[k]]);
-      const auto to =
-          active_of_.at(primaries[ring[(k + ring.size() - 1) % ring.size()]]);
+      const auto from = active[ring[k]];
+      const auto to = active[ring[(k + ring.size() - 1) % ring.size()]];
       if (from != to) network_.send(from, to, ExistingMsg{});
     }
     // Timeout detection: slots with no healthy active vehicle and no
     // replacement already in flight.
     for (std::size_t i = 0; i < primaries.size(); ++i) {
       const Point& primary = primaries[i];
-      if (unrecoverable_.count(primary)) continue;
+      if (!unrecoverable_.empty() && unrecoverable_.count(primary)) continue;
       bool needs_replacement = false;
       Point dest = primary;
-      auto it = active_of_.find(primary);
-      if (it == active_of_.end()) {
+      const std::size_t vid = active[i];
+      if (vid == SIZE_MAX) {
         auto pend = replacement_pending_.find(primary);
         const bool pending =
             pend != replacement_pending_.end() && pend->second;
@@ -369,9 +414,9 @@ void FleetCore::monitor_sweep() {
           }
         }
       } else {
-        Vehicle& v = vehicles_[it->second];
+        Vehicle& v = vehicles_[vid];
         if (v.dead || v.s1 != WorkState::kActive) {
-          active_of_.erase(it);
+          active[i] = SIZE_MAX;
           pair_of_dest_[v.pos] = primary;
           dest = v.pos;
           needs_replacement = true;
@@ -379,20 +424,20 @@ void FleetCore::monitor_sweep() {
       }
       if (!needs_replacement) continue;
       // The monitor: the ring predecessor of the victim slot.
-      std::size_t monitor_slot = SIZE_MAX;
+      std::size_t monitor_vid = SIZE_MAX;
       for (std::size_t back = 1; back <= primaries.size(); ++back) {
-        const std::size_t cand = (i + primaries.size() - back) % primaries.size();
-        auto cit = active_of_.find(primaries[cand]);
-        if (cit == active_of_.end()) continue;
-        const Vehicle& cv = vehicles_[cit->second];
+        const std::size_t cand =
+            (i + primaries.size() - back) % primaries.size();
+        const std::size_t cvid = active[cand];
+        if (cvid == SIZE_MAX) continue;
+        const Vehicle& cv = vehicles_[cvid];
         if (!cv.dead && cv.s1 == WorkState::kActive &&
             cv.s2 == TransferState::kWaiting) {
-          monitor_slot = cand;
+          monitor_vid = cvid;
           break;
         }
       }
-      if (monitor_slot == SIZE_MAX) continue;  // no healthy monitor left
-      const std::size_t monitor_vid = active_of_.at(primaries[monitor_slot]);
+      if (monitor_vid == SIZE_MAX) continue;  // no healthy monitor left
       pair_of_dest_[dest] = primary;
       replacement_pending_[primary] = true;
       ++metrics_.monitor_initiations;
@@ -430,9 +475,13 @@ const Vehicle* FleetCore::vehicle_at_home(const Point& home) const {
 
 std::optional<std::size_t> FleetCore::active_of_pair(
     const Point& any_member) const {
-  auto it = active_of_.find(pairing_.primary(any_member));
-  if (it == active_of_.end()) return std::nullopt;
-  return it->second;
+  const Point corner = pairing_.cube_corner(any_member);
+  auto it = cube_state_.find(corner);
+  if (it == cube_state_.end()) return std::nullopt;
+  const std::size_t vid = it->second.active_by_pair[static_cast<std::size_t>(
+      pairing_.snake_index(any_member, corner) / 2)];
+  if (vid == SIZE_MAX) return std::nullopt;
+  return vid;
 }
 
 }  // namespace cmvrp

@@ -126,6 +126,14 @@ class FleetCore {
   // drains the queue afterwards (the paper's long inter-arrival gaps).
   bool serve_job(const Job& job);
 
+  // Hot-path overload for callers that already routed the job:
+  // `cube_corner` must equal pairing().cube_corner(job.position), which
+  // lets the serve path skip its own floor-divides, and the containing
+  // cube must already be materialized (ensure_cube_at) — the streaming
+  // engine's per-cube servers warm their cube up on first contact, so
+  // the steady-state path pays no membership probe per arrival.
+  bool serve_job(const Job& job, const Point& cube_corner);
+
   // One §3.2.5 heartbeat + timeout round over every materialized cube.
   void monitor_sweep();
 
@@ -149,20 +157,38 @@ class FleetCore {
   void on_message(std::size_t to, std::size_t from, const Message& m);
 
  private:
-  std::size_t ensure_vehicle(const Point& home);
+  // Flat per-cube serving state: pair slot k/2 (k = snake index of either
+  // pair member) -> id of the pair's current active vehicle, SIZE_MAX
+  // when the slot has none. Replaces the Point-keyed active_of_ map: the
+  // serve path already computes the snake index, so the active lookup is
+  // one array read instead of a hash probe — and the §3.2.5 sweep scans
+  // the slots in primaries_of order without touching a map at all. The
+  // map was never iterated, so the swap is observation-equivalent.
+  struct CubeState {
+    std::vector<std::size_t> active_by_pair;
+  };
+
+  std::size_t ensure_vehicle(const Point& home, const Point& corner);
   void ensure_cube(const Point& corner);
-  std::vector<std::size_t>& cube_members_of(const Point& p);
-  std::vector<std::size_t> neighbors_of(std::size_t vid) const;
+  CubeState& state_of(const Point& corner);
+  // Fills `out` with vid's radius-r cube-local neighbors (callers pass a
+  // reused scratch buffer; the serve path runs one of these per protocol
+  // message, so per-call vector churn was measurable).
+  void neighbors_into(std::size_t vid, std::vector<std::size_t>& out) const;
+  // The pairing's primaries for `corner`, computed once per cube and
+  // cached: the list is a pure function of the corner, and monitor_sweep
+  // re-enumerated it on every settle.
+  const std::vector<Point>& primaries_of(const Point& corner);
   void check_longevity(Vehicle& v);
 
-  void after_serving(std::size_t vid);
+  void after_serving(std::size_t vid, const Point& cube_corner);
   void initiate_computation(std::size_t initiator, const Point& dest);
   void on_query(std::size_t vid, std::size_t from, const QueryMsg& q);
   void on_reply(std::size_t vid, std::size_t from, const ReplyMsg& r);
   void on_move(std::size_t vid, std::size_t from, const MoveMsg& m);
   void finish_phase_one(std::size_t vid);
   void spend_travel(Vehicle& v, std::int64_t dist);
-  void note_done(Vehicle& v);
+  void note_done(Vehicle& v, const Point& cube_corner, const Point& primary);
 
   int dim_;
   OnlineConfig config_;
@@ -172,8 +198,13 @@ class FleetCore {
 
   std::vector<Vehicle> vehicles_;
   std::unordered_map<Point, std::size_t, PointHash> by_home_;
-  // Pair primary -> id of its current active vehicle (if any).
-  std::unordered_map<Point, std::size_t, PointHash> active_of_;
+  // Cube corner -> flat active-pair slots (see CubeState). The one-entry
+  // cache skips the hash probe on repeated same-cube access — always, for
+  // the streaming engine's single-cube cores (unordered_map element
+  // references are rehash-stable, so the pointer stays valid).
+  std::unordered_map<Point, CubeState, PointHash> cube_state_;
+  Point state_corner_;
+  CubeState* state_cache_ = nullptr;
   // Pair primary -> a replacement request is in flight.
   std::unordered_map<Point, bool, PointHash> replacement_pending_;
   // Done/dead vehicle id -> the pair primary it was serving (so the
@@ -193,6 +224,15 @@ class FleetCore {
   // Pending failure injections keyed by home vertex.
   std::unordered_map<Point, double, PointHash> longevity_;
   PointSet silent_homes_;
+  // Cube corner -> its pairing primaries (pure function of the corner),
+  // with a one-entry cache in front for the sweep loop (same rationale —
+  // and same rehash-stability argument — as the CubeState cache above).
+  std::unordered_map<Point, std::vector<Point>, PointHash> primaries_cache_;
+  Point primaries_corner_;
+  const std::vector<Point>* primaries_last_ = nullptr;
+  // Reused scratch buffers for the message hot path and monitor sweeps.
+  std::vector<std::size_t> neighbor_scratch_;
+  std::vector<std::size_t> ring_scratch_;
 
   OnlineMetrics metrics_;
 };

@@ -5,15 +5,10 @@
 namespace cmvrp {
 
 CubePairing::CubePairing(int dim, Point anchor, std::int64_t side)
-    : dim_(dim), anchor_(anchor), side_(side) {
+    : dim_(dim), anchor_(anchor), side_(side), volume_(1) {
   CMVRP_CHECK(anchor.dim() == dim);
   CMVRP_CHECK_MSG(side >= 1, "cube side must be positive");
-}
-
-std::int64_t CubePairing::cube_volume() const {
-  std::int64_t v = 1;
-  for (int i = 0; i < dim_; ++i) v *= side_;
-  return v;
+  for (int i = 0; i < dim_; ++i) volume_ *= side_;
 }
 
 Point CubePairing::cube_corner(const Point& p) const {
@@ -29,7 +24,11 @@ Point CubePairing::cube_corner(const Point& p) const {
 }
 
 std::int64_t CubePairing::snake_index(const Point& p) const {
-  const Point corner = cube_corner(p);
+  return snake_index(p, cube_corner(p));
+}
+
+std::int64_t CubePairing::snake_index(const Point& p,
+                                      const Point& corner) const {
   // Boustrophedon mixed-radix index: axis 0 runs fastest, and each axis's
   // sweep direction reverses with the parity of the *true* offsets of all
   // higher axes, making consecutive indices grid-adjacent in any dimension.
@@ -47,19 +46,20 @@ std::int64_t CubePairing::snake_index(const Point& p) const {
 
 Point CubePairing::snake_vertex(const Point& corner, std::int64_t k) const {
   CMVRP_CHECK(k >= 0 && k < cube_volume());
-  // Unpack the mixed-radix digits (axis 0 least significant).
-  std::vector<std::int64_t> digits(static_cast<std::size_t>(dim_));
+  // Unpack the mixed-radix digits (axis 0 least significant) into the
+  // result point itself — this runs per pair lookup on the serving hot
+  // path, so no scratch vector.
+  Point p = corner;
   std::int64_t rest = k;
   for (int i = 0; i < dim_; ++i) {
-    digits[static_cast<std::size_t>(i)] = rest % side_;
+    p[i] = rest % side_;
     rest /= side_;
   }
-  // digits[i] is the (possibly reversed) offset of axis i; undo reversals
+  // p[i] is the (possibly reversed) offset of axis i; undo reversals
   // top-down since reversal of axis i depends on true offsets of axes > i.
-  Point p = corner;
   std::int64_t parity_above = 0;
   for (int i = dim_ - 1; i >= 0; --i) {
-    std::int64_t o = digits[static_cast<std::size_t>(i)];
+    std::int64_t o = p[i];
     if (parity_above % 2 == 1) o = side_ - 1 - o;
     p[i] = corner[i] + o;
     parity_above += o;
@@ -68,10 +68,14 @@ Point CubePairing::snake_vertex(const Point& corner, std::int64_t k) const {
 }
 
 Point CubePairing::partner(const Point& p) const {
-  const std::int64_t k = snake_index(p);
+  return partner(p, cube_corner(p));
+}
+
+Point CubePairing::partner(const Point& p, const Point& corner) const {
+  const std::int64_t k = snake_index(p, corner);
   const std::int64_t mate = k ^ 1;
   if (mate >= cube_volume()) return p;  // odd singleton
-  return snake_vertex(cube_corner(p), mate);
+  return snake_vertex(corner, mate);
 }
 
 std::vector<Point> CubePairing::primaries_in_cube(const Point& corner) const {

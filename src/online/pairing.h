@@ -28,7 +28,7 @@ class CubePairing {
 
   int dim() const { return dim_; }
   std::int64_t side() const { return side_; }
-  std::int64_t cube_volume() const;
+  std::int64_t cube_volume() const { return volume_; }
 
   // Corner of the partition cube containing p.
   Point cube_corner(const Point& p) const;
@@ -39,12 +39,18 @@ class CubePairing {
   // Snake index of p within its cube, in [0, side^ℓ).
   std::int64_t snake_index(const Point& p) const;
 
+  // Hot-path overload: `corner` must equal cube_corner(p). The serving
+  // core resolves the corner once per arrival and threads it through, so
+  // the snake/pair queries skip their own floor-divides.
+  std::int64_t snake_index(const Point& p, const Point& corner) const;
+
   // Inverse: the vertex with snake index k in the cube with corner
   // `corner`.
   Point snake_vertex(const Point& corner, std::int64_t k) const;
 
   // The pair partner (equal to p itself for the odd singleton).
   Point partner(const Point& p) const;
+  Point partner(const Point& p, const Point& corner) const;
 
   // True when p hosts the initially-active vehicle of its pair.
   bool is_primary(const Point& p) const { return snake_index(p) % 2 == 0; }
@@ -52,6 +58,14 @@ class CubePairing {
   // Pair identifier: the primary vertex.
   Point primary(const Point& p) const {
     return is_primary(p) ? p : partner(p);
+  }
+  // Corner-threaded variant (`corner` must equal cube_corner(p)).
+  Point primary(const Point& p, const Point& corner) const {
+    const std::int64_t k = snake_index(p, corner);
+    if (k % 2 == 0) return p;
+    const std::int64_t mate = k ^ 1;
+    if (mate >= cube_volume()) return p;  // odd singleton
+    return snake_vertex(corner, mate);
   }
 
   bool is_singleton(const Point& p) const { return partner(p) == p; }
@@ -63,6 +77,7 @@ class CubePairing {
   int dim_;
   Point anchor_;
   std::int64_t side_;
+  std::int64_t volume_;  // side_^dim_, precomputed (hot-path constant)
 };
 
 }  // namespace cmvrp

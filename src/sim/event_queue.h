@@ -7,12 +7,12 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <utility>
 #include <vector>
 
 #include "util/check.h"
+#include "util/small_fn.h"
 
 namespace cmvrp {
 
@@ -20,7 +20,10 @@ using SimTime = std::int64_t;
 
 class EventQueue {
  public:
-  using Handler = std::function<void()>;
+  // SmallFn rather than std::function: delivery closures capture the
+  // endpoint ids plus a Message payload, which overflows std::function's
+  // small-object buffer and costs a heap allocation per simulated message.
+  using Handler = SmallFn<128>;
 
   SimTime now() const { return now_; }
   bool empty() const { return events_.empty(); }
@@ -28,9 +31,22 @@ class EventQueue {
   std::uint64_t processed() const { return processed_; }
 
   // Schedules `fn` at absolute time `at` (must be >= now()).
+  // The handler parks in a free-listed slot pool and the heap orders
+  // 24-byte (time, seq, slot) records — sifting a scheduled event up or
+  // down no longer moves the full Handler buffer, which dominated the
+  // simulation profile when handlers lived inside the heap elements.
   void schedule(SimTime at, Handler fn) {
     CMVRP_CHECK_MSG(at >= now_, "cannot schedule into the past");
-    events_.push(Event{at, next_seq_++, std::move(fn)});
+    std::uint32_t slot;
+    if (free_slots_.empty()) {
+      slot = static_cast<std::uint32_t>(handlers_.size());
+      handlers_.push_back(std::move(fn));
+    } else {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      handlers_[slot] = std::move(fn);
+    }
+    events_.push(Event{at, next_seq_++, slot});
   }
 
   void schedule_after(SimTime delay, Handler fn) {
@@ -41,13 +57,15 @@ class EventQueue {
   // Runs the earliest event. Returns false when the queue is empty.
   bool step() {
     if (events_.empty()) return false;
-    // priority_queue::top is const; the handler is moved out via const_cast
-    // (the element is popped immediately after, never reused).
-    Event ev = std::move(const_cast<Event&>(events_.top()));
+    const Event ev = events_.top();
     events_.pop();
     now_ = ev.at;
     ++processed_;
-    ev.fn();
+    // Move the handler out before invoking: the handler may schedule new
+    // events, which may reuse (and overwrite) this slot.
+    Handler fn = std::move(handlers_[ev.slot]);
+    free_slots_.push_back(ev.slot);
+    fn();
     return true;
   }
 
@@ -65,7 +83,7 @@ class EventQueue {
   struct Event {
     SimTime at;
     std::uint64_t seq;
-    Handler fn;
+    std::uint32_t slot;  // index into handlers_
     bool operator>(const Event& other) const {
       if (at != other.at) return at > other.at;
       return seq > other.seq;
@@ -73,6 +91,8 @@ class EventQueue {
   };
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::vector<Handler> handlers_;          // slot pool; parallel free list
+  std::vector<std::uint32_t> free_slots_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;

@@ -8,11 +8,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <utility>
 
 #include "sim/event_queue.h"
 #include "sim/message.h"
+#include "util/flat_map.h"
+#include "util/hash.h"
 #include "util/rng.h"
 
 namespace cmvrp {
@@ -65,9 +66,17 @@ class Network {
                     ? rng_.next_below(static_cast<std::uint64_t>(max_delay_) + 1)
                     : 0);
     SimTime at = queue_.now() + delay;
-    auto& last = last_delivery_[{from, to}];
+    SimTime& last = last_delivery_[channel_key(from, to)];
     if (at <= last) at = last + 1;  // preserve per-channel ordering
     last = at;
+    // §3.2.5 heartbeats ("existing" messages) are protocol no-ops on the
+    // receiving side — monitoring reads fleet state directly, never the
+    // message. The send still draws its delay (keeping every generator
+    // sequence aligned) and still advances the channel's FIFO clamp, but
+    // skips the queue roundtrip: at ~1 heartbeat per arrival the
+    // schedule/sift/dispatch cycle of a do-nothing delivery was a top
+    // entry in the serving profile.
+    if (m.index() == 3) return;
     queue_.schedule(at, [this, from, to, m = std::move(m)]() {
       receiver_(to, from, m);
     });
@@ -93,12 +102,24 @@ class Network {
     }
   }
 
+  // Channel key packs (from, to) into one word. Vehicle ids are dense
+  // small integers (indices into the fleet), so 32 bits per endpoint is
+  // ample; the check keeps the packing honest if that ever changes.
+  static std::uint64_t channel_key(std::size_t from, std::size_t to) {
+    CMVRP_CHECK_MSG(from < (1ull << 32) && to < (1ull << 32),
+                    "vehicle id exceeds channel-key packing");
+    return (static_cast<std::uint64_t>(from) << 32) |
+           static_cast<std::uint64_t>(to);
+  }
+
   EventQueue& queue_;
   Rng rng_;
   SimTime max_delay_;
   Receiver receiver_;
   NetworkStats stats_;
-  std::map<std::pair<std::size_t, std::size_t>, SimTime> last_delivery_;
+  // Per-channel FIFO clamp state. Open-addressed: one probe per send
+  // beats the rb-tree walk the old std::map did on every message.
+  FlatMap<std::uint64_t, SimTime, U64Hash> last_delivery_;
 };
 
 }  // namespace cmvrp

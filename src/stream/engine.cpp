@@ -3,22 +3,36 @@
 #include <algorithm>
 #include <utility>
 
+#include "grid/corner_hash.h"
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace cmvrp {
+namespace {
+
+// Below this many jobs per worker, the scatter/fold bookkeeping of the
+// parallel routing pass costs more than the floor-divides it spreads out.
+constexpr std::size_t kMinJobsPerRouteWorker = 64;
+
+}  // namespace
 
 StreamEngine::StreamEngine(int dim, const StreamConfig& config)
     : dim_(dim),
       config_(config),
       pairing_(dim, config.online.anchor, config.online.cube_side),
+      table_(CubeSlotTable::build(dim, config.online.anchor,
+                                  config.online.cube_side, config.region)),
       pool_(config.threads) {
   CMVRP_CHECK_MSG(config.threads >= 1, "stream engine needs >= 1 thread");
   CMVRP_CHECK_MSG(config.batch_size >= 1, "batch size must be >= 1");
-  shards_.reserve(static_cast<std::size_t>(pool_.size()));
+  const auto shard_count = static_cast<std::size_t>(pool_.size());
+  shards_.reserve(shard_count);
   for (int s = 0; s < pool_.size(); ++s)
-    shards_.emplace_back(dim_, config_.online);
-  routed_.resize(static_cast<std::size_t>(pool_.size()));
-  outcomes_.resize(static_cast<std::size_t>(pool_.size()));
+    shards_.emplace_back(dim_, config_.online, &table_, s, pool_.size());
+  routed_.resize(shard_count);
+  scatter_.resize(shard_count);
+  for (auto& per_thread : scatter_) per_thread.resize(shard_count);
+  outcomes_.resize(shard_count);
 }
 
 void StreamEngine::set_observer(StreamObserver* observer) {
@@ -35,35 +49,89 @@ void StreamEngine::ingest(const Job* jobs, std::size_t count) {
     run_batch(jobs + off, std::min(batch, count - off));
 }
 
+std::size_t StreamEngine::route_of(const Point& position, Point* corner,
+                                   std::uint32_t* slot) const {
+  const auto shard_count = static_cast<std::size_t>(pool_.size());
+  if (!table_.empty()) {
+    *slot = table_.slot_of_position(position, corner);
+    if (*slot != CubeSlotTable::kNoSlot)
+      return static_cast<std::size_t>(*slot) % shard_count;
+  } else {
+    *slot = CubeSlotTable::kNoSlot;
+    *corner = pairing_.cube_corner(position);
+  }
+  return CornerHash{}(*corner) % shard_count;
+}
+
 void StreamEngine::inject_silent_done(const Point& home) {
   CMVRP_CHECK_MSG(home.dim() == dim_,
                   "silent-done home dim " << home.dim()
                                           << " does not match engine dim "
                                           << dim_);
-  PointHash hash;
-  const Point corner = pairing_.cube_corner(home);
-  shards_[hash(corner) % static_cast<std::size_t>(pool_.size())]
-      .inject_silent_done(home);
+  Point corner = home;
+  std::uint32_t slot = CubeSlotTable::kNoSlot;
+  const std::size_t shard = route_of(home, &corner, &slot);
+  shards_[shard].inject_silent_done(home, corner, slot);
   if (observer_ != nullptr) observer_->on_inject(home);
 }
 
 void StreamEngine::run_batch(const Job* jobs, std::size_t count) {
   if (count == 0) return;
   const auto shard_count = static_cast<std::size_t>(pool_.size());
+  WallTimer route_timer;
   for (auto& r : routed_) r.clear();
-  PointHash hash;
-  for (std::size_t i = 0; i < count; ++i) {
-    CMVRP_CHECK(jobs[i].position.dim() == dim_);
-    const Point corner = pairing_.cube_corner(jobs[i].position);
-    routed_[hash(corner) % shard_count].push_back(jobs[i]);
+  if (shard_count > 1 && count >= kMinJobsPerRouteWorker * shard_count) {
+    // Parallel scatter: worker t resolves the contiguous chunk
+    // [t·chunk, …) into its own per-shard buffers; a second pass folds
+    // the chunks per shard in ascending t — the concatenation is exactly
+    // the order the serial loop would have produced, so the serve pass
+    // (and with it every outcome) cannot tell the difference.
+    const std::size_t chunk = (count + shard_count - 1) / shard_count;
+    pool_.run([this, jobs, count, chunk](int w) {
+      const auto t = static_cast<std::size_t>(w);
+      auto& mine = scatter_[t];
+      for (auto& bucket : mine) bucket.clear();
+      const std::size_t begin = std::min(t * chunk, count);
+      const std::size_t end = std::min(begin + chunk, count);
+      for (std::size_t i = begin; i < end; ++i) {
+        CMVRP_CHECK(jobs[i].position.dim() == dim_);
+        RoutedJob r;
+        r.job = jobs[i];
+        const std::size_t shard =
+            route_of(jobs[i].position, &r.corner, &r.slot);
+        mine[shard].push_back(std::move(r));
+      }
+    });
+    pool_.run([this](int w) {
+      const auto s = static_cast<std::size_t>(w);
+      auto& out = routed_[s];
+      for (auto& per_thread : scatter_) {
+        out.insert(out.end(),
+                   std::make_move_iterator(per_thread[s].begin()),
+                   std::make_move_iterator(per_thread[s].end()));
+      }
+    });
+    ++routed_parallel_batches_;
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      CMVRP_CHECK(jobs[i].position.dim() == dim_);
+      RoutedJob r;
+      r.job = jobs[i];
+      const std::size_t shard = route_of(jobs[i].position, &r.corner, &r.slot);
+      routed_[shard].push_back(std::move(r));
+    }
+    ++routed_serial_batches_;
   }
+  routing_ms_ += route_timer.elapsed_ms();
+
   // Fork/join barrier: every arrival of this batch is fully served (queue
   // drained, monitoring settled) before the next batch is admitted —
   // the stream-scale reading of the paper's long inter-arrival gaps.
   const bool observing = observer_ != nullptr;
   pool_.run([this, observing](int w) {
     const auto s = static_cast<std::size_t>(w);
-    shards_[s].process(routed_[s], observing ? &outcomes_[s] : nullptr);
+    shards_[s].process(routed_[s].data(), routed_[s].size(),
+                       observing ? &outcomes_[s] : nullptr);
   });
   if (observing) {
     // Fold the shards' per-thread buffers into ascending arrival-index
@@ -104,6 +172,10 @@ StreamResult StreamEngine::finish() {
   result.jobs_ingested = jobs_ingested_;
   result.batches = batches_;
   result.cubes = cubes.size();
+  result.cube_slots = table_.size();
+  result.routing_ms = routing_ms_;
+  result.routed_parallel_batches = routed_parallel_batches_;
+  result.routed_serial_batches = routed_serial_batches_;
   for (const auto& [corner, server] : cubes) {
     result.metrics.merge(server->metrics());
     result.served_jobs.insert(result.served_jobs.end(),

@@ -7,11 +7,16 @@
 // decentralization (§3.2: vehicles coordinate only through radius-r
 // neighbor messages inside their cube) to serve a job stream in parallel:
 //
-//   ingest  — arrivals are consumed in bounded batches (batch_size) and
-//             routed to shards by cube corner hash,
+//   route   — arrivals are consumed in bounded batches (batch_size); a
+//             routing pass resolves each job's cube corner and slot (one
+//             CubeSlotTable lookup when region geometry is configured)
+//             and scatters it to its shard. Large batches route in
+//             parallel: each worker scatters a contiguous chunk into
+//             per-thread buffers that fold in thread order at the
+//             barrier, reproducing the serial scatter order exactly.
 //   serve   — N worker shards process their routed jobs concurrently,
 //             each cube on its own deterministic EventQueue + per-cube
-//             seeded Network (see stream/shard.h),
+//             seeded Network (see stream/shard.h).
 //   observe — when a StreamObserver is attached, every batch's outcomes
 //             are folded in ascending arrival-index order after the
 //             barrier and handed to the observer on the ingest thread
@@ -24,22 +29,26 @@
 // size, because all nondeterminism lives in per-cube seeds and each
 // cube's job subsequence is order-preserved (the monitoring cadence is a
 // per-cube arrival stride, never a batch boundary — see stream/shard.h).
-// Threads only change wall time. Against the *legacy* simulator only the
-// delay-invariant service outcome (served/failed sets) is expected to
-// agree: per-cube delay RNGs draw differently from the legacy global
-// RNG, so Phase I searches can pick different idle replacements
-// (different travel/energy split), and monitoring heartbeats are
-// per-cube-local here whereas the legacy simulator sweeps every cube
-// after every arrival (different message counts).
+// Threads — and whether a region/slot table is configured — only change
+// wall time and shard assignment, never outcomes. Against the *legacy*
+// simulator only the delay-invariant service outcome (served/failed
+// sets) is expected to agree: per-cube delay RNGs draw differently from
+// the legacy global RNG, so Phase I searches can pick different idle
+// replacements (different travel/energy split), and monitoring
+// heartbeats are per-cube-local here whereas the legacy simulator sweeps
+// every cube after every arrival (different message counts).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "grid/box.h"
 #include "online/fleet_core.h"
 #include "stream/pool.h"
 #include "stream/shard.h"
+#include "stream/slot_table.h"
 #include "workload/generators.h"
 
 namespace cmvrp {
@@ -48,6 +57,12 @@ struct StreamConfig {
   OnlineConfig online;          // per-cube deployment parameters
   int threads = 1;              // worker shards (>= 1)
   std::int64_t batch_size = 256;  // max arrivals per ingest batch (>= 1)
+  // Region the stream's positions live in. When set, the engine builds a
+  // cube-corner → slot table over it at construction and shards resolve
+  // cubes through dense per-slot arrays; jobs outside the region (or all
+  // jobs when unset) take the corner-hashed overflow path. Purely a
+  // performance hint: outcomes are identical either way.
+  std::optional<Box> region;
 };
 
 struct StreamResult {
@@ -55,6 +70,10 @@ struct StreamResult {
   std::uint64_t jobs_ingested = 0;
   std::uint64_t batches = 0;
   std::uint64_t cubes = 0;
+  std::uint64_t cube_slots = 0;        // slot-table size (0 = overflow only)
+  double routing_ms = 0.0;             // total wall time in routing passes
+  std::uint64_t routed_parallel_batches = 0;
+  std::uint64_t routed_serial_batches = 0;
   std::vector<std::int64_t> served_jobs;  // sorted arrival indices
   std::vector<std::int64_t> failed_jobs;  // sorted arrival indices
 };
@@ -103,16 +122,26 @@ class StreamEngine {
   StreamResult finish();
 
   int threads() const { return pool_.size(); }
+  // Size of the cube-slot table (0 when no region is configured or the
+  // region was too large to tabulate) — surfaced so bench/CLI artifacts
+  // are self-describing about which routing mode actually ran.
+  std::uint64_t cube_slots() const { return table_.size(); }
 
  private:
   void run_batch(const Job* jobs, std::size_t count);
+  // Resolves one position to (corner, slot) and its owning shard.
+  std::size_t route_of(const Point& position, Point* corner,
+                       std::uint32_t* slot) const;
 
   int dim_;
   StreamConfig config_;
   CubePairing pairing_;  // routing: job position -> cube corner
+  CubeSlotTable table_;  // cube corner -> dense slot (may be empty)
   std::vector<CubeShard> shards_;
   // Per-shard routing buffers, reused across batches.
-  std::vector<std::vector<Job>> routed_;
+  std::vector<std::vector<RoutedJob>> routed_;
+  // Per-(thread, shard) scatter buffers for the parallel routing pass.
+  std::vector<std::vector<std::vector<RoutedJob>>> scatter_;
   // Per-shard outcome buffers + the merged fold, reused across batches;
   // only populated while an observer is attached (O(batch × threads)).
   std::vector<std::vector<JobOutcome>> outcomes_;
@@ -121,6 +150,9 @@ class StreamEngine {
   WorkerPool pool_;
   std::uint64_t jobs_ingested_ = 0;
   std::uint64_t batches_ = 0;
+  double routing_ms_ = 0.0;
+  std::uint64_t routed_parallel_batches_ = 0;
+  std::uint64_t routed_serial_batches_ = 0;
 };
 
 // Convenience: one engine, one stream, one result.

@@ -21,11 +21,7 @@ WorkerPool::~WorkerPool() {
   for (auto& t : threads_) t.join();
 }
 
-void WorkerPool::run(const std::function<void(int)>& fn) {
-  if (threads_.empty()) {
-    fn(0);
-    return;
-  }
+void WorkerPool::run_erased(const std::function<void(int)>& fn) {
   std::unique_lock<std::mutex> lock(mu_);
   task_ = &fn;
   first_error_ = nullptr;

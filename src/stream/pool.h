@@ -34,10 +34,21 @@ class WorkerPool {
   int size() const { return workers_; }
 
   // Runs fn(w) for every worker index w in [0, size()), blocking until
-  // all calls return. Not reentrant.
-  void run(const std::function<void(int)>& fn);
+  // all calls return. Not reentrant. Single-worker pools invoke fn
+  // inline without the std::function round-trip — the engine calls run()
+  // a few times per batch, and the erased-callable construction was
+  // visible in single-thread serving profiles.
+  template <typename Fn>
+  void run(Fn&& fn) {
+    if (threads_.empty()) {
+      fn(0);
+      return;
+    }
+    run_erased(std::function<void(int)>(std::forward<Fn>(fn)));
+  }
 
  private:
+  void run_erased(const std::function<void(int)>& fn);
   void worker_loop(int index);
 
   int workers_;

@@ -3,29 +3,26 @@
 #include <utility>
 
 #include "util/check.h"
+#include "util/hash.h"
 #include "util/rng.h"
 
 namespace cmvrp {
 
 std::uint64_t cube_stream_seed(std::uint64_t engine_seed,
                                const Point& corner) {
-  // splitmix64 finalizer over the seed and each coordinate.
-  auto mix = [](std::uint64_t z) {
-    z += 0x9e3779b97f4a7c15ULL;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
-  };
-  std::uint64_t h = mix(engine_seed);
-  h = mix(h ^ static_cast<std::uint64_t>(corner.dim()));
+  // mix64 fold over the seed and each coordinate (same chain CornerHash
+  // uses, prefixed with the engine seed).
+  std::uint64_t h = mix64(engine_seed);
+  h = mix64(h ^ static_cast<std::uint64_t>(corner.dim()));
   for (int i = 0; i < corner.dim(); ++i)
-    h = mix(h ^ static_cast<std::uint64_t>(corner[i]));
+    h = mix64(h ^ static_cast<std::uint64_t>(corner[i]));
   return h;
 }
 
 CubeServer::CubeServer(int dim, const OnlineConfig& config,
                        const Point& corner)
-    : queue_(),
+    : corner_(corner),
+      queue_(),
       network_(queue_, Rng(cube_stream_seed(config.seed, corner)),
                config.max_message_delay),
       core_(dim, config, queue_, network_) {
@@ -50,7 +47,9 @@ bool CubeServer::serve(const Job& job) {
       queue_.run_to_quiescence();
     }
   }
-  const bool ok = core_.serve_job(job);
+  // The corner was resolved at routing time; serve_job can skip its own
+  // floor-divides.
+  const bool ok = core_.serve_job(job, corner_);
   queue_.run_to_quiescence();
   settle_if_due();
   (ok ? served_ : failed_).push_back(job.index);
@@ -71,43 +70,71 @@ void CubeServer::finish() {
   core_.finalize_metrics();
 }
 
-CubeShard::CubeShard(int dim, const OnlineConfig& config)
+CubeShard::CubeShard(int dim, const OnlineConfig& config,
+                     const CubeSlotTable* table, int shard_index,
+                     int shard_count)
     : dim_(dim),
       config_(config),
-      pairing_(dim, config.anchor, config.cube_side) {}
-
-CubeServer& CubeShard::server_for(const Point& corner) {
-  auto it = servers_.find(corner);
-  if (it == servers_.end()) {
-    it = servers_
-             .emplace(corner,
-                      std::make_unique<CubeServer>(dim_, config_, corner))
-             .first;
+      table_(table),
+      shard_index_(shard_index),
+      shard_count_(shard_count) {
+  CMVRP_CHECK(shard_count >= 1 && shard_index >= 0 &&
+              shard_index < shard_count);
+  if (table_ != nullptr && !table_->empty()) {
+    // Local capacity: slots congruent to shard_index mod shard_count.
+    const std::uint64_t local =
+        (table_->size() + static_cast<std::uint64_t>(shard_count) - 1 -
+         static_cast<std::uint64_t>(shard_index)) /
+        static_cast<std::uint64_t>(shard_count);
+    slots_.resize(static_cast<std::size_t>(local));
   }
-  return *it->second;
 }
 
-void CubeShard::process(const std::vector<Job>& jobs,
+CubeServer& CubeShard::server_for(const Point& corner, std::uint32_t slot) {
+  if (slot != CubeSlotTable::kNoSlot) {
+    const auto local = static_cast<std::size_t>(
+        slot / static_cast<std::uint32_t>(shard_count_));
+    auto& server = slots_[local];
+    if (server == nullptr) {
+      server = std::make_unique<CubeServer>(dim_, config_, corner);
+      ++materialized_;
+    }
+    return *server;
+  }
+  auto& server = overflow_[corner];
+  if (server == nullptr) {
+    server = std::make_unique<CubeServer>(dim_, config_, corner);
+    ++materialized_;
+  }
+  return *server;
+}
+
+void CubeShard::process(const RoutedJob* jobs, std::size_t count,
                         std::vector<JobOutcome>* outcomes) {
-  for (const Job& job : jobs) {
-    const Point corner = pairing_.cube_corner(job.position);
-    const bool served = server_for(corner).serve(job);
-    if (outcomes != nullptr) outcomes->push_back({job, corner, served});
+  for (std::size_t i = 0; i < count; ++i) {
+    const RoutedJob& r = jobs[i];
+    const bool served = server_for(r.corner, r.slot).serve(r.job);
+    if (outcomes != nullptr) outcomes->push_back({r.job, r.corner, served});
     ++jobs_processed_;
   }
 }
 
-void CubeShard::inject_silent_done(const Point& home) {
-  server_for(pairing_.cube_corner(home)).inject_silent_done(home);
+void CubeShard::inject_silent_done(const Point& home, const Point& corner,
+                                   std::uint32_t slot) {
+  server_for(corner, slot).inject_silent_done(home);
 }
 
 void CubeShard::finish() {
-  for (auto& [corner, server] : servers_) server->finish();
+  for (auto& server : slots_)
+    if (server != nullptr) server->finish();
+  for (auto& [corner, server] : overflow_) server->finish();
 }
 
 void CubeShard::collect(
     std::vector<std::pair<Point, const CubeServer*>>& out) const {
-  for (const auto& [corner, server] : servers_)
+  for (const auto& server : slots_)
+    if (server != nullptr) out.emplace_back(server->corner(), server.get());
+  for (const auto& [corner, server] : overflow_)
     out.emplace_back(corner, server.get());
 }
 

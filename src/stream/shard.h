@@ -12,6 +12,16 @@
 // batched. That is the engine's bit-identical-across-thread-counts
 // contract, enforced by tests/stream_test.cpp.
 //
+// Cube resolution is two-tier. Slots the engine's CubeSlotTable covers
+// live in a dense per-shard array (a shard owns the slots congruent to
+// its index mod shard-count, stored contiguously at slot / shard-count),
+// so the per-job path is one indexed load instead of the corner-keyed
+// std::map walk of earlier revisions. Jobs outside the table — or all
+// jobs when no region is configured — resolve through a corner-hashed
+// overflow FlatMap, which is the pre-refactor behavior; either tier
+// constructs the identical CubeServer (the seed depends only on the
+// corner), so outcomes cannot depend on the tier.
+//
 // Monitoring cadence: CubeServer settles the §3.2.5 ring every
 // OnlineConfig::monitor_stride arrivals *of its own cube* (plus a
 // catch-up settle in finish()). Sweeping exactly once per ingest batch
@@ -21,23 +31,25 @@
 // per-cube stride gives the same amortization with results that stay a
 // pure function of the cube's arrival subsequence.
 //
-// CubeShard routes its jobs to per-cube servers in arrival order and
-// folds results by ascending cube corner, so double-valued metric sums
-// are also reproducible. When the engine carries a StreamObserver, the
-// shard additionally records one JobOutcome per arrival into an
-// engine-owned per-shard buffer (O(batch) each, no cross-thread sharing).
+// CubeShard serves its routed jobs in arrival order and the engine folds
+// results by ascending cube corner, so double-valued metric sums are
+// also reproducible. When the engine carries a StreamObserver, the shard
+// additionally records one JobOutcome per arrival into an engine-owned
+// per-shard buffer (O(batch) each, no cross-thread sharing).
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "grid/corner_hash.h"
 #include "grid/point.h"
 #include "online/fleet_core.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
+#include "stream/slot_table.h"
+#include "util/flat_map.h"
 #include "workload/generators.h"
 
 namespace cmvrp {
@@ -46,6 +58,15 @@ namespace cmvrp {
 // and the cube corner coordinates. Identical for every thread count and
 // shard assignment by construction.
 std::uint64_t cube_stream_seed(std::uint64_t engine_seed, const Point& corner);
+
+// A job after the engine's routing pass: the cube corner and slot are
+// resolved once, on the routing thread, so the shard's serve loop never
+// recomputes them.
+struct RoutedJob {
+  Job job;
+  Point corner;
+  std::uint32_t slot = CubeSlotTable::kNoSlot;
+};
 
 // What one arrival came to: the job, the cube that served (or failed)
 // it, and whether it was served — the unit the OutcomeRecorder streams
@@ -77,6 +98,7 @@ class CubeServer {
   // metrics (network stats + energy aggregates).
   void finish();
 
+  const Point& corner() const { return corner_; }
   const OnlineMetrics& metrics() const { return core_.metrics(); }
   const std::vector<std::int64_t>& served_indices() const { return served_; }
   const std::vector<std::int64_t>& failed_indices() const { return failed_; }
@@ -84,6 +106,7 @@ class CubeServer {
  private:
   void settle_if_due();
 
+  Point corner_;
   EventQueue queue_;
   Network network_;
   FleetCore core_;
@@ -94,24 +117,31 @@ class CubeServer {
 };
 
 // Everything one worker owns: the cubes assigned to it by the engine's
-// corner hash. Jobs are processed strictly in the order given.
+// slot (or corner-hash) routing. Jobs are processed strictly in the
+// order given.
 class CubeShard {
  public:
-  CubeShard(int dim, const OnlineConfig& config);
+  // `table` is borrowed from the engine (shared by all shards, read-only
+  // during serving); `shard_index` / `shard_count` define which table
+  // slots this shard owns (slot % shard_count == shard_index).
+  CubeShard(int dim, const OnlineConfig& config, const CubeSlotTable* table,
+            int shard_index, int shard_count);
 
   // Serves a routed job slice in order, creating cube servers on first
   // arrival. When `outcomes` is non-null, appends one JobOutcome per job
   // in processing order. Runs on the shard's worker thread; touches only
   // shard state (and its own outcome buffer).
-  void process(const std::vector<Job>& jobs,
+  void process(const RoutedJob* jobs, std::size_t count,
                std::vector<JobOutcome>* outcomes = nullptr);
 
   // Failure injection routed by the engine: creates the cube server for
-  // `home`'s cube if needed (creation is deterministic per corner) and
-  // marks the vehicle silent-done. Must be called between batches.
-  void inject_silent_done(const Point& home);
+  // the cube at `corner` (slot-resolved by the engine; creation is
+  // deterministic per corner) and marks the vehicle at `home`
+  // silent-done. Must be called between batches.
+  void inject_silent_done(const Point& home, const Point& corner,
+                          std::uint32_t slot);
 
-  std::size_t cube_count() const { return servers_.size(); }
+  std::size_t cube_count() const { return materialized_; }
   std::uint64_t jobs_processed() const { return jobs_processed_; }
 
   // Finalizes every cube server's metrics.
@@ -123,13 +153,18 @@ class CubeShard {
   void collect(std::vector<std::pair<Point, const CubeServer*>>& out) const;
 
  private:
-  CubeServer& server_for(const Point& corner);
+  CubeServer& server_for(const Point& corner, std::uint32_t slot);
 
   int dim_;
   OnlineConfig config_;
-  CubePairing pairing_;  // routing only: job position -> cube corner
-  // Ordered by corner so fold_into is deterministic.
-  std::map<Point, std::unique_ptr<CubeServer>> servers_;
+  const CubeSlotTable* table_;  // borrowed; may be empty
+  int shard_index_;
+  int shard_count_;
+  // Dense tier: this shard's table slots, at local index slot / count.
+  std::vector<std::unique_ptr<CubeServer>> slots_;
+  // Overflow tier: cubes outside the table, keyed by corner.
+  FlatMap<Point, std::unique_ptr<CubeServer>, CornerHash> overflow_;
+  std::size_t materialized_ = 0;  // servers across both tiers
   std::uint64_t jobs_processed_ = 0;
 };
 

@@ -1,0 +1,101 @@
+#include "stream/slot_table.h"
+
+#include "util/check.h"
+
+namespace cmvrp {
+namespace {
+
+// Floor division of (p - anchor) by side, matching CubePairing's corner
+// arithmetic exactly (corner = anchor + cell * side).
+std::int64_t cell_of(std::int64_t coord, std::int64_t anchor,
+                     std::int64_t side) {
+  const std::int64_t off = coord - anchor;
+  return off >= 0 ? off / side : -((-off + side - 1) / side);
+}
+
+}  // namespace
+
+CubeSlotTable CubeSlotTable::build(int dim, const Point& anchor,
+                                   std::int64_t side,
+                                   const std::optional<Box>& region,
+                                   std::uint64_t max_slots) {
+  CMVRP_CHECK(side >= 1);
+  if (!region.has_value()) return CubeSlotTable{};
+  CMVRP_CHECK(region->dim() == dim && anchor.dim() == dim);
+
+  CubeSlotTable t;
+  t.dim_ = dim;
+  t.anchor_ = anchor;
+  t.side_ = side;
+  // Power-of-two side: floor division is an arithmetic shift (valid for
+  // negative offsets too), sparing the per-axis hardware divide on the
+  // per-job routing path.
+  if ((side & (side - 1)) == 0) {
+    t.shift_ = 0;
+    while ((std::int64_t{1} << t.shift_) < side) ++t.shift_;
+  }
+  t.lo_cell_.resize(static_cast<std::size_t>(dim));
+  t.count_.resize(static_cast<std::size_t>(dim));
+  std::uint64_t slots = 1;
+  for (int i = 0; i < dim; ++i) {
+    const std::int64_t lo = cell_of(region->lo()[i], anchor[i], side);
+    const std::int64_t hi = cell_of(region->hi()[i], anchor[i], side);
+    t.lo_cell_[static_cast<std::size_t>(i)] = lo;
+    const auto count = static_cast<std::uint64_t>(hi - lo + 1);
+    t.count_[static_cast<std::size_t>(i)] = hi - lo + 1;
+    // Overflow-safe product check before multiplying.
+    if (count != 0 && slots > max_slots / count) return CubeSlotTable{};
+    slots *= count;
+  }
+  if (slots > max_slots) return CubeSlotTable{};
+  t.slots_ = slots;
+  return t;
+}
+
+std::uint32_t CubeSlotTable::slot_of_position(const Point& p,
+                                              Point* corner) const {
+  if (slots_ == 0) {
+    // No table: the caller still needs the corner for the overflow path,
+    // but there is no geometry here to derive it from.
+    CMVRP_CHECK_MSG(corner == nullptr,
+                    "empty CubeSlotTable cannot compute corners");
+    return kNoSlot;
+  }
+  CMVRP_CHECK(p.dim() == dim_);
+  std::uint64_t slot = 0;
+  bool inside = true;
+  Point c = p;
+  for (int i = 0; i < dim_; ++i) {
+    const std::int64_t cell = shift_ >= 0
+                                  ? (p[i] - anchor_[i]) >> shift_
+                                  : cell_of(p[i], anchor_[i], side_);
+    c[i] = anchor_[i] + cell * side_;
+    const std::int64_t rel = cell - lo_cell_[static_cast<std::size_t>(i)];
+    if (rel < 0 || rel >= count_[static_cast<std::size_t>(i)])
+      inside = false;
+    else
+      slot = slot * static_cast<std::uint64_t>(
+                        count_[static_cast<std::size_t>(i)]) +
+             static_cast<std::uint64_t>(rel);
+  }
+  if (corner != nullptr) *corner = c;
+  return inside ? static_cast<std::uint32_t>(slot) : kNoSlot;
+}
+
+Point CubeSlotTable::corner_of(std::uint32_t slot) const {
+  CMVRP_CHECK(slot < slots_);
+  Point c = anchor_;
+  auto rest = static_cast<std::uint64_t>(slot);
+  for (int i = dim_ - 1; i >= 0; --i) {
+    const auto count =
+        static_cast<std::uint64_t>(count_[static_cast<std::size_t>(i)]);
+    const std::int64_t cell =
+        lo_cell_[static_cast<std::size_t>(i)] +
+        static_cast<std::int64_t>(rest % count);
+    rest /= count;
+    c[i] = anchor_[i] + cell * side_;
+  }
+  return c;
+}
+
+}  // namespace cmvrp

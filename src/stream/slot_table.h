@@ -1,0 +1,66 @@
+// Cube-corner → dense slot resolution for the streaming engine.
+//
+// When the engine knows its region geometry (StreamConfig::region), every
+// partition cube intersecting the region gets a fixed slot id, assigned
+// row-major over the per-axis cube-cell ranges. Routing a job then costs
+// one floor-divide per axis — the SAME divide that computes the cube
+// corner, so slot_of_position returns both in one pass — and shards
+// resolve slots in a dense array instead of a corner-keyed map lookup
+// per job.
+//
+// Slot ids are a pure function of the region geometry (never of arrival
+// order, thread count, or shard assignment), so anything derived from
+// them is covered by the engine's bit-identical contract. Jobs outside
+// the region — or every job, when no region is configured — fall back to
+// the corner-hashed overflow path, which is exactly the pre-refactor
+// behavior; tests pin flat-state and overflow serving to identical
+// digests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "grid/box.h"
+#include "grid/point.h"
+
+namespace cmvrp {
+
+class CubeSlotTable {
+ public:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  // Empty table: every position resolves to kNoSlot (pure overflow mode).
+  CubeSlotTable() = default;
+
+  // Table covering all cubes of the side-`side` partition anchored at
+  // `anchor` that intersect `region`. Falls back to an empty table when
+  // the region spans more than `max_slots` cubes (a degenerate geometry
+  // should degrade to overflow hashing, not allocate without bound).
+  static CubeSlotTable build(int dim, const Point& anchor, std::int64_t side,
+                             const std::optional<Box>& region,
+                             std::uint64_t max_slots = std::uint64_t{1} << 22);
+
+  // Resolves `p` to its slot (kNoSlot when outside the table) and, when
+  // `corner` is non-null, writes the corner of p's partition cube —
+  // byte-identical to CubePairing::cube_corner — computed from the same
+  // divides.
+  std::uint32_t slot_of_position(const Point& p, Point* corner) const;
+
+  // Corner of the cube owning `slot` (slot < size()).
+  Point corner_of(std::uint32_t slot) const;
+
+  std::uint64_t size() const { return slots_; }
+  bool empty() const { return slots_ == 0; }
+
+ private:
+  int dim_ = 0;
+  Point anchor_;
+  std::int64_t side_ = 1;
+  int shift_ = -1;  // log2(side_) when side_ is a power of two, else -1
+  std::vector<std::int64_t> lo_cell_;  // per-axis first cube cell index
+  std::vector<std::int64_t> count_;    // per-axis cube cell count
+  std::uint64_t slots_ = 0;
+};
+
+}  // namespace cmvrp

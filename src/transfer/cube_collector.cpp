@@ -1,12 +1,13 @@
 #include "transfer/cube_collector.h"
 
 #include <algorithm>
-#include <map>
 
 #include "grid/box.h"
+#include "grid/corner_hash.h"
 #include "online/pairing.h"
 #include "transfer/line_collector.h"
 #include "util/check.h"
+#include "util/flat_map.h"
 
 namespace cmvrp {
 
@@ -21,20 +22,30 @@ CubeCollectorResult cube_collector_requirements(const DemandMap& d,
   // Group demand by cube, then lay each cube's demand along its snake
   // order and reuse the §5.2.1 line simulation verbatim.
   const CubePairing pairing(d.dim(), d.bounding_box().lo(), side);
-  std::map<std::vector<std::int64_t>, std::vector<double>> cubes;
+  // Hashed cube grouping on the shared corner-key hasher (one probe per
+  // point instead of the old vector<int64_t> rb-tree walk); cubes are
+  // visited in ascending corner order afterwards so the strict-> binding
+  // tie-break below picks the same cube the former std::map scan did.
+  FlatMap<Point, std::vector<double>, CornerHash> cubes;
   for (const auto& p : d.support()) {
-    const Point corner = pairing.cube_corner(p);
-    std::vector<std::int64_t> key(static_cast<std::size_t>(d.dim()));
-    for (int i = 0; i < d.dim(); ++i)
-      key[static_cast<std::size_t>(i)] = corner[i];
-    auto& lane = cubes[key];
+    auto& lane = cubes[pairing.cube_corner(p)];
     if (lane.empty())
       lane.assign(static_cast<std::size_t>(pairing.cube_volume()), 0.0);
     lane[static_cast<std::size_t>(pairing.snake_index(p))] += d.at(p);
   }
+  std::vector<const std::vector<double>*> lane_order;
+  lane_order.reserve(cubes.size());
+  {
+    std::vector<std::pair<Point, const std::vector<double>*>> sorted;
+    sorted.reserve(cubes.size());
+    for (const auto& item : cubes) sorted.emplace_back(item.key, &item.value);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [corner, lane] : sorted) lane_order.push_back(lane);
+  }
 
-  for (const auto& [key, lane] : cubes) {
-    (void)key;
+  for (const auto* lane_ptr : lane_order) {
+    const std::vector<double>& lane = *lane_ptr;
     ++out.cubes;
     double cube_demand = 0.0;
     for (double v : lane) cube_demand += v;

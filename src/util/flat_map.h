@@ -1,0 +1,119 @@
+// Open-addressed hash map with insertion-ordered, contiguous storage.
+//
+// The serving hot paths (per-message channel lookups in sim/network.h,
+// cube groupings in the offline planner and §5 collector, the stream
+// engine's out-of-region cube overflow) were all node-based associative
+// containers: every lookup chased a heap node, and std::map added an
+// rb-tree rebalance per insert. FlatMap keeps the items in one vector
+// (contiguous, insertion-ordered — so iteration is deterministic for a
+// deterministic insertion sequence, independent of the hash) and resolves
+// keys through a power-of-two open-addressed index of positions.
+//
+// Deliberately minimal: no erase (none of the call sites delete keys),
+// keys must be equality-comparable, and mutating a key through iteration
+// is undefined. Lookup is O(1) expected with linear probing at load
+// factor <= 0.7; insertion amortized O(1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cmvrp {
+
+template <class Key, class Value, class Hash>
+class FlatMap {
+ public:
+  struct Item {
+    Key key;
+    Value value;
+  };
+  using iterator = typename std::vector<Item>::iterator;
+  using const_iterator = typename std::vector<Item>::const_iterator;
+
+  FlatMap() = default;
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  void reserve(std::size_t n) {
+    items_.reserve(n);
+    rehash_for(n);
+  }
+
+  void clear() {
+    items_.clear();
+    index_.assign(index_.size(), kEmpty);
+  }
+
+  // Pointer to the mapped value, or nullptr when absent.
+  Value* find(const Key& key) {
+    const std::uint32_t pos = find_pos(key);
+    return pos == kEmpty ? nullptr : &items_[pos].value;
+  }
+  const Value* find(const Key& key) const {
+    const std::uint32_t pos = find_pos(key);
+    return pos == kEmpty ? nullptr : &items_[pos].value;
+  }
+
+  // Find-or-default-insert, like std::map::operator[].
+  Value& operator[](const Key& key) {
+    if (index_.empty() ||
+        items_.size() + 1 > (index_.size() * 7) / 10)
+      rehash_for(items_.size() + 1);
+    std::size_t slot = Hash{}(key) & (index_.size() - 1);
+    for (;;) {
+      const std::uint32_t pos = index_[slot];
+      if (pos == kEmpty) {
+        index_[slot] = static_cast<std::uint32_t>(items_.size());
+        items_.push_back(Item{key, Value{}});
+        return items_.back().value;
+      }
+      if (items_[pos].key == key) return items_[pos].value;
+      slot = (slot + 1) & (index_.size() - 1);
+    }
+  }
+
+  // Insertion-order iteration over contiguous items. Keys are logically
+  // const: rewriting one leaves the index pointing at the old hash.
+  iterator begin() { return items_.begin(); }
+  iterator end() { return items_.end(); }
+  const_iterator begin() const { return items_.begin(); }
+  const_iterator end() const { return items_.end(); }
+  const std::vector<Item>& items() const { return items_; }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+
+  std::uint32_t find_pos(const Key& key) const {
+    if (index_.empty()) return kEmpty;
+    std::size_t slot = Hash{}(key) & (index_.size() - 1);
+    for (;;) {
+      const std::uint32_t pos = index_[slot];
+      if (pos == kEmpty) return kEmpty;
+      if (items_[pos].key == key) return pos;
+      slot = (slot + 1) & (index_.size() - 1);
+    }
+  }
+
+  void rehash_for(std::size_t items) {
+    std::size_t want = 16;
+    while (want * 7 < items * 10) want <<= 1;
+    if (want <= index_.size()) return;
+    CMVRP_CHECK_MSG(items < kEmpty, "FlatMap exceeds 2^32 - 1 items");
+    index_.assign(want, kEmpty);
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      std::size_t slot = Hash{}(items_[i].key) & (want - 1);
+      while (index_[slot] != kEmpty) slot = (slot + 1) & (want - 1);
+      index_[slot] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  std::vector<Item> items_;
+  std::vector<std::uint32_t> index_;
+};
+
+}  // namespace cmvrp

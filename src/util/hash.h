@@ -1,0 +1,33 @@
+// Shared integer mixing primitives.
+//
+// mix64 is the splitmix64 finalizer (Steele, Lea, Flood 2014): a cheap
+// bijection on 64-bit words with full avalanche, so keys that differ only
+// in high bits or by small strides (cube corners are multiples of the
+// partition side) still spread uniformly. Every corner-keyed hash in the
+// repo — the per-cube stream seeds, CornerHash, the flat channel table in
+// sim/network.h — folds through this one function so the hashing
+// discipline lives in exactly one place.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cmvrp {
+
+inline std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Hash functor over integral keys, for FlatMap and friends. (std::hash on
+// integers is the identity in libstdc++, which clusters sequential ids
+// into runs of adjacent probe slots.)
+struct U64Hash {
+  std::size_t operator()(std::uint64_t v) const {
+    return static_cast<std::size_t>(mix64(v));
+  }
+};
+
+}  // namespace cmvrp

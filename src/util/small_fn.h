@@ -1,0 +1,102 @@
+// Small-buffer callable for the event-queue hot path.
+//
+// Every Network::send schedules a delivery closure capturing the server
+// pointer, both endpoint ids and the Message payload — ~90 bytes, which
+// overflows std::function's small-object buffer (16 bytes in libstdc++)
+// and forces a heap allocation per simulated message. SmallFn is a
+// move-only type-erased void() callable with a fixed in-place buffer
+// sized for those closures, so scheduling never allocates.
+//
+// Construction accepts any callable with sizeof <= Capacity, by move or
+// by copy (the tests hand schedule() an lvalue std::function, which at
+// 32 bytes fits comfortably). Oversized callables are a compile error,
+// not a silent fallback — the point is to keep the allocation out.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/check.h"
+
+namespace cmvrp {
+
+template <std::size_t Capacity>
+class SmallFn {
+ public:
+  SmallFn() = default;
+
+  template <class F,
+            class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, SmallFn>>>
+  SmallFn(F&& fn) {  // NOLINT(google-explicit-constructor)
+    static_assert(sizeof(D) <= Capacity,
+                  "callable exceeds SmallFn buffer; raise Capacity");
+    static_assert(alignof(D) <= alignof(std::max_align_t),
+                  "callable over-aligned for SmallFn buffer");
+    ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+    ops_ = &ops_for<D>;
+  }
+
+  SmallFn(SmallFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buf_, buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.buf_, buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() {
+    CMVRP_CHECK_MSG(ops_ != nullptr, "calling empty SmallFn");
+    ops_->invoke(buf_);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* from, void* to);  // move-construct + destroy src
+    void (*destroy)(void*);
+  };
+
+  template <class D>
+  static constexpr Ops ops_for = {
+      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* from, void* to) {
+        D* src = static_cast<D*>(from);
+        ::new (to) D(std::move(*src));
+        src->~D();
+      },
+      [](void* p) { static_cast<D*>(p)->~D(); },
+  };
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace cmvrp

@@ -8,10 +8,12 @@
 #include <vector>
 
 #include "online/capacity_search.h"
+#include "online/pairing.h"
 #include "online/simulation.h"
 #include "stream/engine.h"
 #include "stream/pool.h"
 #include "stream/shard.h"
+#include "stream/slot_table.h"
 #include "util/rng.h"
 #include "workload/generators.h"
 
@@ -182,6 +184,79 @@ TEST(WorkerPool, PropagatesWorkerException) {
   std::atomic<int> ok{0};
   pool.run([&](int) { ++ok; });
   EXPECT_EQ(ok.load(), 3);
+}
+
+// --- flat cube-slot routing -------------------------------------------------
+
+TEST(CubeSlotTable, CornersMatchPairingIncludingNegatives) {
+  // Both divide paths: side 3 exercises the floor-division fallback, side
+  // 4 the power-of-two shift — negative coordinates included, where naive
+  // integer division and floor division disagree.
+  for (const std::int64_t side : {std::int64_t{3}, std::int64_t{4}}) {
+    const CubePairing pairing(2, Point{0, 0}, side);
+    const Box region(Point{-10, -10}, Point{10, 10});
+    const CubeSlotTable table =
+        CubeSlotTable::build(2, Point{0, 0}, side, region);
+    ASSERT_FALSE(table.empty());
+    std::set<std::uint32_t> seen;
+    for (std::int64_t x = -10; x <= 10; ++x) {
+      for (std::int64_t y = -10; y <= 10; ++y) {
+        const Point p{x, y};
+        Point corner = p;
+        const std::uint32_t slot = table.slot_of_position(p, &corner);
+        ASSERT_NE(slot, CubeSlotTable::kNoSlot);
+        EXPECT_EQ(corner, pairing.cube_corner(p));
+        EXPECT_EQ(table.corner_of(slot), corner);
+        seen.insert(slot);
+      }
+    }
+    // Every cube intersecting the region owns exactly one slot.
+    EXPECT_EQ(seen.size(), table.size());
+    // Outside the region: no slot, but the corner still comes out right.
+    const Point far{1000, -1000};
+    Point corner = far;
+    EXPECT_EQ(table.slot_of_position(far, &corner), CubeSlotTable::kNoSlot);
+    EXPECT_EQ(corner, pairing.cube_corner(far));
+  }
+}
+
+TEST(CubeSlotTable, EmptyWithoutRegionOrWhenOversized) {
+  EXPECT_TRUE(CubeSlotTable::build(2, Point{0, 0}, 4, std::nullopt).empty());
+  // A region spanning more cubes than max_slots degrades to overflow
+  // hashing instead of allocating without bound.
+  const Box huge(Point{0, 0}, Point{1023, 1023});
+  EXPECT_TRUE(CubeSlotTable::build(2, Point{0, 0}, 1, huge, 1000).empty());
+}
+
+TEST(StreamFlatState, RegionAndOverflowServeBitIdentically) {
+  const auto jobs = test_stream(32, 600, 29);
+  StreamConfig with = test_config(60.0, 2);
+  with.region = Box(Point{0, 0}, Point{31, 31});
+  const StreamResult flat = serve_stream(2, with, jobs);
+  const StreamResult overflow = serve_stream(2, test_config(60.0, 2), jobs);
+  EXPECT_GT(flat.cube_slots, 0u);
+  EXPECT_EQ(overflow.cube_slots, 0u);
+  expect_identical(flat, overflow);
+
+  // A region covering only part of the stream routes the rest through
+  // the overflow tier — still bit-identical.
+  StreamConfig half = test_config(60.0, 2);
+  half.region = Box(Point{0, 0}, Point{15, 31});
+  expect_identical(flat, serve_stream(2, half, jobs));
+}
+
+TEST(StreamFlatState, ParallelRoutingPassMatchesSerial) {
+  const auto jobs = test_stream(32, 4000, 31);
+  StreamConfig serial = test_config(60.0, 1, 2048);
+  serial.region = Box(Point{0, 0}, Point{31, 31});
+  StreamConfig parallel = test_config(60.0, 4, 2048);
+  parallel.region = serial.region;
+  const StreamResult a = serve_stream(2, serial, jobs);
+  const StreamResult b = serve_stream(2, parallel, jobs);
+  // The big batches put the multi-shard run on the scatter/fold path.
+  EXPECT_EQ(a.routed_parallel_batches, 0u);
+  EXPECT_GT(b.routed_parallel_batches, 0u);
+  expect_identical(a, b);
 }
 
 }  // namespace

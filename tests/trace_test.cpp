@@ -416,6 +416,33 @@ TEST(TraceReplay, BitIdenticalToInMemoryServingAcrossThreadCounts) {
   }
 }
 
+TEST(TraceReplay, FlatSlotRoutingMatchesOverflowOnRecordedTraces) {
+  // The same recorded trace served twice: once with a region (dense
+  // cube-slot routing) and once without (pure corner-hashed overflow) —
+  // the engine's outcome must not know which path routed it.
+  const std::string path = temp_path("flat_replay.trace");
+  {
+    TraceWriter writer(path, 2);
+    Rng rng(617);
+    bursty_hotspot_stream(2, 4, 8, 2000, 64, rng,
+                          [&writer](const Job& j) { writer.append(j); });
+    writer.close();
+  }
+  const StreamConfig overflow = replay_config(2, 2, 256);
+  StreamConfig flat = replay_config(2, 2, 256);
+  flat.region = Box(Point{0, 0}, Point{31, 31});
+
+  TraceReader r1(path);
+  TraceReplayer rp1(2, overflow);
+  const StreamResult a = rp1.replay(r1);
+  TraceReader r2(path);
+  TraceReplayer rp2(2, flat);
+  const StreamResult b = rp2.replay(r2);
+  EXPECT_EQ(a.cube_slots, 0u);
+  EXPECT_GT(b.cube_slots, 0u);
+  expect_identical(a, b);
+}
+
 TEST(TraceReplay, HigherDimensionTracesReplayIdentically) {
   for (const int dim : {3, 4}) {
     const std::string path =

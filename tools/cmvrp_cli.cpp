@@ -246,6 +246,12 @@ int report_stream(const Args& args, const StreamConfig& cfg,
   t.row().cell("jobs").cell(r.jobs_ingested);
   t.row().cell("batches").cell(r.batches);
   t.row().cell("cubes").cell(r.cubes);
+  t.row().cell("cube slots").cell(static_cast<std::int64_t>(r.cube_slots));
+  t.row()
+      .cell("routing passes")
+      .cell(std::to_string(r.routed_parallel_batches) + " parallel / " +
+            std::to_string(r.routed_serial_batches) + " serial");
+  t.row().cell("routing ms").cell(r.routing_ms);
   t.row().cell("served").cell(r.metrics.jobs_served);
   t.row().cell("failed").cell(r.metrics.jobs_failed);
   t.row().cell("replacements").cell(r.metrics.replacements);
@@ -267,6 +273,10 @@ int report_stream(const Args& args, const StreamConfig& cfg,
     doc.set("jobs", r.jobs_ingested);
     doc.set("batches", r.batches);
     doc.set("cubes", r.cubes);
+    doc.set("cube_slots", static_cast<std::int64_t>(r.cube_slots));
+    doc.set("routed_parallel_batches", r.routed_parallel_batches);
+    doc.set("routed_serial_batches", r.routed_serial_batches);
+    doc.set("routing_ms", r.routing_ms);
     doc.set("served", r.metrics.jobs_served);
     doc.set("failed", r.metrics.jobs_failed);
     doc.set("served_hash", index_set_hash(r.served_jobs));
@@ -302,7 +312,13 @@ StreamConfig stream_config_from_args(
     cfg.online.cube_side = args.get_int("side", 4);
     cfg.online.anchor = Point::origin(dim);
   } else {
-    cfg.online = default_online_config(demand(), seed);
+    // One demand pass sizes the theory config AND hands the engine its
+    // region geometry: cubes intersecting the demand bounding box get
+    // dense slots (flat-state routing); stragglers outside still serve
+    // via the corner-hashed overflow path with identical outcomes.
+    const DemandMap d = demand();
+    cfg.online = default_online_config(d, seed);
+    cfg.region = d.bounding_box();
   }
   // Monitoring amortization (outcome-preserving on failure-free streams;
   // failure detection latency <= stride arrivals per cube). 1 = sweep
@@ -364,11 +380,13 @@ int run_stream_serving(const Args& args, const std::string& record_path) {
 
   std::vector<Job> jobs;
   int dim = 2;
+  std::optional<Box> scenario_region;
   if (args.has("scenario")) {
     const Scenario& sc =
         ScenarioRegistry::builtin().at(args.get("scenario", ""));
     jobs = sc.jobs();
     dim = sc.dim;
+    if (sc.region.dim() == dim) scenario_region = sc.region;
   } else if (args.has("file")) {
     const DemandMap d = demand_from_args(args);
     Rng rng(seed);
@@ -385,8 +403,12 @@ int run_stream_serving(const Args& args, const std::string& record_path) {
   }
   CMVRP_CHECK_MSG(!jobs.empty(), "stream has no jobs");
 
-  const StreamConfig cfg = stream_config_from_args(
+  StreamConfig cfg = stream_config_from_args(
       args, dim, [&jobs, dim] { return demand_of_stream(jobs, dim); });
+  // A registry scenario declares its region outright — use that geometry
+  // for the slot table (it covers the stream by construction, even where
+  // the sampled demand happens to leave gaps).
+  if (scenario_region.has_value()) cfg.region = scenario_region;
 
   WallTimer timer;
   StreamEngine engine(dim, cfg);
@@ -525,6 +547,17 @@ int cmd_trace_info(const Args& args) {
     t.row().cell("arrival events").cell(arrivals);
     t.row().cell("silent-done events").cell(silent);
     t.row().cell("outcome events").cell(outcomes);
+  }
+  // What the streaming engine would build for this trace under the
+  // default theory-sized config: the dense cube-slot table over the
+  // demand bounding box (0 slots = pure corner-hashed overflow routing).
+  const DemandMap d = trace_demand(reader);
+  if (!d.empty()) {
+    const OnlineConfig oc = default_online_config(d, 1);
+    const CubeSlotTable table = CubeSlotTable::build(
+        reader.dim(), oc.anchor, oc.cube_side, d.bounding_box());
+    t.row().cell("engine cube side").cell(oc.cube_side);
+    t.row().cell("engine cube slots").cell(table.size());
   }
   t.row().cell("mmap").cell(reader.mapped() ? "yes" : "no (read fallback)");
   t.print(std::cout);
