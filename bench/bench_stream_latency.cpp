@@ -1,0 +1,10 @@
+// E18 — latency-aware serving: tail percentiles (p50/p90/p99/max) of the
+// per-job lifecycle timestamps, bit-identical across threads 1/2/8 and
+// batches 32/256, plus the three admission policies under saturating
+// streams. Scenario and metrics live in the "stream_latency" harness
+// suite (src/exp/suites.cpp); run with --json to emit BENCH JSON.
+#include "exp/harness.h"
+
+int main(int argc, char** argv) {
+  return cmvrp::bench_driver_main("stream_latency", argc, argv);
+}

@@ -407,6 +407,27 @@ ScenarioRegistry build_builtin() {
                                                     sink);
                       });
                     }));
+  // Saturating overload workloads (admission-control suites): the same
+  // adversarial generators squeezed into 4 cubes, so bursts dwarf any
+  // bounded backlog and a low-capacity fleet sits at the §3.2 phase
+  // transition — these are the streams that actually shed/reject.
+  r.add(from_stream("hotspot/s4c2/n2000/b128", "hotspot",
+                    "saturating hotspot: bursts of 128 into only 4 cubes",
+                    Box(Point{0, 0}, Point{7, 7}), [] {
+                      return collect_jobs([](const JobSink& sink) {
+                        Rng rng(618);
+                        bursty_hotspot_stream(2, 4, 2, 2000, 128, rng, sink);
+                      });
+                    }));
+  r.add(from_stream("heavytail2d/s4c2/n2000/a1.1", "heavytail2d",
+                    "saturating Pareto(1.1) dwell hotspot, only 4 cubes",
+                    Box(Point{0, 0}, Point{7, 7}), [] {
+                      return collect_jobs([](const JobSink& sink) {
+                        Rng rng(619);
+                        heavy_tailed_hotspot_stream(2, 4, 2, 2000, 1.1, rng,
+                                                    sink);
+                      });
+                    }));
   r.add(from_stream("heavytail3d/s4c4/n2400/a1.5", "heavytail3d",
                     "Pareto(1.5) dwell hotspot migration in 3-D",
                     Box(Point{0, 0, 0}, Point{15, 15, 15}), [] {

@@ -863,7 +863,10 @@ StreamProbe probe_stream(int dim, const StreamConfig& cfg,
 
 bool same_stream_outcome(const StreamResult& a, const StreamResult& b) {
   return a.metrics == b.metrics && a.served_jobs == b.served_jobs &&
-         a.failed_jobs == b.failed_jobs && a.cubes == b.cubes;
+         a.failed_jobs == b.failed_jobs && a.shed_jobs == b.shed_jobs &&
+         a.jobs_shed == b.jobs_shed && a.jobs_rejected == b.jobs_rejected &&
+         a.latency == b.latency && a.timeseries == b.timeseries &&
+         a.cubes == b.cubes;
 }
 
 // A per-run-unique trace path under the temp directory, removed on
@@ -1068,6 +1071,180 @@ void suite_stream_scaling(BenchRun& b) {
          "speedup tracks physical cores (the 'hw threads' column says what "
          "this machine can show). The dims section extends both claims to "
          "l = 3 and l = 4 streams.");
+}
+
+// served + failed + shed must partition the arrival indices 0..n-1
+// exactly: every job has exactly one outcome, nothing is double-counted,
+// nothing is lost in a bounded queue.
+bool partitions_arrivals(const StreamResult& r, std::size_t n) {
+  std::vector<std::int64_t> all;
+  all.reserve(n);
+  all.insert(all.end(), r.served_jobs.begin(), r.served_jobs.end());
+  all.insert(all.end(), r.failed_jobs.begin(), r.failed_jobs.end());
+  all.insert(all.end(), r.shed_jobs.begin(), r.shed_jobs.end());
+  if (all.size() != n) return false;
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < n; ++i)
+    if (all[i] != static_cast<std::int64_t>(i)) return false;
+  return true;
+}
+
+// E18 — latency-aware serving: tail percentiles of the per-job lifecycle
+// timestamps must be bit-identical across thread counts AND batch sizes
+// (admission off reproduces the historical stream_scaling outcome
+// exactly), and under saturation the three admission policies must
+// produce deterministic, mutually distinct outcome partitions.
+void suite_stream_latency(BenchRun& b) {
+  // --- tails: the stream_scaling workload, admission off ------------------
+  const Scenario& sc = ScenarioRegistry::builtin().at("uniform/64x64/n20000");
+  const auto jobs = sc.jobs();
+  StreamConfig cfg;
+  cfg.online.capacity = 24.0;
+  cfg.online.cube_side = 4;
+  cfg.online.anchor = Point{0, 0};
+  cfg.online.seed = 7;
+  cfg.online.monitor_stride = 16;
+  cfg.online.sample_stride = 16;  // timeseries on: it must not perturb
+  cfg.batch_size = 256;
+  cfg.region = sc.region;
+
+  // Reference outside the timed cases (filter/warmup-proof, like
+  // stream_scaling's baseline).
+  const StreamResult reference = serve_stream(2, cfg, jobs);
+
+  BenchSection& tails = b.section("tails");
+  for (const int threads : {1, 2, 8}) {
+    for (const std::int64_t batch : {32, 256}) {
+      tails.run_case(
+          "threads=" + std::to_string(threads) + "/batch=" +
+              std::to_string(batch),
+          [&, threads, batch](MetricRow& row) {
+            StreamConfig c = cfg;
+            c.threads = threads;
+            c.batch_size = batch;
+            const StreamProbe p = probe_stream(2, c, jobs);
+            if (!same_stream_outcome(reference, p.result))
+              b.fail("threads/batch changed the latency outcome");
+            // PR 6 anchor: admission off (and sampling on) must leave the
+            // historical stream_scaling outcome untouched.
+            if (p.result.metrics.jobs_served != 20000 ||
+                p.result.metrics.jobs_failed != 0 ||
+                p.result.metrics.replacements != 136 ||
+                p.result.cubes != 256)
+              b.fail("admission-off run diverged from the historical "
+                     "stream_scaling outcome (20000/0/136/256)");
+            if (p.result.latency.count() != p.result.metrics.jobs_served)
+              b.fail("latency histogram count != served jobs");
+            if (p.result.jobs_shed != 0 || p.result.jobs_rejected != 0 ||
+                !p.result.shed_jobs.empty())
+              b.fail("admission-off run shed or rejected jobs");
+            row.metric("p50", p.result.latency.percentile(50.0))
+                .metric("p90", p.result.latency.percentile(90.0))
+                .metric("p99", p.result.latency.percentile(99.0))
+                .metric("max", p.result.latency.observed_max())
+                .metric("ts samples", p.result.timeseries.samples)
+                .metric("jobs/sec", p.jobs_per_sec, 0);
+          });
+    }
+  }
+
+  // --- admission: saturating streams at deliberately low capacity ---------
+  struct PolicyCase {
+    const char* name;
+    AdmissionPolicy policy;
+  };
+  constexpr PolicyCase kPolicies[] = {
+      {"unbounded", AdmissionPolicy::kUnbounded},
+      {"reject", AdmissionPolicy::kReject},
+      {"shed", AdmissionPolicy::kShed},
+  };
+  BenchSection& admission = b.section("admission");
+  for (const char* name :
+       {"hotspot/s4c2/n2000/b128", "heavytail2d/s4c2/n2000/a1.1"}) {
+    const Scenario& sat = ScenarioRegistry::builtin().at(name);
+    const auto sat_jobs = sat.jobs();
+    StreamConfig base;
+    base.online.capacity = 8.0;  // undersized: bursts dwarf the fleet
+    base.online.cube_side = 4;
+    base.online.anchor = Point{0, 0};
+    base.online.seed = 7;
+    base.online.queue_limit = 4;
+    base.online.service_ticks = 4;
+    base.online.sample_stride = 8;
+    base.batch_size = 64;
+    base.region = sat.region;
+
+    // Reference runs outside the timed cases (filter/reps-proof): one
+    // per policy, at 1 thread / batch 64.
+    std::vector<StreamResult> references;
+    for (const PolicyCase& pc : kPolicies) {
+      StreamConfig c = base;
+      c.online.admission = pc.policy;
+      references.push_back(serve_stream(2, c, sat_jobs));
+    }
+    for (std::size_t k = 0; k < std::size(kPolicies); ++k) {
+      const PolicyCase& pc = kPolicies[k];
+      const StreamResult& ref = references[k];
+      admission.run_case(
+          std::string(name) + "/" + pc.name, [&, pc](MetricRow& row) {
+            // Determinism under overload: another thread count and a
+            // different batch size must reproduce the run bit for bit.
+            StreamConfig c = base;
+            c.online.admission = pc.policy;
+            c.threads = 2;
+            c.batch_size = 32;
+            const StreamProbe p = probe_stream(2, c, sat_jobs);
+            if (!same_stream_outcome(ref, p.result))
+              b.fail(std::string(name) + "/" + pc.name +
+                     ": threads/batch changed the admission outcome");
+            if (!partitions_arrivals(p.result, sat_jobs.size()))
+              b.fail(std::string(name) + "/" + pc.name +
+                     ": served+failed+shed do not partition the arrivals");
+            if (pc.policy == AdmissionPolicy::kUnbounded &&
+                (p.result.jobs_shed != 0 || p.result.jobs_rejected != 0))
+              b.fail("unbounded admission dropped jobs");
+            if (pc.policy != AdmissionPolicy::kUnbounded) {
+              if (p.result.jobs_shed + p.result.jobs_rejected == 0)
+                b.fail(std::string(name) + "/" + pc.name +
+                       ": saturating stream dropped nothing");
+              if (p.result.timeseries.max_queue_depth >
+                  base.online.queue_limit)
+                b.fail("sampled backlog depth exceeded the queue limit");
+            }
+            row.metric("served", p.result.metrics.jobs_served)
+                .metric("failed", p.result.metrics.jobs_failed)
+                .metric("shed", p.result.jobs_shed)
+                .metric("rejected", p.result.jobs_rejected)
+                .metric("p50", p.result.latency.percentile(50.0))
+                .metric("p99", p.result.latency.percentile(99.0))
+                .metric("max depth", p.result.timeseries.max_queue_depth)
+                .metric("jobs/sec", p.jobs_per_sec, 0);
+          });
+    }
+    // The three policies must be mutually distinct runs, not relabelings:
+    // each pair differs in who got served or who was dropped.
+    admission.run_case(std::string(name) + "/distinct", [&](MetricRow& row) {
+      std::size_t distinct_pairs = 0;
+      for (std::size_t i = 0; i < references.size(); ++i)
+        for (std::size_t j = i + 1; j < references.size(); ++j) {
+          if (references[i].served_jobs == references[j].served_jobs &&
+              references[i].shed_jobs == references[j].shed_jobs)
+            b.fail(std::string(name) +
+                   ": two admission policies produced identical outcomes");
+          else
+            ++distinct_pairs;
+        }
+      row.metric("policies", references.size())
+          .metric("distinct pairs", distinct_pairs);
+    });
+  }
+
+  b.note("Latency tails are exact (unit integer buckets, nearest-rank "
+         "percentiles) and bit-identical across threads 1/2/8 and batches "
+         "32/256; admission off reproduces the PR 6 stream_scaling outcome "
+         "exactly. Under saturation, unbounded/reject/shed give "
+         "deterministic, mutually distinct partitions of the arrivals "
+         "(served + failed + shed covers every index exactly once).");
 }
 
 // E16 — out-of-core trace replay: bounded-memory replay off an mmap-ed
@@ -1418,6 +1595,10 @@ void register_builtin_suites() {
                     "E17: outcome recording audit trail + deterministic "
                     "k-way multi-trace replay",
                     suite_record_mux});
+    register_suite({"stream_latency",
+                    "E18: latency tails (p50/p90/p99) bit-identical across "
+                    "threads/batches + admission policies under saturation",
+                    suite_stream_latency});
     register_suite({"smoke",
                     "CI quick gate: tiny offline sandwich + tiny online run",
                     suite_smoke});

@@ -1,0 +1,48 @@
+#include "metrics/timeseries.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace cmvrp {
+
+Timeseries::Timeseries(std::int64_t stride, std::size_t max_samples)
+    : stride_(stride), max_samples_(max_samples) {
+  CMVRP_CHECK_MSG(stride >= 0, "sample stride must be >= 0 (0 = off)");
+  CMVRP_CHECK_MSG(max_samples >= 2,
+                  "decimation needs room for at least two samples");
+}
+
+void Timeseries::record(std::int64_t tick, std::int64_t queue_depth,
+                        std::int64_t occupancy_pm) {
+  CMVRP_CHECK_MSG(due(tick), "record() called for a tick that is not due");
+  samples_.push_back({tick, queue_depth, occupancy_pm});
+  if (samples_.size() <= max_samples_) return;
+  // Full: keep every other sample and double the stride. Samples sit at
+  // ticks stride, 2·stride, 3·stride, …, so the odd positions are
+  // exactly the multiples of the doubled stride.
+  std::size_t kept = 0;
+  for (std::size_t i = 1; i < samples_.size(); i += 2)
+    samples_[kept++] = samples_[i];
+  samples_.resize(kept);
+  stride_ *= 2;
+}
+
+void TimeseriesSummary::fold(std::uint64_t cube_key,
+                             const Timeseries& series) {
+  if (series.samples().empty()) return;
+  ++cubes_sampled;
+  digest = mix64(digest ^ cube_key);
+  digest = mix64(digest ^ static_cast<std::uint64_t>(series.stride()));
+  for (const TimeSample& s : series.samples()) {
+    ++samples;
+    max_queue_depth = std::max(max_queue_depth, s.queue_depth);
+    max_occupancy_pm = std::max(max_occupancy_pm, s.occupancy_pm);
+    digest = mix64(digest ^ static_cast<std::uint64_t>(s.tick));
+    digest = mix64(digest ^ static_cast<std::uint64_t>(s.queue_depth));
+    digest = mix64(digest ^ static_cast<std::uint64_t>(s.occupancy_pm));
+  }
+}
+
+}  // namespace cmvrp

@@ -1,0 +1,97 @@
+// Stride-sampled timeseries with deterministic decimation.
+//
+// The streaming engine samples each cube's admission backlog depth and
+// fleet occupancy every `stride` arrivals *of that cube* — a cadence
+// that, like the monitoring stride, is a pure function of the cube's
+// arrival subsequence, so the samples (and everything derived from
+// them) are bit-identical across thread counts and batch sizes.
+//
+// Memory is bounded: when a series outgrows max_samples, every other
+// kept sample is dropped and the stride doubles. Samples land exactly
+// on multiples of the current stride, so decimation keeps precisely the
+// multiples of the doubled stride — the series always looks as if it
+// had been recorded at its final stride from the start, independent of
+// when the doubling happened.
+//
+// TimeseriesSummary is the engine-level rollup: per-cube series folded
+// in a caller-pinned order (the engine uses ascending cube corner, the
+// same pin OnlineMetrics::merge documents) into counts, maxima, and an
+// order-sensitive digest that CI can diff across runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cmvrp {
+
+struct TimeSample {
+  std::int64_t tick = 0;           // cube-local arrival count at the sample
+  std::int64_t queue_depth = 0;    // admission backlog length
+  std::int64_t occupancy_pm = 0;   // done/dead share of the fleet, permille
+
+  friend bool operator==(const TimeSample& a, const TimeSample& b) {
+    return a.tick == b.tick && a.queue_depth == b.queue_depth &&
+           a.occupancy_pm == b.occupancy_pm;
+  }
+};
+
+class Timeseries {
+ public:
+  static constexpr std::size_t kDefaultMaxSamples = 256;
+
+  // stride 0 disables sampling entirely (due() is always false).
+  explicit Timeseries(std::int64_t stride,
+                      std::size_t max_samples = kDefaultMaxSamples);
+
+  // True when `tick` lands on the current stride — callers gate any
+  // expensive measurement (fleet occupancy is an O(vehicles) scan)
+  // behind this before calling record().
+  bool due(std::int64_t tick) const {
+    return stride_ > 0 && tick % stride_ == 0;
+  }
+
+  // Appends one sample (callers pass a tick that was due); decimates
+  // and doubles the stride when full.
+  void record(std::int64_t tick, std::int64_t queue_depth,
+              std::int64_t occupancy_pm);
+
+  const std::vector<TimeSample>& samples() const { return samples_; }
+  std::int64_t stride() const { return stride_; }
+
+ private:
+  std::int64_t stride_;
+  std::size_t max_samples_;
+  std::vector<TimeSample> samples_;
+};
+
+// Engine-level rollup of many per-cube series. fold() order is the
+// caller's pin: the stream engine folds cubes in ascending-corner
+// order, making the digest reproducible across thread counts and batch
+// sizes (the counts and maxima are order-invariant anyway).
+struct TimeseriesSummary {
+  std::uint64_t cubes_sampled = 0;   // cubes contributing >= 1 sample
+  std::uint64_t samples = 0;
+  std::int64_t max_queue_depth = 0;
+  std::int64_t max_occupancy_pm = 0;
+  std::uint64_t digest = 0x7153a11e5ULL;  // fold basis
+
+  // Folds one cube's series in; `cube_key` identifies the cube in the
+  // digest (the engine passes its corner hash). Empty series are
+  // no-ops, so the summary is also invariant to how many never-sampled
+  // cubes exist.
+  void fold(std::uint64_t cube_key, const Timeseries& series);
+
+  friend bool operator==(const TimeseriesSummary& a,
+                         const TimeseriesSummary& b) {
+    return a.cubes_sampled == b.cubes_sampled && a.samples == b.samples &&
+           a.max_queue_depth == b.max_queue_depth &&
+           a.max_occupancy_pm == b.max_occupancy_pm && a.digest == b.digest;
+  }
+  friend bool operator!=(const TimeseriesSummary& a,
+                         const TimeseriesSummary& b) {
+    return !(a == b);
+  }
+};
+
+}  // namespace cmvrp

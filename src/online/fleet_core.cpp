@@ -25,6 +25,14 @@ FleetCore::FleetCore(int dim, const OnlineConfig& config, EventQueue& queue,
                   "cube side must be >= 2 so every pair has an idle partner");
   CMVRP_CHECK_MSG(config.monitor_stride >= 1,
                   "monitor stride must be >= 1 arrival between sweeps");
+  if (config.admission != AdmissionPolicy::kUnbounded) {
+    CMVRP_CHECK_MSG(config.queue_limit >= 1,
+                    "bounded admission needs a queue limit >= 1");
+    CMVRP_CHECK_MSG(config.service_ticks >= 1,
+                    "bounded admission needs service ticks >= 1");
+  }
+  CMVRP_CHECK_MSG(config.sample_stride >= 0,
+                  "sample stride must be >= 0 (0 = off)");
 }
 
 void FleetCore::bind_network() {
@@ -63,8 +71,12 @@ std::size_t FleetCore::ensure_vehicle(const Point& home, const Point& corner) {
   vehicles_.push_back(v);
   by_home_.emplace(home, v.id);
   cube_members_[corner].push_back(v.id);
-  if (v.s1 == WorkState::kActive && !v.dead)
-    state_of(corner).active_by_pair[static_cast<std::size_t>(k / 2)] = v.id;
+  if (v.s1 == WorkState::kActive && !v.dead) {
+    CubeState& st = state_of(corner);
+    const auto slot = static_cast<std::size_t>(k / 2);
+    st.active_by_pair[slot] = v.id;
+    st.active_since[slot] = queue_.now();
+  }
   return v.id;
 }
 
@@ -82,8 +94,10 @@ FleetCore::CubeState& FleetCore::state_of(const Point& corner) {
 void FleetCore::ensure_cube(const Point& corner) {
   if (!cubes_.insert(corner).second) return;
   auto& state = cube_state_[corner];
-  state.active_by_pair.assign(
-      static_cast<std::size_t>((pairing_.cube_volume() + 1) / 2), SIZE_MAX);
+  const auto pairs =
+      static_cast<std::size_t>((pairing_.cube_volume() + 1) / 2);
+  state.active_by_pair.assign(pairs, SIZE_MAX);
+  state.active_since.assign(pairs, 0);
   Box::cube(corner, pairing_.side()).for_each_point([this, &corner](
       const Point& p) { ensure_vehicle(p, corner); });
 }
@@ -151,9 +165,12 @@ bool FleetCore::serve_job(const Job& job) {
 
 bool FleetCore::serve_job(const Job& job, const Point& cube_corner) {
   CMVRP_CHECK(job.position.dim() == dim_);
+  const SimTime now = queue_.now();
+  last_timing_ = JobTiming{now, now, now, 0};
   const std::int64_t k = pairing_.snake_index(job.position, cube_corner);
-  const std::size_t vid = state_of(cube_corner)
-                              .active_by_pair[static_cast<std::size_t>(k / 2)];
+  CubeState& st = state_of(cube_corner);
+  const auto pair_slot = static_cast<std::size_t>(k / 2);
+  const std::size_t vid = st.active_by_pair[pair_slot];
   if (vid == SIZE_MAX) {
     ++metrics_.jobs_failed;
     return false;
@@ -170,6 +187,7 @@ bool FleetCore::serve_job(const Job& job, const Point& cube_corner) {
     ++metrics_.jobs_failed;
     return false;
   }
+  last_timing_.assigned_at = st.active_since[pair_slot];
   spend_travel(v, dist);
   v.pos = job.position;
   v.spent_service += 1.0;
@@ -338,8 +356,11 @@ void FleetCore::on_move(std::size_t vid, std::size_t from, const MoveMsg& m) {
                     "move destination has no registered pair");
     const Point primary = pit->second;
     const Point corner = pairing_.cube_corner(primary);
-    state_of(corner).active_by_pair[static_cast<std::size_t>(
-        pairing_.snake_index(primary, corner) / 2)] = vid;
+    CubeState& st = state_of(corner);
+    const auto pair_slot = static_cast<std::size_t>(
+        pairing_.snake_index(primary, corner) / 2);
+    st.active_by_pair[pair_slot] = vid;
+    st.active_since[pair_slot] = queue_.now();
     replacement_pending_[primary] = false;
     ++metrics_.replacements;
     // A replacement that arrives already too drained to accept work hands
@@ -466,6 +487,14 @@ void FleetCore::finalize_metrics() {
     metrics_.max_energy_spent = std::max(metrics_.max_energy_spent, v.spent());
     metrics_.total_energy_spent += v.spent();
   }
+}
+
+std::int64_t FleetCore::exhausted_permille() const {
+  if (vehicles_.empty()) return 0;
+  std::size_t exhausted = 0;
+  for (const auto& v : vehicles_)
+    if (v.dead || v.s1 == WorkState::kDone) ++exhausted;
+  return static_cast<std::int64_t>((exhausted * 1000) / vehicles_.size());
 }
 
 const Vehicle* FleetCore::vehicle_at_home(const Point& home) const {

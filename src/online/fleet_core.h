@@ -39,6 +39,21 @@
 
 namespace cmvrp {
 
+// What a cube does with arrivals while its serving slot is occupied —
+// the overload axis of the streaming engine (src/stream/shard.h holds
+// the mechanics; FleetCore itself always serves what it is handed).
+// kUnbounded is the historical behavior: every arrival is served the
+// instant it lands. The bounded policies model a per-cube admission
+// queue on the global arrival-index clock (§1.3's t_1 < t_2 < … with
+// unit gaps): each admitted job occupies the cube for `service_ticks`
+// of that clock, at most `queue_limit` jobs wait, and the policy picks
+// the victim when the queue is full.
+enum class AdmissionPolicy : std::uint8_t {
+  kUnbounded = 0,  // serve immediately on arrival (no queue, no drops)
+  kReject = 1,     // bounded queue; refuse the incoming job when full
+  kShed = 2,       // bounded queue; evict the oldest waiting job when full
+};
+
 struct OnlineConfig {
   double capacity = 0.0;          // W, per vehicle
   std::int64_t cube_side = 2;     // s = max(2, ⌈ω_c⌉) by the capacity search
@@ -58,6 +73,46 @@ struct OnlineConfig {
   // engine's bit-identical contract across thread counts AND batch sizes
   // survives any stride.
   std::int64_t monitor_stride = 1;
+  // Admission control (stream engine only; ignored by the legacy
+  // simulator). With a bounded policy, each cube runs a FIFO backlog of
+  // at most queue_limit jobs on the arrival-index clock, one service
+  // per service_ticks — all scheduling is a pure function of the cube's
+  // arrival subsequence, so the bit-identical contract holds with the
+  // queues on. kUnbounded leaves the historical serve path untouched.
+  AdmissionPolicy admission = AdmissionPolicy::kUnbounded;
+  std::int64_t queue_limit = 8;    // max waiting jobs per cube (>= 1)
+  std::int64_t service_ticks = 4;  // arrival ticks one service occupies (>= 1)
+  // Timeseries sampling: every sample_stride arrivals of a cube, record
+  // its backlog depth and fleet occupancy (0 = off, the default — the
+  // occupancy probe is an O(vehicles) scan, amortized by the stride).
+  std::int64_t sample_stride = 0;
+};
+
+// Sim-time lifecycle of one arrival (§3.2: arrival → Phase I assignment
+// → serve), in the serving cube's protocol clock. arrived_at is the
+// clock when serve_job ran; assigned_at is when the vehicle that handled
+// the job was installed into its pair slot (the Phase II move-completion
+// time for replacement vehicles, the cube's materialization time for the
+// initial active fleet) — so arrived_at − assigned_at says how long the
+// assignment predated the job, and done_at − arrived_at is the
+// replacement cascade the job itself triggered (captured by the caller
+// after the queue drains; FleetCore initializes it to arrived_at).
+// queue_wait is the admission-layer wait on the global arrival-index
+// clock, 0 unless a bounded policy deferred the job. Failed jobs carry
+// assigned_at = done_at = arrived_at. latency() is the user-visible
+// total: admission wait plus the serve-time protocol work.
+struct JobTiming {
+  SimTime arrived_at = 0;
+  SimTime assigned_at = 0;
+  SimTime done_at = 0;
+  SimTime queue_wait = 0;
+
+  SimTime latency() const { return queue_wait + (done_at - arrived_at); }
+
+  friend bool operator==(const JobTiming& a, const JobTiming& b) {
+    return a.arrived_at == b.arrived_at && a.assigned_at == b.assigned_at &&
+           a.done_at == b.done_at && a.queue_wait == b.queue_wait;
+  }
 };
 
 struct OnlineMetrics {
@@ -149,6 +204,15 @@ class FleetCore {
   const CubePairing& pairing() const { return pairing_; }
   const OnlineConfig& config() const { return config_; }
 
+  // Lifecycle timestamps of the most recent serve_job call (valid until
+  // the next one). done_at is initialized to arrived_at; callers that
+  // drain the queue afterwards stamp the real completion time there.
+  JobTiming last_timing() const { return last_timing_; }
+
+  // Share of materialized vehicles that are done or dead, in permille —
+  // the fleet-occupancy signal the timeseries sampler records. O(fleet).
+  std::int64_t exhausted_permille() const;
+
   // Introspection for tests.
   const Vehicle* vehicle_at_home(const Point& home) const;
   std::size_t vehicle_count() const { return vehicles_.size(); }
@@ -166,6 +230,11 @@ class FleetCore {
   // map was never iterated, so the swap is observation-equivalent.
   struct CubeState {
     std::vector<std::size_t> active_by_pair;
+    // When each slot's current active vehicle was installed (cube clock):
+    // the Phase II move-completion time for replacements, the cube's
+    // materialization time for the initial fleet — the "assignment"
+    // timestamp of every job the slot subsequently serves.
+    std::vector<SimTime> active_since;
   };
 
   std::size_t ensure_vehicle(const Point& home, const Point& corner);
@@ -235,6 +304,7 @@ class FleetCore {
   std::vector<std::size_t> ring_scratch_;
 
   OnlineMetrics metrics_;
+  JobTiming last_timing_;
 };
 
 // Theoretical online capacity bound (Lemma 3.3.1): (4·3^ℓ + ℓ)·ω_c.

@@ -9,17 +9,43 @@ namespace cmvrp {
 OutcomeRecorder::OutcomeRecorder(const std::string& path, int dim)
     : path_(path), writer_(path, dim, kTraceVersionV2) {}
 
+namespace {
+
+// OutcomeKind and the trace aux word share one encoding by design
+// (0 failed / 1 served / 2 shed / 3 rejected); keep the cast honest.
+std::uint32_t aux_of(OutcomeKind kind) {
+  static_assert(static_cast<std::uint32_t>(OutcomeKind::kFailed) ==
+                kTraceOutcomeFailed);
+  static_assert(static_cast<std::uint32_t>(OutcomeKind::kServed) ==
+                kTraceOutcomeServed);
+  static_assert(static_cast<std::uint32_t>(OutcomeKind::kShed) ==
+                kTraceOutcomeShed);
+  static_assert(static_cast<std::uint32_t>(OutcomeKind::kRejected) ==
+                kTraceOutcomeRejected);
+  return static_cast<std::uint32_t>(kind);
+}
+
+}  // namespace
+
 void OutcomeRecorder::on_batch(const JobOutcome* outcomes,
                                std::size_t count) {
   for (std::size_t k = 0; k < count; ++k) {
     const JobOutcome& o = outcomes[k];
-    writer_.append_event(outcome_event(o.job, o.served, o.corner));
-    if (o.served) {
-      ++served_count_;
-      served_digest_ = index_digest_step(served_digest_, o.job.index);
-    } else {
-      ++failed_count_;
-      failed_digest_ = index_digest_step(failed_digest_, o.job.index);
+    writer_.append_event(outcome_event_aux(o.job, aux_of(o.kind), o.corner));
+    switch (o.kind) {
+      case OutcomeKind::kServed:
+        ++served_count_;
+        served_digest_ = index_digest_step(served_digest_, o.job.index);
+        break;
+      case OutcomeKind::kFailed:
+        ++failed_count_;
+        failed_digest_ = index_digest_step(failed_digest_, o.job.index);
+        break;
+      case OutcomeKind::kShed:
+      case OutcomeKind::kRejected:
+        ++dropped_count_;
+        dropped_digest_ = index_digest_step(dropped_digest_, o.job.index);
+        break;
     }
   }
 }
@@ -41,13 +67,16 @@ OutcomeSets read_outcome_sets(TraceReader& reader) {
              reader.next_events(chunk.data(), chunk.size())) {
     for (std::size_t i = 0; i < n; ++i) {
       if (chunk[i].kind != TraceEventKind::kOutcome) continue;
-      (chunk[i].served ? sets.served : sets.failed)
-          .push_back(chunk[i].job.index);
+      auto& set = chunk[i].aux == kTraceOutcomeServed ? sets.served
+                  : chunk[i].aux == kTraceOutcomeFailed ? sets.failed
+                                                        : sets.dropped;
+      set.push_back(chunk[i].job.index);
     }
   }
   reader.reset();
   std::sort(sets.served.begin(), sets.served.end());
   std::sort(sets.failed.begin(), sets.failed.end());
+  std::sort(sets.dropped.begin(), sets.dropped.end());
   return sets;
 }
 
@@ -62,14 +91,18 @@ OutcomeSummary scan_outcomes(TraceReader& reader) {
              reader.next_events(chunk.data(), chunk.size())) {
     for (std::size_t i = 0; i < n; ++i) {
       if (chunk[i].kind != TraceEventKind::kOutcome) continue;
-      if (chunk[i].served) {
+      if (chunk[i].aux == kTraceOutcomeServed) {
         ++summary.served;
         summary.served_digest =
             index_digest_step(summary.served_digest, chunk[i].job.index);
-      } else {
+      } else if (chunk[i].aux == kTraceOutcomeFailed) {
         ++summary.failed;
         summary.failed_digest =
             index_digest_step(summary.failed_digest, chunk[i].job.index);
+      } else {
+        ++summary.dropped;
+        summary.dropped_digest =
+            index_digest_step(summary.dropped_digest, chunk[i].job.index);
       }
     }
   }

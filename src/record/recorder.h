@@ -1,14 +1,14 @@
 // OutcomeRecorder: the engine-side audit trail.
 //
 // A StreamObserver that streams every job's serving outcome back to disk
-// *during* serving, as cmvrp-trace-v2 outcome events (served/failed +
-// assigned cube corner). Hooked into StreamEngine::set_observer, it sees
-// each batch's outcomes in ascending arrival-index order after the batch
-// barrier, appends them through a TraceWriter, and folds the served and
-// failed index digests incrementally (order-invariant, util/digest.h)
-// — so a bounded-memory run of any length leaves (a) a complete,
-// replayable outcome trace and (b) two 64-bit digests that must equal
-// the in-memory result's served_jobs/failed_jobs digests
+// *during* serving, as cmvrp-trace-v2 outcome events (the aux outcome
+// word — served/failed/shed/rejected — plus the assigned cube corner).
+// Hooked into StreamEngine::set_observer, it sees each batch's outcomes
+// after the batch barrier, appends them through a TraceWriter, and folds
+// the served/failed/dropped index digests incrementally (order-invariant,
+// util/digest.h) — so a bounded-memory run of any length leaves (a) a
+// complete outcome trace and (b) three 64-bit digests that must equal
+// the in-memory result's served_jobs/failed_jobs/shed_jobs digests
 // (tests/record_test.cpp enforces the bit-identity at several thread
 // counts). Silent-done injections forwarded by the engine (on_inject)
 // are written as failure events in stream position. Peak memory is the
@@ -19,7 +19,13 @@
 // ARE the original arrival sequence (TraceReader::next_batch yields
 // them) and recorded injections re-apply between the same arrivals, so
 // `cmvrp trace replay` over an audit trail reproduces the run it
-// recorded.
+// recorded. Caveat: that byte-for-byte arrival reconstruction holds for
+// admission-off runs, where each batch's outcomes are exactly its
+// arrivals in ascending index order. With a bounded admission policy,
+// queued jobs surface in the batch that *materialized* them, so the
+// trail is in completion order and its byte layout varies with batch
+// size — the order-invariant digests (and the outcome *sets*) still
+// audit such runs; sequence-replay of the trail does not.
 #pragma once
 
 #include <cstddef>
@@ -54,43 +60,55 @@ class OutcomeRecorder final : public StreamObserver {
   void close();
 
   const std::string& path() const { return path_; }
-  std::uint64_t recorded() const { return served_count_ + failed_count_; }
+  std::uint64_t recorded() const {
+    return served_count_ + failed_count_ + dropped_count_;
+  }
   std::uint64_t served_count() const { return served_count_; }
   std::uint64_t failed_count() const { return failed_count_; }
+  // Admission drops (shed + rejected) — 0 for admission-off runs.
+  std::uint64_t dropped_count() const { return dropped_count_; }
 
   // Incremental order-invariant folds (util/digest.h) over the
-  // served/failed arrival indices: always equal to index_set_digest of
-  // the in-memory result's served_jobs/failed_jobs, regardless of the
-  // stream's index pattern or delivery order.
+  // served/failed/dropped arrival indices: always equal to
+  // index_set_digest of the in-memory result's
+  // served_jobs/failed_jobs/shed_jobs, regardless of the stream's index
+  // pattern or delivery order.
   std::uint64_t served_digest() const { return served_digest_; }
   std::uint64_t failed_digest() const { return failed_digest_; }
+  std::uint64_t dropped_digest() const { return dropped_digest_; }
 
  private:
   std::string path_;
   TraceWriter writer_;
   std::uint64_t served_count_ = 0;
   std::uint64_t failed_count_ = 0;
+  std::uint64_t dropped_count_ = 0;
   std::uint64_t served_digest_ = kIndexDigestBasis;
   std::uint64_t failed_digest_ = kIndexDigestBasis;
+  std::uint64_t dropped_digest_ = kIndexDigestBasis;
 };
 
-// The two index sets of an outcome trace, materialized (sorted
-// ascending, like StreamResult's served_jobs/failed_jobs). For tests and
-// small audits; unbounded in trace length.
+// The index sets of an outcome trace, materialized (sorted ascending,
+// like StreamResult's served_jobs/failed_jobs/shed_jobs — `dropped`
+// collects both shed and rejected aux words). For tests and small
+// audits; unbounded in trace length.
 struct OutcomeSets {
   std::vector<std::int64_t> served;
   std::vector<std::int64_t> failed;
+  std::vector<std::int64_t> dropped;
 };
 OutcomeSets read_outcome_sets(TraceReader& reader);
 
 // One bounded pass over an outcome trace: counts and digests only, O(1)
 // memory — the out-of-core way to audit a recorded run against a
-// report's served_hash/failed_hash.
+// report's served_hash/failed_hash/shed_hash.
 struct OutcomeSummary {
   std::uint64_t served = 0;
   std::uint64_t failed = 0;
+  std::uint64_t dropped = 0;
   std::uint64_t served_digest = kIndexDigestBasis;
   std::uint64_t failed_digest = kIndexDigestBasis;
+  std::uint64_t dropped_digest = kIndexDigestBasis;
 };
 OutcomeSummary scan_outcomes(TraceReader& reader);
 

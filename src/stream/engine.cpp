@@ -133,35 +133,49 @@ void StreamEngine::run_batch(const Job* jobs, std::size_t count) {
     shards_[s].process(routed_[s].data(), routed_[s].size(),
                        observing ? &outcomes_[s] : nullptr);
   });
-  if (observing) {
-    // Fold the shards' per-thread buffers into ascending arrival-index
-    // order — within one batch indices are unique, so the sort restores
-    // the exact ingest order regardless of shard assignment.
-    outcome_fold_.clear();
-    for (auto& shard_outcomes : outcomes_) {
-      outcome_fold_.insert(outcome_fold_.end(), shard_outcomes.begin(),
-                           shard_outcomes.end());
-      shard_outcomes.clear();
-    }
-    // Total order (index, position, served): indices are unique within a
-    // batch for ordinary streams, but even degenerate inputs with
-    // duplicate indices must fold — and hit the disk — deterministically
-    // at every thread count.
-    std::sort(outcome_fold_.begin(), outcome_fold_.end(),
-              [](const JobOutcome& a, const JobOutcome& b) {
-                if (a.job.index != b.job.index) return a.job.index < b.job.index;
-                if (!(a.job.position == b.job.position))
-                  return a.job.position < b.job.position;
-                return a.served < b.served;
-              });
-    observer_->on_batch(outcome_fold_.data(), outcome_fold_.size());
-  }
+  if (observing) flush_outcomes();
   jobs_ingested_ += count;
   ++batches_;
 }
 
+void StreamEngine::flush_outcomes() {
+  if (observer_ == nullptr) return;
+  // Fold the shards' per-thread buffers into ascending arrival-index
+  // order — within one batch indices are unique, so the sort restores
+  // the exact ingest order regardless of shard assignment. (Under a
+  // bounded admission policy a batch's buffer holds whatever outcomes it
+  // *materialized* — queued jobs surface later than they were ingested —
+  // but the materialization schedule is per-cube deterministic, so the
+  // folded sequence still cannot depend on thread count.)
+  outcome_fold_.clear();
+  for (auto& shard_outcomes : outcomes_) {
+    outcome_fold_.insert(outcome_fold_.end(), shard_outcomes.begin(),
+                         shard_outcomes.end());
+    shard_outcomes.clear();
+  }
+  if (outcome_fold_.empty()) return;
+  // Total order (index, position, kind): indices are unique within a
+  // batch for ordinary streams, but even degenerate inputs with
+  // duplicate indices must fold — and hit the disk — deterministically
+  // at every thread count.
+  std::sort(outcome_fold_.begin(), outcome_fold_.end(),
+            [](const JobOutcome& a, const JobOutcome& b) {
+              if (a.job.index != b.job.index) return a.job.index < b.job.index;
+              if (!(a.job.position == b.job.position))
+                return a.job.position < b.job.position;
+              return a.kind < b.kind;
+            });
+  observer_->on_batch(outcome_fold_.data(), outcome_fold_.size());
+}
+
 StreamResult StreamEngine::finish() {
-  for (auto& shard : shards_) shard.finish();
+  // Backlog drain runs on the ingest thread: end-of-stream work is tiny
+  // (at most queue_limit jobs per cube) and a serial walk keeps the
+  // trailing observer batch in deterministic shard-then-cube order.
+  const bool observing = observer_ != nullptr;
+  for (std::size_t s = 0; s < shards_.size(); ++s)
+    shards_[s].finish(observing ? &outcomes_[s] : nullptr);
+  if (observing) flush_outcomes();
 
   std::vector<std::pair<Point, const CubeServer*>> cubes;
   for (const auto& shard : shards_) shard.collect(cubes);
@@ -184,10 +198,31 @@ StreamResult StreamEngine::finish() {
     result.failed_jobs.insert(result.failed_jobs.end(),
                               server->failed_indices().begin(),
                               server->failed_indices().end());
+    result.shed_jobs.insert(result.shed_jobs.end(),
+                            server->dropped_indices().begin(),
+                            server->dropped_indices().end());
+    result.jobs_shed += server->jobs_shed();
+    result.jobs_rejected += server->jobs_rejected();
+    result.latency.merge(server->latency());
+    result.timeseries.fold(CornerHash{}(corner), server->series());
   }
   std::sort(result.served_jobs.begin(), result.served_jobs.end());
   std::sort(result.failed_jobs.begin(), result.failed_jobs.end());
+  std::sort(result.shed_jobs.begin(), result.shed_jobs.end());
   return result;
+}
+
+std::vector<std::pair<Point, OnlineMetrics>> StreamEngine::per_cube_metrics()
+    const {
+  std::vector<std::pair<Point, const CubeServer*>> cubes;
+  for (const auto& shard : shards_) shard.collect(cubes);
+  std::sort(cubes.begin(), cubes.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::pair<Point, OnlineMetrics>> out;
+  out.reserve(cubes.size());
+  for (const auto& [corner, server] : cubes)
+    out.emplace_back(corner, server->metrics());
+  return out;
 }
 
 StreamResult serve_stream(int dim, const StreamConfig& config,

@@ -45,6 +45,8 @@
 #include <vector>
 
 #include "grid/box.h"
+#include "metrics/latency_histogram.h"
+#include "metrics/timeseries.h"
 #include "online/fleet_core.h"
 #include "stream/pool.h"
 #include "stream/shard.h"
@@ -76,6 +78,18 @@ struct StreamResult {
   std::uint64_t routed_serial_batches = 0;
   std::vector<std::int64_t> served_jobs;  // sorted arrival indices
   std::vector<std::int64_t> failed_jobs;  // sorted arrival indices
+  // Admission drops (shed + rejected): jobs a bounded queue never let
+  // reach the protocol. served + failed + shed partition the arrivals.
+  std::vector<std::int64_t> shed_jobs;    // sorted arrival indices
+  std::uint64_t jobs_shed = 0;            // evicted by AdmissionPolicy::kShed
+  std::uint64_t jobs_rejected = 0;        // refused by AdmissionPolicy::kReject
+  // Served-job latency (admission wait + protocol completion delta):
+  // commutative per-cube merge, so percentiles and the digest are
+  // bit-identical across thread counts and batch sizes.
+  LatencyHistogram latency;
+  // Backlog-depth / fleet-occupancy samples, folded per cube in
+  // ascending-corner order (empty unless sample_stride > 0).
+  TimeseriesSummary timeseries;
 };
 
 // Engine-side outcome observation. on_batch fires after every batch
@@ -117,8 +131,12 @@ class StreamEngine {
   // afterwards. The trace replayer maps v2 silent-done events here.
   void inject_silent_done(const Point& home);
 
-  // Finalizes and merges every cube's results. The engine stays usable:
-  // further ingest() calls continue from the same fleet state.
+  // Finalizes and merges every cube's results. With a bounded admission
+  // policy this first drains every cube's backlog (the stream has ended,
+  // so waiting jobs get served back to back), delivering those trailing
+  // outcomes to the observer as one final batch. The engine stays
+  // usable: further ingest() calls continue from the same fleet state
+  // (with empty backlogs).
   StreamResult finish();
 
   int threads() const { return pool_.size(); }
@@ -127,8 +145,19 @@ class StreamEngine {
   // are self-describing about which routing mode actually ran.
   std::uint64_t cube_slots() const { return table_.size(); }
 
+  // The exact per-cube operand sequence finish() folds: (corner,
+  // metrics) pairs in ascending-corner order. Test introspection for
+  // the fold-order pin — OnlineMetrics::merge sums doubles, so only
+  // this order reproduces result.metrics bit for bit (see
+  // tests/stream_test.cpp's shard-fold-order regression). Metrics are
+  // finalized by finish(); call this after it.
+  std::vector<std::pair<Point, OnlineMetrics>> per_cube_metrics() const;
+
  private:
   void run_batch(const Job* jobs, std::size_t count);
+  // Sorts the per-shard outcome buffers into one ascending-index batch
+  // and hands it to the observer (no-op when empty / not observing).
+  void flush_outcomes();
   // Resolves one position to (corner, slot) and its owning shard.
   std::size_t route_of(const Point& position, Point* corner,
                        std::uint32_t* slot) const;

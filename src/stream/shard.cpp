@@ -1,5 +1,6 @@
 #include "stream/shard.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/check.h"
@@ -25,7 +26,8 @@ CubeServer::CubeServer(int dim, const OnlineConfig& config,
       queue_(),
       network_(queue_, Rng(cube_stream_seed(config.seed, corner)),
                config.max_message_delay),
-      core_(dim, config, queue_, network_) {
+      core_(dim, config, queue_, network_),
+      series_(config.sample_stride) {
   core_.bind_network();
 }
 
@@ -36,7 +38,56 @@ void CubeServer::settle_if_due() {
   since_settle_ = 0;
 }
 
-bool CubeServer::serve(const Job& job) {
+void CubeServer::serve_now(const Job& job, SimTime queue_wait,
+                           std::vector<JobOutcome>* out) {
+  const bool ok = core_.serve_job(job, corner_);
+  queue_.run_to_quiescence();
+  JobTiming timing = core_.last_timing();
+  // The replacement cascade this job triggered (if any) has fully
+  // drained: the cube clock now is the job's completion time.
+  timing.done_at = queue_.now();
+  timing.queue_wait = queue_wait;
+  settle_if_due();
+  (ok ? served_ : failed_).push_back(job.index);
+  if (ok) latency_.add(timing.latency());
+  if (out != nullptr)
+    out->push_back({job, corner_, ok,
+                    ok ? OutcomeKind::kServed : OutcomeKind::kFailed, timing});
+}
+
+void CubeServer::drop(const Job& job, OutcomeKind kind, SimTime queue_wait,
+                      std::vector<JobOutcome>* out) {
+  dropped_.push_back(job.index);
+  ++(kind == OutcomeKind::kShed ? jobs_shed_ : jobs_rejected_);
+  if (out != nullptr) {
+    JobTiming timing;
+    timing.queue_wait = queue_wait;
+    out->push_back({job, corner_, false, kind, timing});
+  }
+}
+
+void CubeServer::drain_completed(SimTime now, std::vector<JobOutcome>* out) {
+  const SimTime ticks = core_.config().service_ticks;
+  while (!backlog_.empty()) {
+    // Shedding can promote a later arrival to the front of the queue, so
+    // the front's service starts when the cube is free AND the job has
+    // arrived — not at free_at_ alone (which may predate its enqueue).
+    const SimTime start = std::max(free_at_, backlog_.front().enqueued_at);
+    if (start + ticks > now) break;
+    const Waiting w = backlog_.front();
+    backlog_.pop_front();
+    serve_now(w.job, start - w.enqueued_at, out);
+    free_at_ = start + ticks;
+  }
+}
+
+void CubeServer::sample_if_due() {
+  if (!series_.due(arrivals_)) return;  // gates the O(fleet) scan below
+  series_.record(arrivals_, static_cast<std::int64_t>(backlog_.size()),
+                 core_.exhausted_permille());
+}
+
+void CubeServer::serve(const Job& job, std::vector<JobOutcome>* out) {
   if (!started_) {
     started_ = true;
     // Same warm-up as the legacy simulator, scoped to this cube: the
@@ -47,20 +98,51 @@ bool CubeServer::serve(const Job& job) {
       queue_.run_to_quiescence();
     }
   }
-  // The corner was resolved at routing time; serve_job can skip its own
-  // floor-divides.
-  const bool ok = core_.serve_job(job, corner_);
-  queue_.run_to_quiescence();
-  settle_if_due();
-  (ok ? served_ : failed_).push_back(job.index);
-  return ok;
+  ++arrivals_;
+  const OnlineConfig& cfg = core_.config();
+  if (cfg.admission == AdmissionPolicy::kUnbounded) {
+    // Historical path: serve the instant it lands, no queue state at all.
+    serve_now(job, 0, out);
+    sample_if_due();
+    return;
+  }
+  // Bounded admission on the arrival-index clock. Everything below is a
+  // pure function of this cube's arrival subsequence: materialize what
+  // completed, then admit / queue / drop the newcomer.
+  const SimTime t = job.index;
+  drain_completed(t, out);
+  if (backlog_.empty() && free_at_ <= t) {
+    serve_now(job, 0, out);
+    free_at_ = t + cfg.service_ticks;
+  } else if (static_cast<std::int64_t>(backlog_.size()) < cfg.queue_limit) {
+    backlog_.push_back({job, t});
+  } else if (cfg.admission == AdmissionPolicy::kReject) {
+    drop(job, OutcomeKind::kRejected, 0, out);
+  } else {
+    // kShed: the oldest waiting job makes room for the newest — it has
+    // already waited t − enqueued_at for nothing.
+    const Waiting oldest = backlog_.front();
+    backlog_.pop_front();
+    drop(oldest.job, OutcomeKind::kShed, t - oldest.enqueued_at, out);
+    backlog_.push_back({job, t});
+  }
+  sample_if_due();
 }
 
 void CubeServer::inject_silent_done(const Point& home) {
   core_.inject_silent_done(home);
 }
 
-void CubeServer::finish() {
+void CubeServer::finish(std::vector<JobOutcome>* out) {
+  // End of stream: whatever still waits gets served back to back (the
+  // paper's arrivals have stopped, so the cube works the queue off).
+  while (!backlog_.empty()) {
+    const Waiting w = backlog_.front();
+    backlog_.pop_front();
+    const SimTime start = std::max(free_at_, w.enqueued_at);
+    serve_now(w.job, start - w.enqueued_at, out);
+    free_at_ = start + core_.config().service_ticks;
+  }
   // Catch-up settle: a stride > 1 may have deferred the detection of a
   // trailing failure past the last arrival.
   if (core_.config().enable_monitoring && since_settle_ > 0) {
@@ -113,8 +195,7 @@ void CubeShard::process(const RoutedJob* jobs, std::size_t count,
                         std::vector<JobOutcome>* outcomes) {
   for (std::size_t i = 0; i < count; ++i) {
     const RoutedJob& r = jobs[i];
-    const bool served = server_for(r.corner, r.slot).serve(r.job);
-    if (outcomes != nullptr) outcomes->push_back({r.job, r.corner, served});
+    server_for(r.corner, r.slot).serve(r.job, outcomes);
     ++jobs_processed_;
   }
 }
@@ -124,10 +205,10 @@ void CubeShard::inject_silent_done(const Point& home, const Point& corner,
   server_for(corner, slot).inject_silent_done(home);
 }
 
-void CubeShard::finish() {
+void CubeShard::finish(std::vector<JobOutcome>* outcomes) {
   for (auto& server : slots_)
-    if (server != nullptr) server->finish();
-  for (auto& [corner, server] : overflow_) server->finish();
+    if (server != nullptr) server->finish(outcomes);
+  for (auto& [corner, server] : overflow_) server->finish(outcomes);
 }
 
 void CubeShard::collect(

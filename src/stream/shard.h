@@ -23,7 +23,7 @@
 // corner), so outcomes cannot depend on the tier.
 //
 // Monitoring cadence: CubeServer settles the §3.2.5 ring every
-// OnlineConfig::monitor_stride arrivals *of its own cube* (plus a
+// OnlineConfig::monitor_stride services *of its own cube* (plus a
 // catch-up settle in finish()). Sweeping exactly once per ingest batch
 // would be cheaper still, but would make heartbeat counts — and, because
 // heartbeat delays draw from the per-cube RNG, travel/energy splits —
@@ -31,20 +31,38 @@
 // per-cube stride gives the same amortization with results that stay a
 // pure function of the cube's arrival subsequence.
 //
+// Admission (OnlineConfig::admission): with a bounded policy, each cube
+// runs a FIFO backlog on the *global arrival-index clock* (§1.3's
+// t_1 < t_2 < … with unit gaps — job.index is the wall time). A service
+// occupies the cube for service_ticks of that clock; completed backlog
+// services are materialized lazily at each arrival (and drained in
+// finish()), so the whole admission schedule — who waits, who is shed,
+// every queue_wait — is a pure function of the cube's arrival
+// subsequence and stays bit-identical across thread counts AND batch
+// sizes. kUnbounded bypasses the queue entirely: the serve path is the
+// historical one, byte for byte.
+//
 // CubeShard serves its routed jobs in arrival order and the engine folds
 // results by ascending cube corner, so double-valued metric sums are
 // also reproducible. When the engine carries a StreamObserver, the shard
-// additionally records one JobOutcome per arrival into an engine-owned
-// per-shard buffer (O(batch) each, no cross-thread sharing).
+// additionally records JobOutcomes into an engine-owned per-shard buffer
+// (O(batch) each, no cross-thread sharing). Note that with a bounded
+// admission policy one *arrival* can materialize several *outcomes*
+// (completed backlog services and/or an eviction), so outcomes of queued
+// jobs surface in the batch that materialized them, not the batch that
+// ingested them.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "grid/corner_hash.h"
 #include "grid/point.h"
+#include "metrics/latency_histogram.h"
+#include "metrics/timeseries.h"
 #include "online/fleet_core.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
@@ -68,25 +86,40 @@ struct RoutedJob {
   std::uint32_t slot = CubeSlotTable::kNoSlot;
 };
 
-// What one arrival came to: the job, the cube that served (or failed)
-// it, and whether it was served — the unit the OutcomeRecorder streams
-// back to disk.
+// How one arrival ended. kServed/kFailed come out of the protocol;
+// kShed/kRejected are admission drops — those jobs never reach the
+// FleetCore at all. served + failed + dropped partition the arrivals.
+enum class OutcomeKind : std::uint8_t {
+  kFailed = 0,    // reached the protocol; no vehicle could serve it
+  kServed = 1,
+  kShed = 2,      // evicted from a bounded backlog by a newer arrival
+  kRejected = 3,  // refused at admission: backlog full under kReject
+};
+
+// What one arrival came to: the job, the cube that handled it, the
+// outcome kind, and its lifecycle timestamps — the unit the
+// OutcomeRecorder streams back to disk.
 struct JobOutcome {
   Job job;
   Point corner;        // cube corner the job was routed to
-  bool served = false;
+  bool served = false;  // kind == kServed, kept for 2-way consumers
+  OutcomeKind kind = OutcomeKind::kFailed;
+  JobTiming timing;    // zero-initialized for admission drops
 };
 
-// A single cube served online: own clock, own network, own fleet.
+// A single cube served online: own clock, own network, own fleet — and,
+// under a bounded admission policy, its own backlog on the arrival clock.
 class CubeServer {
  public:
   CubeServer(int dim, const OnlineConfig& config, const Point& corner);
 
-  // Serves one arrival (which must lie in this cube), then drains the
-  // cube's queue; the monitoring ring settles every monitor_stride-th
-  // arrival — the per-cube equivalent of the legacy simulator's
-  // drain-to-quiescence between arrivals, amortized across batches.
-  bool serve(const Job& job);
+  // Admits one arrival (which must lie in this cube): serves it
+  // immediately (kUnbounded, or an idle cube), queues it, or drops it —
+  // and first materializes every backlog service that completed by the
+  // arrival's clock. Appends one JobOutcome per *materialized* outcome
+  // to `out` when non-null. Serving drains the cube's queue; the
+  // monitoring ring settles every monitor_stride-th service.
+  void serve(const Job& job, std::vector<JobOutcome>* out);
 
   // Failure injection: the vehicle homed at `home` (which must lie in
   // this cube) goes silent-done — it serves until exhausted but never
@@ -94,26 +127,57 @@ class CubeServer {
   // the pair. Takes effect for all subsequent arrivals.
   void inject_silent_done(const Point& home);
 
-  // Runs any monitoring rounds deferred by the stride, then finalizes
-  // metrics (network stats + energy aggregates).
-  void finish();
+  // Drains the admission backlog (appending those outcomes to `out`
+  // when non-null), runs any monitoring rounds deferred by the stride,
+  // then finalizes metrics (network stats + energy aggregates).
+  void finish(std::vector<JobOutcome>* out);
 
   const Point& corner() const { return corner_; }
   const OnlineMetrics& metrics() const { return core_.metrics(); }
   const std::vector<std::int64_t>& served_indices() const { return served_; }
   const std::vector<std::int64_t>& failed_indices() const { return failed_; }
+  // Admission drops (shed + rejected), in drop order.
+  const std::vector<std::int64_t>& dropped_indices() const { return dropped_; }
+  std::uint64_t jobs_shed() const { return jobs_shed_; }
+  std::uint64_t jobs_rejected() const { return jobs_rejected_; }
+  // Latencies of this cube's served jobs (queue wait + protocol delta).
+  const LatencyHistogram& latency() const { return latency_; }
+  // Backlog-depth / occupancy samples (empty unless sample_stride > 0).
+  const Timeseries& series() const { return series_; }
 
  private:
   void settle_if_due();
+  // Hands one job to the protocol, drains, stamps timing, records.
+  void serve_now(const Job& job, SimTime queue_wait,
+                 std::vector<JobOutcome>* out);
+  // Records an admission drop (the job never touches the FleetCore).
+  void drop(const Job& job, OutcomeKind kind, SimTime queue_wait,
+            std::vector<JobOutcome>* out);
+  // Materializes backlog services whose clock completed by `now`.
+  void drain_completed(SimTime now, std::vector<JobOutcome>* out);
+  void sample_if_due();
+
+  struct Waiting {
+    Job job;
+    SimTime enqueued_at = 0;  // arrival-index clock
+  };
 
   Point corner_;
   EventQueue queue_;
   Network network_;
   FleetCore core_;
   bool started_ = false;
-  std::int64_t since_settle_ = 0;  // arrivals since the last ring settle
-  std::vector<std::int64_t> served_;  // arrival indices, in arrival order
+  std::int64_t since_settle_ = 0;  // services since the last ring settle
+  std::int64_t arrivals_ = 0;      // arrivals admitted to this cube
+  std::deque<Waiting> backlog_;    // bounded admission queue (FIFO)
+  SimTime free_at_ = 0;            // arrival clock: next service may start
+  std::vector<std::int64_t> served_;  // arrival indices, in service order
   std::vector<std::int64_t> failed_;
+  std::vector<std::int64_t> dropped_;
+  std::uint64_t jobs_shed_ = 0;
+  std::uint64_t jobs_rejected_ = 0;
+  LatencyHistogram latency_;
+  Timeseries series_;
 };
 
 // Everything one worker owns: the cubes assigned to it by the engine's
@@ -128,9 +192,10 @@ class CubeShard {
             int shard_index, int shard_count);
 
   // Serves a routed job slice in order, creating cube servers on first
-  // arrival. When `outcomes` is non-null, appends one JobOutcome per job
-  // in processing order. Runs on the shard's worker thread; touches only
-  // shard state (and its own outcome buffer).
+  // arrival. When `outcomes` is non-null, appends the JobOutcomes each
+  // arrival materializes, in processing order. Runs on the shard's
+  // worker thread; touches only shard state (and its own outcome
+  // buffer).
   void process(const RoutedJob* jobs, std::size_t count,
                std::vector<JobOutcome>* outcomes = nullptr);
 
@@ -144,8 +209,9 @@ class CubeShard {
   std::size_t cube_count() const { return materialized_; }
   std::uint64_t jobs_processed() const { return jobs_processed_; }
 
-  // Finalizes every cube server's metrics.
-  void finish();
+  // Drains every cube's admission backlog (outcomes appended to
+  // `outcomes` when non-null) and finalizes its metrics.
+  void finish(std::vector<JobOutcome>* outcomes = nullptr);
 
   // Appends this shard's (corner, server) pairs so the engine can fold
   // all cubes in one globally corner-sorted pass (shard assignment varies

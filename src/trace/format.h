@@ -18,7 +18,8 @@
 // failure streams, and the engine's audit trail:
 //   offset        size   field
 //        0           4   kind    (0 arrival, 1 silent-done, 2 outcome)
-//        4           4   aux     (outcome: 1 served / 0 failed; else 0)
+//        4           4   aux     (outcome: 0 failed / 1 served / 2 shed /
+//                                 3 rejected; else 0)
 //        8       8*dim   coords  (arrival/outcome: job position;
 //                                 silent-done: the home vertex going dark)
 //   8 + 8*dim        8   index   (arrival index; 0 for silent-done)
@@ -127,9 +128,22 @@ enum class TraceEventKind : std::uint32_t {
 inline constexpr std::uint32_t kTraceMaxEventKind =
     static_cast<std::uint32_t>(TraceEventKind::kOutcome);
 
+// Outcome aux word: how the arrival ended. 0/1 are the historical
+// failed/served pair; 2/3 mark admission drops (jobs a bounded backlog
+// never let reach the protocol — see stream/shard.h). Readers validate
+// only the kind word, so pre-admission consumers decode shed/rejected
+// records as non-served outcomes — a safe reading, since neither was
+// served.
+inline constexpr std::uint32_t kTraceOutcomeFailed = 0;
+inline constexpr std::uint32_t kTraceOutcomeServed = 1;
+inline constexpr std::uint32_t kTraceOutcomeShed = 2;
+inline constexpr std::uint32_t kTraceOutcomeRejected = 3;
+inline constexpr std::uint32_t kTraceMaxOutcomeAux = kTraceOutcomeRejected;
+
 struct TraceEvent {
   TraceEventKind kind = TraceEventKind::kArrival;
-  bool served = false;  // outcome payload; false for other kinds
+  bool served = false;     // aux == kTraceOutcomeServed, for 2-way consumers
+  std::uint32_t aux = 0;   // outcome: kTraceOutcome* word; else 0
   Job job;              // position + arrival index (silent-done: home, 0)
   Point corner;         // outcome: assigned cube corner; else origin
 };
@@ -155,6 +169,19 @@ inline TraceEvent outcome_event(const Job& job, bool served,
   TraceEvent e;
   e.kind = TraceEventKind::kOutcome;
   e.served = served;
+  e.aux = served ? kTraceOutcomeServed : kTraceOutcomeFailed;
+  e.job = job;
+  e.corner = corner;
+  return e;
+}
+
+// Outcome event with an explicit aux word (shed / rejected drops).
+inline TraceEvent outcome_event_aux(const Job& job, std::uint32_t aux,
+                                    const Point& corner) {
+  TraceEvent e;
+  e.kind = TraceEventKind::kOutcome;
+  e.aux = aux;
+  e.served = aux == kTraceOutcomeServed;
   e.job = job;
   e.corner = corner;
   return e;
@@ -165,7 +192,7 @@ inline TraceEvent outcome_event(const Job& job, bool served,
 inline void encode_trace_event(const TraceEvent& e, int dim,
                                unsigned char* out) {
   store_le32(out, static_cast<std::uint32_t>(e.kind));
-  store_le32(out + 4, e.served ? 1u : 0u);
+  store_le32(out + 4, e.aux);
   for (int i = 0; i < dim; ++i)
     store_le_i64(out + 8 + static_cast<std::size_t>(i) * 8, e.job.position[i]);
   store_le_i64(out + 8 + static_cast<std::size_t>(dim) * 8, e.job.index);
@@ -179,7 +206,8 @@ inline void encode_trace_event(const TraceEvent& e, int dim,
 inline TraceEvent decode_trace_event(const unsigned char* record, int dim) {
   TraceEvent e;
   e.kind = static_cast<TraceEventKind>(load_le32(record));
-  e.served = load_le32(record + 4) != 0;
+  e.aux = load_le32(record + 4);
+  e.served = e.aux == kTraceOutcomeServed;
   Point p = Point::origin(dim);
   for (int i = 0; i < dim; ++i)
     p[i] = load_le_i64(record + 8 + static_cast<std::size_t>(i) * 8);

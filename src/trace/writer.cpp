@@ -95,6 +95,8 @@ void TraceWriter::append_event(const TraceEvent& event) {
                     "outcome corner dim " << event.corner.dim()
                                           << " does not match trace dim "
                                           << dim_);
+    CMVRP_CHECK_MSG(event.aux <= kTraceMaxOutcomeAux,
+                    "unknown outcome aux word " << event.aux);
     flags_ |= kTraceFlagOutcomes;
   } else if (event.kind == TraceEventKind::kSilentDone) {
     flags_ |= kTraceFlagFailureEvents;

@@ -52,6 +52,11 @@ void expect_identical(const StreamResult& a, const StreamResult& b) {
   EXPECT_TRUE(a.metrics == b.metrics);
   EXPECT_EQ(a.served_jobs, b.served_jobs);
   EXPECT_EQ(a.failed_jobs, b.failed_jobs);
+  EXPECT_EQ(a.shed_jobs, b.shed_jobs);
+  EXPECT_EQ(a.jobs_shed, b.jobs_shed);
+  EXPECT_EQ(a.jobs_rejected, b.jobs_rejected);
+  EXPECT_TRUE(a.latency == b.latency);
+  EXPECT_TRUE(a.timeseries == b.timeseries);
   EXPECT_EQ(a.cubes, b.cubes);
   EXPECT_EQ(a.jobs_ingested, b.jobs_ingested);
 }
@@ -399,6 +404,55 @@ TEST(OutcomeRecorder, ObserverSeesEveryBatchInAscendingIndexOrder) {
   ASSERT_EQ(collector.indices.size(), jobs.size());
   for (std::size_t i = 0; i < collector.indices.size(); ++i)
     EXPECT_EQ(collector.indices[i], static_cast<std::int64_t>(i));
+}
+
+TEST(OutcomeRecorder, ShedRunRoundTripsAllThreeOutcomeSets) {
+  // Saturating run with admission on: the trail's aux words distinguish
+  // served / failed / shed, the recorder's dropped digest audits the shed
+  // set, and both the materialized sets and the O(1)-memory scan round
+  // trip from disk — at two batch sizes, since with bounded admission the
+  // trail's byte order is completion order and legitimately varies with
+  // batching (only the order-invariant views must agree).
+  const auto jobs = hotspot_jobs(1500);
+  StreamResult reference;
+  for (const std::int64_t batch : {64, 256}) {
+    StreamConfig cfg = stream_config(2, 2, batch, 8.0);
+    cfg.online.admission = AdmissionPolicy::kShed;
+    cfg.online.queue_limit = 4;
+    cfg.online.service_ticks = 4;
+    const std::string path =
+        temp_path("shed_audit" + std::to_string(batch) + ".trace");
+    StreamEngine engine(2, cfg);
+    OutcomeRecorder recorder(path, 2);
+    engine.set_observer(&recorder);
+    engine.ingest(jobs);
+    const StreamResult r = engine.finish();
+    recorder.close();
+    if (batch == 64) reference = r;
+    expect_identical(reference, r);  // batching never moves the outcome
+
+    ASSERT_GT(r.jobs_shed, 0u);
+    EXPECT_EQ(r.jobs_rejected, 0u);
+    EXPECT_EQ(recorder.recorded(), jobs.size());
+    EXPECT_EQ(recorder.served_count(), r.metrics.jobs_served);
+    EXPECT_EQ(recorder.failed_count(), r.metrics.jobs_failed);
+    EXPECT_EQ(recorder.dropped_count(), r.jobs_shed);
+    EXPECT_EQ(recorder.served_digest(), index_set_digest(r.served_jobs));
+    EXPECT_EQ(recorder.failed_digest(), index_set_digest(r.failed_jobs));
+    EXPECT_EQ(recorder.dropped_digest(), index_set_digest(r.shed_jobs));
+
+    TraceReader back(path);
+    EXPECT_TRUE(back.has_outcomes());
+    const OutcomeSets sets = read_outcome_sets(back);
+    EXPECT_EQ(sets.served, r.served_jobs);
+    EXPECT_EQ(sets.failed, r.failed_jobs);
+    EXPECT_EQ(sets.dropped, r.shed_jobs);
+    const OutcomeSummary summary = scan_outcomes(back);
+    EXPECT_EQ(summary.served, r.metrics.jobs_served);
+    EXPECT_EQ(summary.failed, r.metrics.jobs_failed);
+    EXPECT_EQ(summary.dropped, r.jobs_shed);
+    EXPECT_EQ(summary.dropped_digest, index_set_digest(r.shed_jobs));
+  }
 }
 
 TEST(OutcomeRecorder, RejectsScanningNonOutcomeTraces) {

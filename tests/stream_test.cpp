@@ -45,6 +45,12 @@ void expect_identical(const StreamResult& a, const StreamResult& b) {
   EXPECT_TRUE(a.metrics == b.metrics);
   EXPECT_EQ(a.served_jobs, b.served_jobs);
   EXPECT_EQ(a.failed_jobs, b.failed_jobs);
+  EXPECT_EQ(a.shed_jobs, b.shed_jobs);
+  EXPECT_EQ(a.jobs_shed, b.jobs_shed);
+  EXPECT_EQ(a.jobs_rejected, b.jobs_rejected);
+  EXPECT_TRUE(a.latency == b.latency);
+  EXPECT_EQ(a.latency.digest(), b.latency.digest());
+  EXPECT_TRUE(a.timeseries == b.timeseries);
   EXPECT_EQ(a.cubes, b.cubes);
   EXPECT_EQ(a.jobs_ingested, b.jobs_ingested);
 }
@@ -257,6 +263,138 @@ TEST(StreamFlatState, ParallelRoutingPassMatchesSerial) {
   EXPECT_EQ(a.routed_parallel_batches, 0u);
   EXPECT_GT(b.routed_parallel_batches, 0u);
   expect_identical(a, b);
+}
+
+// --- latency timestamps and admission control -------------------------------
+
+StreamConfig admission_config(double capacity, int threads, std::int64_t batch,
+                              AdmissionPolicy admission) {
+  StreamConfig cfg = test_config(capacity, threads, batch);
+  cfg.online.admission = admission;
+  cfg.online.queue_limit = 3;
+  cfg.online.service_ticks = 4;
+  cfg.online.sample_stride = 4;
+  return cfg;
+}
+
+// A stream that saturates single cubes: runs of 40 consecutive arrivals
+// at one point, hopping between three cubes — with service_ticks 4 and
+// queue_limit 3, every run overflows its cube's backlog.
+std::vector<Job> burst_stream(std::int64_t count) {
+  const Point spots[] = {Point{1, 1}, Point{6, 2}, Point{2, 6}};
+  std::vector<Job> jobs;
+  for (std::int64_t i = 0; i < count; ++i)
+    jobs.push_back({spots[(i / 40) % 3], i});
+  return jobs;
+}
+
+TEST(StreamLatency, IdenticalAcrossThreadsAndBatches) {
+  const auto jobs = test_stream(32, 600, 37);
+  StreamConfig base = test_config(60.0, 1, 32);
+  base.online.sample_stride = 4;
+  const StreamResult ref = serve_stream(2, base, jobs);
+  EXPECT_EQ(ref.latency.count(), ref.metrics.jobs_served);
+  EXPECT_GT(ref.timeseries.samples, 0u);
+  for (const int threads : {1, 2, 8}) {
+    for (const std::int64_t batch : {32, 256}) {
+      StreamConfig c = test_config(60.0, threads, batch);
+      c.online.sample_stride = 4;
+      expect_identical(ref, serve_stream(2, c, jobs));
+    }
+  }
+}
+
+TEST(StreamLatency, AdmissionOffLeavesNoDropsAndNoSamples) {
+  const auto jobs = test_stream(16, 300, 41);
+  const StreamResult r = serve_stream(2, test_config(40.0, 2), jobs);
+  EXPECT_TRUE(r.shed_jobs.empty());
+  EXPECT_EQ(r.jobs_shed, 0u);
+  EXPECT_EQ(r.jobs_rejected, 0u);
+  EXPECT_EQ(r.latency.count(), r.metrics.jobs_served);
+  EXPECT_EQ(r.timeseries.samples, 0u);  // sampling is off by default
+}
+
+TEST(StreamAdmission, BoundedPoliciesPartitionAndStayDeterministic) {
+  const auto jobs = burst_stream(240);
+  for (const AdmissionPolicy policy :
+       {AdmissionPolicy::kReject, AdmissionPolicy::kShed}) {
+    const StreamResult r =
+        serve_stream(2, admission_config(40.0, 1, 64, policy), jobs);
+    // The bursts actually overflow the bounded backlogs.
+    EXPECT_GT(r.jobs_shed + r.jobs_rejected, 0u);
+    EXPECT_EQ(r.shed_jobs.size(), r.jobs_shed + r.jobs_rejected);
+    EXPECT_EQ(r.latency.count(), r.metrics.jobs_served);
+    // served + failed + shed partition the arrivals exactly.
+    std::set<std::int64_t> all(r.served_jobs.begin(), r.served_jobs.end());
+    all.insert(r.failed_jobs.begin(), r.failed_jobs.end());
+    all.insert(r.shed_jobs.begin(), r.shed_jobs.end());
+    EXPECT_EQ(all.size(), jobs.size());
+    EXPECT_EQ(r.served_jobs.size() + r.failed_jobs.size() +
+                  r.shed_jobs.size(),
+              jobs.size());
+    // The sampled backlog never exceeds the queue limit.
+    EXPECT_LE(r.timeseries.max_queue_depth, 3);
+    EXPECT_GT(r.timeseries.samples, 0u);
+    // Thread count and batch size cannot move any of it.
+    expect_identical(r,
+                     serve_stream(2, admission_config(40.0, 4, 17, policy),
+                                  jobs));
+  }
+}
+
+TEST(StreamAdmission, PoliciesProduceDistinctOutcomes) {
+  const auto jobs = burst_stream(240);
+  const StreamResult unbounded = serve_stream(
+      2, admission_config(40.0, 2, 64, AdmissionPolicy::kUnbounded), jobs);
+  const StreamResult reject = serve_stream(
+      2, admission_config(40.0, 2, 64, AdmissionPolicy::kReject), jobs);
+  const StreamResult shed = serve_stream(
+      2, admission_config(40.0, 2, 64, AdmissionPolicy::kShed), jobs);
+  EXPECT_EQ(unbounded.jobs_shed + unbounded.jobs_rejected, 0u);
+  EXPECT_GT(reject.jobs_rejected, 0u);
+  EXPECT_EQ(reject.jobs_shed, 0u);
+  EXPECT_GT(shed.jobs_shed, 0u);
+  EXPECT_EQ(shed.jobs_rejected, 0u);
+  // Reject drops the newest arrivals, shed evicts the oldest waiters —
+  // under the same bursts they must drop different index sets.
+  EXPECT_NE(reject.shed_jobs, shed.shed_jobs);
+}
+
+// --- the ascending-corner fold pin ------------------------------------------
+
+TEST(StreamFoldOrder, PerCubeMetricsFoldReproducesResultBitForBit) {
+  const auto jobs = test_stream(32, 600, 43);
+  StreamEngine engine(2, test_config(60.0, 4));
+  engine.ingest(jobs);
+  const StreamResult r = engine.finish();
+  const auto cubes = engine.per_cube_metrics();
+  ASSERT_GT(cubes.size(), 10u);
+  // The introspection is strictly ascending by corner — the documented
+  // operand sequence of finish()'s fold.
+  for (std::size_t i = 1; i < cubes.size(); ++i)
+    EXPECT_TRUE(cubes[i - 1].first < cubes[i].first);
+  OnlineMetrics ascending;
+  for (const auto& [corner, m] : cubes) ascending.merge(m);
+  // Bit-for-bit, double fields included: only this order is guaranteed
+  // to reproduce result.metrics.
+  EXPECT_TRUE(ascending == r.metrics);
+}
+
+TEST(StreamFoldOrder, MergeOrderMovesDoubleSums) {
+  // Why the pin exists: OnlineMetrics::merge sums doubles, and float
+  // addition is not associative — permuting the merge order of these
+  // three operands provably changes the total.
+  OnlineMetrics x, y, z;
+  x.total_energy_spent = 0.1;
+  y.total_energy_spent = 0.2;
+  z.total_energy_spent = 0.3;
+  OnlineMetrics xyz = x;
+  xyz.merge(y);
+  xyz.merge(z);
+  OnlineMetrics zyx = z;
+  zyx.merge(y);
+  zyx.merge(x);
+  EXPECT_NE(xyz.total_energy_spent, zyx.total_energy_spent);
 }
 
 }  // namespace

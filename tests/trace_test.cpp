@@ -374,6 +374,12 @@ void expect_identical(const StreamResult& a, const StreamResult& b) {
   EXPECT_TRUE(a.metrics == b.metrics);
   EXPECT_EQ(a.served_jobs, b.served_jobs);
   EXPECT_EQ(a.failed_jobs, b.failed_jobs);
+  EXPECT_EQ(a.shed_jobs, b.shed_jobs);
+  EXPECT_EQ(a.jobs_shed, b.jobs_shed);
+  EXPECT_EQ(a.jobs_rejected, b.jobs_rejected);
+  EXPECT_TRUE(a.latency == b.latency);
+  EXPECT_EQ(a.latency.digest(), b.latency.digest());
+  EXPECT_TRUE(a.timeseries == b.timeseries);
   EXPECT_EQ(a.cubes, b.cubes);
   EXPECT_EQ(a.jobs_ingested, b.jobs_ingested);
 }
@@ -494,6 +500,47 @@ TEST(TraceReplay, BoundedMemoryPathHandlesStreamsFarBeyondOneBatch) {
     bursty_hotspot_stream(2, 4, 8, count, 32, rng, sink);
   });
   expect_identical(serve_stream(2, replay_config(2, 1, 256), jobs), replayed);
+}
+
+TEST(TraceReplay, LatencyAndAdmissionReplayIdentically) {
+  // Bounded replay must reproduce the in-memory latency histogram,
+  // percentiles, timeseries, and shed sets byte for byte — for every
+  // admission policy, including saturating runs that actually drop jobs.
+  const std::string path = temp_path("latency.trace");
+  {
+    TraceWriter writer(path, 2);
+    Rng rng(627);
+    bursty_hotspot_stream(2, 4, 2, 1200, 64, rng,
+                          [&writer](const Job& j) { writer.append(j); });
+    writer.close();
+  }
+  Rng rng(627);
+  const auto jobs = collect_jobs([&rng](const JobSink& sink) {
+    bursty_hotspot_stream(2, 4, 2, 1200, 64, rng, sink);
+  });
+  for (const AdmissionPolicy policy :
+       {AdmissionPolicy::kUnbounded, AdmissionPolicy::kReject,
+        AdmissionPolicy::kShed}) {
+    StreamConfig cfg = replay_config(2, 2, 128);
+    cfg.online.capacity = 8.0;
+    cfg.online.admission = policy;
+    cfg.online.queue_limit = 4;
+    cfg.online.service_ticks = 4;
+    cfg.online.sample_stride = 8;
+    const StreamResult memory = serve_stream(2, cfg, jobs);
+    EXPECT_EQ(memory.latency.count(), memory.metrics.jobs_served);
+    if (policy != AdmissionPolicy::kUnbounded) {
+      EXPECT_GT(memory.jobs_shed + memory.jobs_rejected, 0u);
+    }
+
+    TraceReader reader(path);
+    TraceReplayer replayer(2, cfg);
+    const StreamResult replayed = replayer.replay(reader);
+    expect_identical(memory, replayed);
+    for (const double p : {50.0, 90.0, 99.0}) {
+      EXPECT_EQ(memory.latency.percentile(p), replayed.latency.percentile(p));
+    }
+  }
 }
 
 TEST(TraceReplay, DimMismatchBetweenTraceAndEngineThrows) {

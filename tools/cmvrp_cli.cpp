@@ -12,6 +12,8 @@
 //                  [--threads T] [--batch B] [--jobs J] [--n N] [--order o]
 //                  [--capacity W] [--side S] [--seed S] [--json PATH]
 //                  [--record out.trace] [--monitor-stride K]
+//                  [--admission unbounded|reject|shed] [--queue-limit Q]
+//                  [--service-ticks D] [--sample-stride K]
 //   cmvrp record   --out outcomes.trace [stream flags]    serve + audit trail
 //   cmvrp trace    gen --out t.bin --generator g [--dim L] [--count N] ...
 //                  | info --file t.bin
@@ -230,8 +232,22 @@ std::string index_set_hash(const std::vector<std::int64_t>& indices) {
   return digest_hex(index_set_digest(indices));
 }
 
+const char* admission_name(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kUnbounded:
+      return "unbounded";
+    case AdmissionPolicy::kReject:
+      return "reject";
+    case AdmissionPolicy::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
 // Shared report for `stream` and `trace replay`: ASCII table plus the
-// cmvrp-stream-v1 JSON artifact. Exit code 0 iff no job failed.
+// cmvrp-stream-v2 JSON artifact (v2 adds admission config echo, shed /
+// rejected counts and hash, latency percentiles + digest, and the
+// timeseries summary). Exit code 0 iff no job failed or was dropped.
 int report_stream(const Args& args, const StreamConfig& cfg,
                   const StreamResult& r, double ms) {
   const double jobs_per_sec =
@@ -243,6 +259,7 @@ int report_stream(const Args& args, const StreamConfig& cfg,
   t.row().cell("monitor stride").cell(cfg.online.monitor_stride);
   t.row().cell("capacity W").cell(cfg.online.capacity);
   t.row().cell("cube side").cell(cfg.online.cube_side);
+  t.row().cell("admission").cell(admission_name(cfg.online.admission));
   t.row().cell("jobs").cell(r.jobs_ingested);
   t.row().cell("batches").cell(r.batches);
   t.row().cell("cubes").cell(r.cubes);
@@ -254,6 +271,12 @@ int report_stream(const Args& args, const StreamConfig& cfg,
   t.row().cell("routing ms").cell(r.routing_ms);
   t.row().cell("served").cell(r.metrics.jobs_served);
   t.row().cell("failed").cell(r.metrics.jobs_failed);
+  t.row().cell("shed").cell(r.jobs_shed);
+  t.row().cell("rejected").cell(r.jobs_rejected);
+  t.row().cell("latency p50").cell(r.latency.percentile(50.0));
+  t.row().cell("latency p90").cell(r.latency.percentile(90.0));
+  t.row().cell("latency p99").cell(r.latency.percentile(99.0));
+  t.row().cell("latency max").cell(r.latency.observed_max());
   t.row().cell("replacements").cell(r.metrics.replacements);
   t.row().cell("messages total").cell(r.metrics.network.total());
   t.row().cell("max energy spent").cell(r.metrics.max_energy_spent);
@@ -263,13 +286,17 @@ int report_stream(const Args& args, const StreamConfig& cfg,
 
   if (args.has("json")) {
     Json doc = Json::object();
-    doc.set("schema", "cmvrp-stream-v1");
+    doc.set("schema", "cmvrp-stream-v2");
     doc.set("threads", static_cast<std::int64_t>(cfg.threads));
     doc.set("batch_size", cfg.batch_size);
     doc.set("monitor_stride", cfg.online.monitor_stride);
     doc.set("capacity", cfg.online.capacity);
     doc.set("cube_side", cfg.online.cube_side);
     doc.set("seed", static_cast<std::uint64_t>(cfg.online.seed));
+    doc.set("admission", admission_name(cfg.online.admission));
+    doc.set("queue_limit", cfg.online.queue_limit);
+    doc.set("service_ticks", cfg.online.service_ticks);
+    doc.set("sample_stride", cfg.online.sample_stride);
     doc.set("jobs", r.jobs_ingested);
     doc.set("batches", r.batches);
     doc.set("cubes", r.cubes);
@@ -279,8 +306,22 @@ int report_stream(const Args& args, const StreamConfig& cfg,
     doc.set("routing_ms", r.routing_ms);
     doc.set("served", r.metrics.jobs_served);
     doc.set("failed", r.metrics.jobs_failed);
+    doc.set("shed", r.jobs_shed);
+    doc.set("rejected", r.jobs_rejected);
     doc.set("served_hash", index_set_hash(r.served_jobs));
     doc.set("failed_hash", index_set_hash(r.failed_jobs));
+    doc.set("shed_hash", index_set_hash(r.shed_jobs));
+    doc.set("latency_count", r.latency.count());
+    doc.set("latency_p50", r.latency.percentile(50.0));
+    doc.set("latency_p90", r.latency.percentile(90.0));
+    doc.set("latency_p99", r.latency.percentile(99.0));
+    doc.set("latency_max", r.latency.observed_max());
+    doc.set("latency_hash", digest_hex(r.latency.digest()));
+    doc.set("ts_cubes", r.timeseries.cubes_sampled);
+    doc.set("ts_samples", r.timeseries.samples);
+    doc.set("ts_max_queue_depth", r.timeseries.max_queue_depth);
+    doc.set("ts_max_occupancy_pm", r.timeseries.max_occupancy_pm);
+    doc.set("ts_hash", digest_hex(r.timeseries.digest));
     doc.set("replacements", r.metrics.replacements);
     doc.set("messages", r.metrics.network.total());
     doc.set("max_energy", r.metrics.max_energy_spent);
@@ -292,7 +333,10 @@ int report_stream(const Args& args, const StreamConfig& cfg,
     out.flush();
     CMVRP_CHECK_MSG(out.good(), "failed writing --json artifact");
   }
-  return r.metrics.jobs_failed == 0 ? 0 : 1;
+  return r.metrics.jobs_failed == 0 && r.jobs_shed == 0 &&
+                 r.jobs_rejected == 0
+             ? 0
+             : 1;
 }
 
 // Engine config shared by `stream` and `trace replay`: explicit
@@ -324,6 +368,26 @@ StreamConfig stream_config_from_args(
   // failure detection latency <= stride arrivals per cube). 1 = sweep
   // after every arrival, the legacy cadence.
   cfg.online.monitor_stride = args.get_int("monitor-stride", 1);
+  // Admission control (stream/shard.h): --admission unbounded|reject|shed
+  // with --queue-limit waiting slots and --service-ticks arrival-clock
+  // ticks per service. Default unbounded = the historical serve path.
+  const std::string admission = args.get("admission", "unbounded");
+  if (admission == "unbounded") {
+    cfg.online.admission = AdmissionPolicy::kUnbounded;
+  } else if (admission == "reject") {
+    cfg.online.admission = AdmissionPolicy::kReject;
+  } else if (admission == "shed") {
+    cfg.online.admission = AdmissionPolicy::kShed;
+  } else {
+    CMVRP_CHECK_MSG(false, "--admission must be unbounded, reject, or shed; "
+                           "got "
+                               << admission);
+  }
+  cfg.online.queue_limit = args.get_int("queue-limit", 8);
+  cfg.online.service_ticks = args.get_int("service-ticks", 4);
+  // Timeseries sampling cadence (0 = off): every stride-th arrival per
+  // cube records backlog depth + fleet occupancy.
+  cfg.online.sample_stride = args.get_int("sample-stride", 0);
   return cfg;
 }
 
@@ -334,20 +398,23 @@ StreamConfig trace_stream_config(const Args& args, TraceReader& reader) {
 }
 
 // Closes the recorder, audits its incremental digests against the
-// result's served/failed sets (the bounded-memory run must leave a trail
-// bit-identical to the in-memory digests), and prints a summary line.
+// result's served/failed/shed sets (the bounded-memory run must leave a
+// trail bit-identical to the in-memory digests), and prints a summary.
 void finish_recording(OutcomeRecorder& recorder, const StreamResult& r) {
   recorder.close();
   CMVRP_CHECK_MSG(recorder.served_digest() == index_set_digest(r.served_jobs) &&
                       recorder.failed_digest() ==
-                          index_set_digest(r.failed_jobs),
+                          index_set_digest(r.failed_jobs) &&
+                      recorder.dropped_digest() ==
+                          index_set_digest(r.shed_jobs),
                   "outcome trail digests diverged from the in-memory "
-                  "served/failed sets: "
+                  "served/failed/shed sets: "
                       << recorder.path());
   std::cout << "recorded " << recorder.recorded() << " outcomes ("
             << recorder.served_count() << " served, "
-            << recorder.failed_count()
-            << " failed; digests match the report) to " << recorder.path()
+            << recorder.failed_count() << " failed, "
+            << recorder.dropped_count()
+            << " dropped; digests match the report) to " << recorder.path()
             << "\n";
 }
 
@@ -687,6 +754,8 @@ int usage(std::ostream& os, int exit_code) {
          "         [--threads T] [--batch B] [--jobs J] [--n N] [--order o]\n"
          "         [--capacity W] [--side S] [--seed s] [--json out]\n"
          "         [--record o.trace] [--monitor-stride K]\n"
+         "         [--admission unbounded|reject|shed] [--queue-limit Q]\n"
+         "         [--service-ticks D] [--sample-stride K]\n"
          "                                 sharded streaming\n"
          "  record --out o.trace [stream flags]\n"
          "                                 serve + stream every outcome to a\n"
