@@ -1,0 +1,116 @@
+// Tier-A protocol observability: deterministic per-cube counters.
+//
+// The paper's claims are *communication* claims — Phase I diffusing
+// computations flood O(s^ℓ) vehicles per replacement (Lemma 3.3.1) and
+// all coordination is intra-cube (§3.2) — so the observability layer's
+// first tier counts messages, computations, and replacement cascades
+// with the same determinism contract everything else in the streaming
+// engine obeys: every field of CubeCounters is a pure function of one
+// cube's arrival subsequence (plus its seed), merges commutatively, and
+// therefore folds to bit-identical totals for every thread count and
+// batch size. Wall-clock spans live in the separate Tier B
+// (obs/stage_timer.h) and never mix into this struct.
+//
+// Collection is off by default (ObsConfig::counters): the message-kind
+// fields come free from sim/network.h's always-on NetworkStats, but the
+// per-computation query attribution, the cascade histogram, and the
+// admission-queue gauges are extra bookkeeping the serve hot path only
+// pays when asked to.
+#pragma once
+
+#include <cstdint>
+
+#include "metrics/latency_histogram.h"
+
+namespace cmvrp {
+
+// Observability switches, carried inside OnlineConfig so they reach
+// every FleetCore / CubeServer unchanged through stream, trace replay,
+// record, and mux composition.
+struct ObsConfig {
+  // Tier-A counter collection (per-computation query attribution,
+  // cascade histogram, admission gauges). Off by default: the serve
+  // path must cost the same as before this layer existed.
+  bool counters = false;
+
+  friend bool operator==(const ObsConfig& a, const ObsConfig& b) {
+    return a.counters == b.counters;
+  }
+  friend bool operator!=(const ObsConfig& a, const ObsConfig& b) {
+    return !(a == b);
+  }
+};
+
+// One cube's (or, after folding, one run's) deterministic counters.
+// Sums merge by addition, peaks by max, the cascade histogram by its
+// own commutative bucket sum — so the fold over cubes is
+// order-invariant and the engine's ascending-corner fold lands on the
+// same bytes at every thread count.
+struct CubeCounters {
+  // Cascade lengths are replacement counts per served job — tiny next
+  // to latencies, so a small exact-bucket range suffices.
+  static constexpr std::int64_t kCascadeMaxValue = 1 << 12;
+
+  // Messages by kind (from NetworkStats; maintained even when
+  // ObsConfig::counters is off). heartbeat_skips counts §3.2.5
+  // heartbeats whose scheduler round-trip the network elided — the
+  // PR-6 fast path made observable.
+  std::uint64_t msg_queries = 0;
+  std::uint64_t msg_replies = 0;
+  std::uint64_t msg_moves = 0;
+  std::uint64_t msg_heartbeats = 0;
+  std::uint64_t msg_heartbeat_skips = 0;
+
+  // Phase I diffusing computations. started/failed mirror
+  // OnlineMetrics; finished counts every finish_phase_one (success or
+  // failure) and is obs-gated.
+  std::uint64_t comps_started = 0;
+  std::uint64_t comps_finished = 0;  // obs-gated
+  std::uint64_t comps_failed = 0;
+  std::uint64_t monitor_initiations = 0;
+  std::uint64_t replacements = 0;
+
+  // Largest Query fan-out any single computation produced (obs-gated).
+  // Lemma 3.3.1 bounds this by s^ℓ · (2r+1)^ℓ: each of the cube's s^ℓ
+  // vehicles relays at most once, sending at most (2r+1)^ℓ queries.
+  std::uint64_t max_queries_per_comp = 0;
+
+  // Admission / queue events (obs-gated except served/failed/arrivals,
+  // which restate always-on engine state for self-contained snapshots).
+  std::uint64_t arrivals = 0;
+  std::uint64_t served = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t enqueued = 0;  // jobs that entered a bounded backlog
+  std::uint64_t shed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t backlog_peak = 0;  // deepest the backlog ever got
+
+  // Replacement-cascade length per served job: how many completed
+  // Phase II relocations the job's own serve triggered (obs-gated;
+  // monitor-initiated replacements between jobs are excluded).
+  LatencyHistogram cascade{kCascadeMaxValue};
+
+  std::uint64_t messages_total() const {
+    return msg_queries + msg_replies + msg_moves + msg_heartbeats;
+  }
+
+  // Commutative fold: sums, maxes, histogram bucket sums.
+  void merge(const CubeCounters& other);
+
+  // Order-invariant 64-bit digest over every field (cascade via its own
+  // digest) — the CI counter-diff guard's one-line equality witness.
+  std::uint64_t digest() const;
+
+  friend bool operator==(const CubeCounters& a, const CubeCounters& b);
+  friend bool operator!=(const CubeCounters& a, const CubeCounters& b) {
+    return !(a == b);
+  }
+};
+
+// Lemma 3.3.1 flood ceiling on per-computation queries: s^ℓ vehicles,
+// each relaying to at most (2r+1)^ℓ − 1 neighbors plus the initiator's
+// own fan-out — conservatively s^ℓ · (2r+1)^ℓ.
+std::uint64_t query_flood_bound(std::int64_t cube_side,
+                                std::int64_t neighbor_radius, int dim);
+
+}  // namespace cmvrp

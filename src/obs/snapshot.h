@@ -1,0 +1,70 @@
+// Stride-driven JSONL stats snapshots (`cmvrp-stats-v1`).
+//
+// The snapshotter turns the observability layer's two tiers into a
+// line-per-record stream a shell (or `cmvrp_cli stats`) can consume
+// while the engine is still serving:
+//
+//   {"kind":"header", "schema":"cmvrp-stats-v1", ...}   once, up front
+//   {"kind":"sample", "batch":N, <Tier-A totals>, <Tier-B spans>}
+//                                  every `stride` batches
+//   {"kind":"cube",   "corner":[...], <per-cube counters + latency>}
+//                                  once per cube at finish, in
+//                                  ascending-corner order
+//   {"kind":"final",  <Tier-A totals>, <Tier-B spans>}  once, at finish
+//
+// Determinism contract: with the wall fields stripped (every Tier-B key
+// ends in `_ms` or starts with `wall_` — see tools/stable_stream_json.sh),
+// the stream is bit-identical across thread counts, because sample lines
+// fire on batch boundaries (a pure function of the arrival sequence and
+// batch size) and every Tier-A field folds commutatively from per-cube
+// state. The CI counter-diff guard diffs exactly that stripped stream.
+//
+// This layer deliberately serializes by hand instead of using exp/json.h:
+// cmvrp_exp depends (through the suites) on cmvrp_stream, which depends
+// on this library — the reader side (`cmvrp_cli stats`) parses with
+// exp/json.h from above the cycle.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "grid/point.h"
+#include "metrics/latency_histogram.h"
+#include "obs/counters.h"
+#include "obs/stage_timer.h"
+
+namespace cmvrp {
+
+inline constexpr char kStatsSchema[] = "cmvrp-stats-v1";
+
+class StatsSnapshotter {
+ public:
+  // `out` is borrowed and must outlive the snapshotter. `stride` is the
+  // sampling cadence in ingest batches (>= 1): due(b) gates the
+  // engine's O(cubes) mid-run fold, write_sample emits the line.
+  StatsSnapshotter(std::ostream& out, std::int64_t stride);
+
+  std::int64_t stride() const { return stride_; }
+  bool due(std::uint64_t batch) const {
+    return batch % static_cast<std::uint64_t>(stride_) == 0;
+  }
+
+  void write_header(int dim, int threads, std::int64_t batch_size,
+                    std::uint64_t seed, bool counters_on);
+  void write_sample(std::uint64_t batch, std::uint64_t jobs_ingested,
+                    const CubeCounters& totals, const StageTimes& stages);
+  void write_cube(const Point& corner, const CubeCounters& counters,
+                  const LatencyHistogram& latency);
+  void write_final(std::uint64_t jobs_ingested, std::uint64_t cubes,
+                   const CubeCounters& totals, const StageTimes& stages);
+
+  std::uint64_t lines_written() const { return lines_; }
+
+ private:
+  std::ostream& out_;
+  std::int64_t stride_;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace cmvrp

@@ -1,0 +1,26 @@
+#include "obs/stage_timer.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace cmvrp {
+
+std::int64_t current_rss_kb() {
+  // VmRSS from /proc/self/status; portable enough for the Linux CI and
+  // dev containers this repo targets, harmless (0) elsewhere.
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::int64_t rss = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      long long kb = 0;
+      if (std::sscanf(line + 6, "%lld", &kb) == 1) rss = kb;
+      break;
+    }
+  }
+  std::fclose(f);
+  return rss;
+}
+
+}  // namespace cmvrp

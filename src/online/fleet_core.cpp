@@ -238,6 +238,19 @@ void FleetCore::initiate_computation(std::size_t initiator,
     return;
   }
   for (std::size_t q : nb) network_.send(initiator, q, QueryMsg{v.init});
+  if (config_.obs.counters) obs_note_queries(v.init, nb.size());
+}
+
+void FleetCore::obs_note_queries(const InitTag& init, std::size_t count) {
+  // Packed key: vehicle ids are dense fleet indices and init_seq counts
+  // one vehicle's computations — both far below 2^32 for any cube.
+  CMVRP_CHECK_MSG(init.vehicle < (1ull << 32) && init.seq < (1ull << 32),
+                  "InitTag exceeds obs key packing");
+  std::uint64_t& total =
+      obs_comp_queries_[(static_cast<std::uint64_t>(init.vehicle) << 32) |
+                        init.seq];
+  total += static_cast<std::uint64_t>(count);
+  if (total > obs_max_queries_per_comp_) obs_max_queries_per_comp_ = total;
 }
 
 void FleetCore::on_message(std::size_t to, std::size_t from,
@@ -280,6 +293,7 @@ void FleetCore::on_query(std::size_t vid, std::size_t from,
       return;
     }
     for (std::size_t n : nb) network_.send(vid, n, QueryMsg{q.init});
+    if (config_.obs.counters) obs_note_queries(q.init, nb.size());
     return;
   }
   network_.send(vid, from, ReplyMsg{false, q.init});
@@ -309,6 +323,7 @@ void FleetCore::on_reply(std::size_t vid, std::size_t from,
 }
 
 void FleetCore::finish_phase_one(std::size_t vid) {
+  if (config_.obs.counters) ++obs_comps_finished_;
   Vehicle& v = vehicles_[vid];
   auto dest_it = initiator_dest_.find(vid);
   CMVRP_CHECK(dest_it != initiator_dest_.end());

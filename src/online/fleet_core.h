@@ -31,10 +31,13 @@
 #include "grid/box.h"
 #include "grid/neighborhood.h"
 #include "grid/point.h"
+#include "obs/counters.h"
 #include "online/pairing.h"
 #include "online/vehicle.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
+#include "util/flat_map.h"
+#include "util/hash.h"
 #include "workload/generators.h"
 
 namespace cmvrp {
@@ -86,6 +89,11 @@ struct OnlineConfig {
   // its backlog depth and fleet occupancy (0 = off, the default — the
   // occupancy probe is an O(vehicles) scan, amortized by the stride).
   std::int64_t sample_stride = 0;
+  // Observability switches (src/obs/): Tier-A counter collection is off
+  // by default so the serve hot path pays nothing for the layer. Every
+  // obs-gated quantity is a pure function of the cube's arrival
+  // subsequence, so turning it on cannot change serving outcomes.
+  ObsConfig obs;
 };
 
 // Sim-time lifecycle of one arrival (§3.2: arrival → Phase I assignment
@@ -213,6 +221,18 @@ class FleetCore {
   // the fleet-occupancy signal the timeseries sampler records. O(fleet).
   std::int64_t exhausted_permille() const;
 
+  // Tier-A observability accessors (src/obs/); all zero unless
+  // config().obs.counters is on. comps_finished counts every
+  // finish_phase_one (successful or not); max_queries_per_comp is the
+  // largest Query fan-out any one diffusing computation produced —
+  // Lemma 3.3.1 bounds it by s^ℓ · (2r+1)^ℓ. The running max is
+  // updated at every query batch (not only at finish) because a
+  // delayed query can trigger a relay after its initiator finished.
+  std::uint64_t obs_comps_finished() const { return obs_comps_finished_; }
+  std::uint64_t obs_max_queries_per_comp() const {
+    return obs_max_queries_per_comp_;
+  }
+
   // Introspection for tests.
   const Vehicle* vehicle_at_home(const Point& home) const;
   std::size_t vehicle_count() const { return vehicles_.size(); }
@@ -249,6 +269,10 @@ class FleetCore {
   // re-enumerated it on every settle.
   const std::vector<Point>& primaries_of(const Point& corner);
   void check_longevity(Vehicle& v);
+
+  // Attributes `count` Query sends to computation `init` and updates
+  // the running per-computation max (obs-gated; callers check).
+  void obs_note_queries(const InitTag& init, std::size_t count);
 
   void after_serving(std::size_t vid, const Point& cube_corner);
   void initiate_computation(std::size_t initiator, const Point& dest);
@@ -302,6 +326,14 @@ class FleetCore {
   // Reused scratch buffers for the message hot path and monitor sweeps.
   std::vector<std::size_t> neighbor_scratch_;
   std::vector<std::size_t> ring_scratch_;
+
+  // Tier-A observability state (all obs-gated). Query counts are keyed
+  // by packed InitTag; entries are never erased — a late relay may add
+  // to a finished computation — and stay bounded by computations per
+  // cube (~16 bytes each).
+  FlatMap<std::uint64_t, std::uint64_t, U64Hash> obs_comp_queries_;
+  std::uint64_t obs_comps_finished_ = 0;
+  std::uint64_t obs_max_queries_per_comp_ = 0;
 
   OnlineMetrics metrics_;
   JobTiming last_timing_;

@@ -16,6 +16,10 @@ void TraceMux::set_observer(StreamObserver* observer) {
   engine_.set_observer(observer);
 }
 
+void TraceMux::set_snapshotter(StatsSnapshotter* snapshotter) {
+  engine_.set_snapshotter(snapshotter);
+}
+
 bool TraceMux::Source::refill() {
   if (head < count) return true;
   head = 0;

@@ -50,6 +50,10 @@ class TraceMux {
   // composes into a merged audit trail).
   void set_observer(StreamObserver* observer);
 
+  // Forwarded to the engine: JSONL stats snapshots of the merged run
+  // (src/obs/snapshot.h).
+  void set_snapshotter(StatsSnapshotter* snapshotter);
+
   // Merges every source to exhaustion into the engine and finishes it.
   StreamResult replay();
 

@@ -23,6 +23,10 @@ struct NetworkStats {
   std::uint64_t replies = 0;
   std::uint64_t moves = 0;
   std::uint64_t heartbeats = 0;
+  // §3.2.5 heartbeats whose scheduler round-trip send() elided (the
+  // receiving side is a protocol no-op). Every skip is also counted in
+  // `heartbeats`; total() therefore excludes it.
+  std::uint64_t heartbeat_skips = 0;
 
   std::uint64_t total() const { return queries + replies + moves + heartbeats; }
 
@@ -31,11 +35,13 @@ struct NetworkStats {
     replies += other.replies;
     moves += other.moves;
     heartbeats += other.heartbeats;
+    heartbeat_skips += other.heartbeat_skips;
   }
 
   friend bool operator==(const NetworkStats& a, const NetworkStats& b) {
     return a.queries == b.queries && a.replies == b.replies &&
-           a.moves == b.moves && a.heartbeats == b.heartbeats;
+           a.moves == b.moves && a.heartbeats == b.heartbeats &&
+           a.heartbeat_skips == b.heartbeat_skips;
   }
   friend bool operator!=(const NetworkStats& a, const NetworkStats& b) {
     return !(a == b);
@@ -76,7 +82,10 @@ class Network {
     // skips the queue roundtrip: at ~1 heartbeat per arrival the
     // schedule/sift/dispatch cycle of a do-nothing delivery was a top
     // entry in the serving profile.
-    if (m.index() == 3) return;
+    if (m.index() == 3) {
+      ++stats_.heartbeat_skips;
+      return;
+    }
     queue_.schedule(at, [this, from, to, m = std::move(m)]() {
       receiver_(to, from, m);
     });

@@ -39,6 +39,26 @@ void StreamEngine::set_observer(StreamObserver* observer) {
   observer_ = observer;
 }
 
+void StreamEngine::set_snapshotter(StatsSnapshotter* snapshotter) {
+  snapshotter_ = snapshotter;
+  if (snapshotter_ != nullptr)
+    snapshotter_->write_header(dim_, pool_.size(), config_.batch_size,
+                               config_.online.seed,
+                               config_.online.obs.counters);
+}
+
+CubeCounters StreamEngine::fold_counters() const {
+  // Counter merges are commutative (sums / maxes / histogram bucket
+  // sums), so the unsorted shard walk folds to the same value the
+  // ascending-corner pass would.
+  CubeCounters totals;
+  std::vector<std::pair<Point, const CubeServer*>> cubes;
+  for (const auto& shard : shards_) shard.collect(cubes);
+  for (const auto& [corner, server] : cubes)
+    totals.merge(server->counters());
+  return totals;
+}
+
 void StreamEngine::ingest(const std::vector<Job>& jobs) {
   ingest(jobs.data(), jobs.size());
 }
@@ -77,6 +97,7 @@ void StreamEngine::inject_silent_done(const Point& home) {
 
 void StreamEngine::run_batch(const Job* jobs, std::size_t count) {
   if (count == 0) return;
+  WallTimer ingest_timer;
   const auto shard_count = static_cast<std::size_t>(pool_.size());
   WallTimer route_timer;
   for (auto& r : routed_) r.clear();
@@ -128,14 +149,27 @@ void StreamEngine::run_batch(const Job* jobs, std::size_t count) {
   // drained, monitoring settled) before the next batch is admitted —
   // the stream-scale reading of the paper's long inter-arrival gaps.
   const bool observing = observer_ != nullptr;
+  WallTimer serve_timer;
   pool_.run([this, observing](int w) {
     const auto s = static_cast<std::size_t>(w);
     shards_[s].process(routed_[s].data(), routed_[s].size(),
                        observing ? &outcomes_[s] : nullptr);
   });
-  if (observing) flush_outcomes();
+  stages_.serve_ms += serve_timer.elapsed_ms();
+  if (observing) {
+    WallTimer fold_timer;
+    flush_outcomes();
+    stages_.fold_ms += fold_timer.elapsed_ms();
+  }
   jobs_ingested_ += count;
   ++batches_;
+  stages_.ingest_ms += ingest_timer.elapsed_ms();
+  if (snapshotter_ != nullptr && snapshotter_->due(batches_)) {
+    StageTimes spans = stages_;
+    spans.route_ms = routing_ms_;
+    snapshotter_->write_sample(batches_, jobs_ingested_, fold_counters(),
+                               spans);
+  }
 }
 
 void StreamEngine::flush_outcomes() {
@@ -173,6 +207,7 @@ StreamResult StreamEngine::finish() {
   // (at most queue_limit jobs per cube) and a serial walk keeps the
   // trailing observer batch in deterministic shard-then-cube order.
   const bool observing = observer_ != nullptr;
+  WallTimer monitor_timer;
   for (std::size_t s = 0; s < shards_.size(); ++s)
     shards_[s].finish(observing ? &outcomes_[s] : nullptr);
   if (observing) flush_outcomes();
@@ -205,10 +240,20 @@ StreamResult StreamEngine::finish() {
     result.jobs_rejected += server->jobs_rejected();
     result.latency.merge(server->latency());
     result.timeseries.fold(CornerHash{}(corner), server->series());
+    result.counters.merge(server->counters());
+    if (snapshotter_ != nullptr)
+      snapshotter_->write_cube(corner, server->counters(),
+                               server->latency());
   }
   std::sort(result.served_jobs.begin(), result.served_jobs.end());
   std::sort(result.failed_jobs.begin(), result.failed_jobs.end());
   std::sort(result.shed_jobs.begin(), result.shed_jobs.end());
+  stages_.monitor_ms += monitor_timer.elapsed_ms();
+  stages_.route_ms = routing_ms_;
+  result.stages = stages_;
+  if (snapshotter_ != nullptr)
+    snapshotter_->write_final(jobs_ingested_, result.cubes, result.counters,
+                              result.stages);
   return result;
 }
 

@@ -47,6 +47,9 @@
 #include "grid/box.h"
 #include "metrics/latency_histogram.h"
 #include "metrics/timeseries.h"
+#include "obs/counters.h"
+#include "obs/snapshot.h"
+#include "obs/stage_timer.h"
 #include "online/fleet_core.h"
 #include "stream/pool.h"
 #include "stream/shard.h"
@@ -90,6 +93,15 @@ struct StreamResult {
   // Backlog-depth / fleet-occupancy samples, folded per cube in
   // ascending-corner order (empty unless sample_stride > 0).
   TimeseriesSummary timeseries;
+  // Tier-A counter totals (src/obs/), folded per cube: message kinds
+  // come free from the always-on NetworkStats; the obs-gated fields
+  // (cascade, per-computation query max, admission gauges) are zero
+  // unless OnlineConfig::obs.counters. Deterministic like everything
+  // above.
+  CubeCounters counters;
+  // Tier-B wall-clock stage spans (nondeterministic; excluded from CI
+  // diffs by the *_ms / wall_* naming convention).
+  StageTimes stages;
 };
 
 // Engine-side outcome observation. on_batch fires after every batch
@@ -115,6 +127,14 @@ class StreamEngine {
   // must outlive serving. Call before ingest() — outcomes of batches
   // already served are not replayed.
   void set_observer(StreamObserver* observer);
+
+  // Attaches (or detaches) a JSONL stats snapshotter (src/obs/). The
+  // engine writes the header immediately, a totals sample every
+  // snapshotter-stride batches (an O(cubes) counter fold on the ingest
+  // thread, amortized by the stride), one line per cube in
+  // ascending-corner order at finish(), and a final-totals line.
+  // Borrowed; must outlive serving.
+  void set_snapshotter(StatsSnapshotter* snapshotter);
 
   // Consumes a stream segment: splits it into bounded batches, routes
   // each batch to shards, and serves the batches one barrier at a time.
@@ -158,6 +178,9 @@ class StreamEngine {
   // Sorts the per-shard outcome buffers into one ascending-index batch
   // and hands it to the observer (no-op when empty / not observing).
   void flush_outcomes();
+  // Folds every materialized cube's Tier-A counters (commutative, so no
+  // sort needed) — the snapshotter's mid-run totals and finish()'s.
+  CubeCounters fold_counters() const;
   // Resolves one position to (corner, slot) and its owning shard.
   std::size_t route_of(const Point& position, Point* corner,
                        std::uint32_t* slot) const;
@@ -176,9 +199,11 @@ class StreamEngine {
   std::vector<std::vector<JobOutcome>> outcomes_;
   std::vector<JobOutcome> outcome_fold_;
   StreamObserver* observer_ = nullptr;
+  StatsSnapshotter* snapshotter_ = nullptr;
   WorkerPool pool_;
   std::uint64_t jobs_ingested_ = 0;
   std::uint64_t batches_ = 0;
+  StageTimes stages_;  // Tier-B spans (route_ms mirrors routing_ms_)
   double routing_ms_ = 0.0;
   std::uint64_t routed_parallel_batches_ = 0;
   std::uint64_t routed_serial_batches_ = 0;

@@ -27,7 +27,8 @@ CubeServer::CubeServer(int dim, const OnlineConfig& config,
       network_(queue_, Rng(cube_stream_seed(config.seed, corner)),
                config.max_message_delay),
       core_(dim, config, queue_, network_),
-      series_(config.sample_stride) {
+      series_(config.sample_stride),
+      obs_(config.obs.counters) {
   core_.bind_network();
 }
 
@@ -40,8 +41,15 @@ void CubeServer::settle_if_due() {
 
 void CubeServer::serve_now(const Job& job, SimTime queue_wait,
                            std::vector<JobOutcome>* out) {
+  // Cascade attribution brackets exactly the serve + drain: the
+  // replacements a deferred monitor settle completes below belong to
+  // the ring, not to this job.
+  const std::uint64_t repl_before = obs_ ? core_.metrics().replacements : 0;
   const bool ok = core_.serve_job(job, corner_);
   queue_.run_to_quiescence();
+  if (obs_ && ok)
+    cascade_.add(
+        static_cast<std::int64_t>(core_.metrics().replacements - repl_before));
   JobTiming timing = core_.last_timing();
   // The replacement cascade this job triggered (if any) has fully
   // drained: the cube clock now is the job's completion time.
@@ -116,6 +124,7 @@ void CubeServer::serve(const Job& job, std::vector<JobOutcome>* out) {
     free_at_ = t + cfg.service_ticks;
   } else if (static_cast<std::int64_t>(backlog_.size()) < cfg.queue_limit) {
     backlog_.push_back({job, t});
+    note_enqueued();
   } else if (cfg.admission == AdmissionPolicy::kReject) {
     drop(job, OutcomeKind::kRejected, 0, out);
   } else {
@@ -125,12 +134,41 @@ void CubeServer::serve(const Job& job, std::vector<JobOutcome>* out) {
     backlog_.pop_front();
     drop(oldest.job, OutcomeKind::kShed, t - oldest.enqueued_at, out);
     backlog_.push_back({job, t});
+    note_enqueued();
   }
   sample_if_due();
 }
 
 void CubeServer::inject_silent_done(const Point& home) {
   core_.inject_silent_done(home);
+}
+
+CubeCounters CubeServer::counters() const {
+  CubeCounters c;
+  // Network stats are read live (finalize_metrics only copies them into
+  // OnlineMetrics at finish), so a mid-run snapshot is current.
+  const NetworkStats& net = network_.stats();
+  c.msg_queries = net.queries;
+  c.msg_replies = net.replies;
+  c.msg_moves = net.moves;
+  c.msg_heartbeats = net.heartbeats;
+  c.msg_heartbeat_skips = net.heartbeat_skips;
+  const OnlineMetrics& m = core_.metrics();
+  c.comps_started = m.computations_started;
+  c.comps_finished = core_.obs_comps_finished();
+  c.comps_failed = m.computations_failed;
+  c.monitor_initiations = m.monitor_initiations;
+  c.replacements = m.replacements;
+  c.max_queries_per_comp = core_.obs_max_queries_per_comp();
+  c.arrivals = static_cast<std::uint64_t>(arrivals_);
+  c.served = served_.size();
+  c.failed = failed_.size();
+  c.enqueued = enqueued_;
+  c.shed = jobs_shed_;
+  c.rejected = jobs_rejected_;
+  c.backlog_peak = backlog_peak_;
+  c.cascade = cascade_;
+  return c;
 }
 
 void CubeServer::finish(std::vector<JobOutcome>* out) {

@@ -63,6 +63,7 @@
 #include "grid/point.h"
 #include "metrics/latency_histogram.h"
 #include "metrics/timeseries.h"
+#include "obs/counters.h"
 #include "online/fleet_core.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
@@ -144,6 +145,11 @@ class CubeServer {
   const LatencyHistogram& latency() const { return latency_; }
   // Backlog-depth / occupancy samples (empty unless sample_stride > 0).
   const Timeseries& series() const { return series_; }
+  // Snapshot of this cube's Tier-A counters (src/obs/): live network
+  // stats + protocol metrics + the obs-gated cascade/admission state,
+  // assembled on demand so mid-run stats samples see current values.
+  // The obs-gated fields are zero unless OnlineConfig::obs.counters.
+  CubeCounters counters() const;
 
  private:
   void settle_if_due();
@@ -156,6 +162,12 @@ class CubeServer {
   // Materializes backlog services whose clock completed by `now`.
   void drain_completed(SimTime now, std::vector<JobOutcome>* out);
   void sample_if_due();
+  // Obs-gated backlog gauges, called after every backlog push.
+  void note_enqueued() {
+    if (!obs_) return;
+    ++enqueued_;
+    if (backlog_.size() > backlog_peak_) backlog_peak_ = backlog_.size();
+  }
 
   struct Waiting {
     Job job;
@@ -178,6 +190,12 @@ class CubeServer {
   std::uint64_t jobs_rejected_ = 0;
   LatencyHistogram latency_;
   Timeseries series_;
+  // Tier-A observability state, touched only when obs_ is set (cached
+  // from OnlineConfig::obs.counters at construction).
+  bool obs_ = false;
+  std::uint64_t enqueued_ = 0;      // jobs that entered the backlog
+  std::uint64_t backlog_peak_ = 0;  // deepest the backlog ever got
+  LatencyHistogram cascade_{CubeCounters::kCascadeMaxValue};
 };
 
 // Everything one worker owns: the cubes assigned to it by the engine's

@@ -13,6 +13,10 @@ void TraceReplayer::set_observer(StreamObserver* observer) {
   engine_.set_observer(observer);
 }
 
+void TraceReplayer::set_snapshotter(StatsSnapshotter* snapshotter) {
+  engine_.set_snapshotter(snapshotter);
+}
+
 void TraceReplayer::ingest(TraceReader& reader) {
   CMVRP_CHECK_MSG(reader.dim() == dim_,
                   "trace dim " << reader.dim() << " does not match engine dim "

@@ -35,6 +35,10 @@ class TraceReplayer {
   // re-audits a trace).
   void set_observer(StreamObserver* observer);
 
+  // Forwarded to the engine: JSONL stats snapshots of a replay — Tier-A
+  // lines bit-identical to the in-memory run's (src/obs/snapshot.h).
+  void set_snapshotter(StatsSnapshotter* snapshotter);
+
   // Replays `reader` from its current cursor to end of trace and
   // finishes the engine. The reader's dim must match the engine's.
   StreamResult replay(TraceReader& reader);

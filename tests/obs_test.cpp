@@ -1,0 +1,261 @@
+// Protocol observability layer (src/obs/): Tier-A counter determinism
+// across thread counts and batch sizes, the off-by-default fast path,
+// the Lemma 3.3.1 per-computation query-flood bound, and the JSONL
+// stats snapshotter's schema + thread-invariance contract.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/counters.h"
+#include "obs/snapshot.h"
+#include "obs/stage_timer.h"
+#include "stream/engine.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+#include "workload/stream_gen.h"
+
+namespace cmvrp {
+namespace {
+
+std::vector<Job> test_stream(std::int64_t box_side, std::int64_t count,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  const Box box(Point{0, 0}, Point{box_side - 1, box_side - 1});
+  const DemandMap d = uniform_demand(box, count, rng);
+  Rng order(seed + 1);
+  return stream_from_demand(d, ArrivalOrder::kShuffled, order);
+}
+
+// Undersized capacity: vehicles exhaust, so Phase I computations,
+// replacement cascades, and query floods actually occur.
+StreamConfig obs_config(int dim, int threads, std::int64_t batch,
+                        bool counters) {
+  StreamConfig cfg;
+  cfg.online.capacity = 8.0;
+  cfg.online.cube_side = 4;
+  cfg.online.anchor = Point::origin(dim);
+  cfg.online.seed = 7;
+  cfg.online.obs.counters = counters;
+  cfg.threads = threads;
+  cfg.batch_size = batch;
+  return cfg;
+}
+
+// --- unit: merge / digest / flood bound -------------------------------------
+
+TEST(CubeCounters, MergeSumsCountsAndMaxesPeaks) {
+  CubeCounters a, b;
+  a.msg_queries = 10;
+  a.max_queries_per_comp = 7;
+  a.backlog_peak = 3;
+  a.replacements = 2;
+  a.cascade.add(1);
+  b.msg_queries = 5;
+  b.max_queries_per_comp = 9;
+  b.backlog_peak = 1;
+  b.replacements = 4;
+  b.cascade.add(2);
+  b.cascade.add(2);
+  a.merge(b);
+  EXPECT_EQ(a.msg_queries, 15u);
+  EXPECT_EQ(a.max_queries_per_comp, 9u);  // peak, not sum
+  EXPECT_EQ(a.backlog_peak, 3u);          // peak, not sum
+  EXPECT_EQ(a.replacements, 6u);
+  EXPECT_EQ(a.cascade.count(), 3u);
+  EXPECT_EQ(a.cascade.observed_max(), 2);
+}
+
+TEST(CubeCounters, MergeIsCommutative) {
+  CubeCounters a, b;
+  a.msg_queries = 3;
+  a.comps_started = 2;
+  a.backlog_peak = 5;
+  a.cascade.add(4);
+  b.msg_replies = 8;
+  b.max_queries_per_comp = 6;
+  b.cascade.add(1);
+  CubeCounters ab = a, ba = b;
+  ab.merge(b);
+  ba.merge(a);
+  EXPECT_TRUE(ab == ba);
+  EXPECT_EQ(ab.digest(), ba.digest());
+}
+
+TEST(CubeCounters, DigestIsPositional) {
+  // 10 queries vs 10 replies are different protocol facts: the digest
+  // mixes fields positionally, so swapping them must not collide.
+  CubeCounters q, r;
+  q.msg_queries = 10;
+  r.msg_replies = 10;
+  EXPECT_NE(q.digest(), r.digest());
+  EXPECT_FALSE(q == r);
+  CubeCounters empty;
+  EXPECT_NE(q.digest(), empty.digest());
+}
+
+TEST(QueryFloodBound, MatchesLemma331ClosedForm) {
+  // s^l * (2r+1)^l at the dimensions the engine serves.
+  EXPECT_EQ(query_flood_bound(4, 2, 2), 400u);     // 16 * 25
+  EXPECT_EQ(query_flood_bound(2, 2, 3), 1000u);    // 8 * 125
+  EXPECT_EQ(query_flood_bound(2, 2, 4), 10000u);   // 16 * 625
+  EXPECT_EQ(query_flood_bound(3, 1, 2), 81u);      // 9 * 9
+}
+
+// --- the determinism contract -----------------------------------------------
+
+TEST(CounterDeterminism, BitIdenticalAcrossThreadsAndBatches) {
+  const auto jobs = test_stream(32, 1500, 23);
+  const StreamResult reference =
+      serve_stream(2, obs_config(2, 1, 32, true), jobs);
+  // The workload must actually exercise the obs-gated fields.
+  ASSERT_GT(reference.counters.replacements, 0u);
+  ASSERT_GT(reference.counters.comps_finished, 0u);
+  ASSERT_GT(reference.counters.max_queries_per_comp, 0u);
+  ASSERT_GT(reference.counters.cascade.count(), 0u);
+  for (const int threads : {1, 2, 8}) {
+    for (const std::int64_t batch : {32, 256}) {
+      const StreamResult r =
+          serve_stream(2, obs_config(2, threads, batch, true), jobs);
+      EXPECT_TRUE(reference.counters == r.counters)
+          << "threads=" << threads << " batch=" << batch;
+      EXPECT_EQ(reference.counters.digest(), r.counters.digest());
+    }
+  }
+}
+
+TEST(CounterDeterminism, OffPathLeavesOutcomeAndGatedFieldsUntouched) {
+  const auto jobs = test_stream(32, 1000, 29);
+  const StreamResult off = serve_stream(2, obs_config(2, 2, 64, false), jobs);
+  const StreamResult on = serve_stream(2, obs_config(2, 2, 64, true), jobs);
+  // Serving outcome is identical with counters on.
+  EXPECT_TRUE(off.metrics == on.metrics);
+  EXPECT_EQ(off.served_jobs, on.served_jobs);
+  EXPECT_EQ(off.failed_jobs, on.failed_jobs);
+  EXPECT_TRUE(off.latency == on.latency);
+  // Message counts come free from the always-on network stats.
+  EXPECT_EQ(off.counters.messages_total(), on.counters.messages_total());
+  EXPECT_EQ(off.counters.replacements, on.counters.replacements);
+  // The obs-gated fields stay zero on the off path.
+  EXPECT_EQ(off.counters.comps_finished, 0u);
+  EXPECT_EQ(off.counters.max_queries_per_comp, 0u);
+  EXPECT_EQ(off.counters.cascade.count(), 0u);
+  EXPECT_EQ(off.counters.enqueued, 0u);
+  EXPECT_EQ(off.counters.backlog_peak, 0u);
+  // And are live on the on path.
+  EXPECT_GT(on.counters.comps_finished, 0u);
+  EXPECT_GT(on.counters.cascade.count(), 0u);
+}
+
+// --- Lemma 3.3.1: the per-computation query flood ---------------------------
+
+TEST(FloodBound, HoldsAtEveryServedDimension) {
+  for (const int dim : {2, 3, 4}) {
+    Rng rng(601 + static_cast<std::uint64_t>(dim));
+    const auto jobs = collect_jobs([&rng, dim](const JobSink& sink) {
+      bursty_hotspot_stream(dim, 2, 3, 800, 24, rng, sink);
+    });
+    StreamConfig cfg = obs_config(dim, 2, 128, true);
+    cfg.online.capacity = 6.0;
+    cfg.online.cube_side = 2;
+    const StreamResult r = serve_stream(dim, cfg, jobs);
+    ASSERT_GT(r.counters.comps_finished, 0u) << "dim=" << dim;
+    ASSERT_GT(r.counters.max_queries_per_comp, 0u) << "dim=" << dim;
+    const std::uint64_t bound = query_flood_bound(
+        cfg.online.cube_side, cfg.online.neighbor_radius, dim);
+    EXPECT_LE(r.counters.max_queries_per_comp, bound) << "dim=" << dim;
+  }
+}
+
+TEST(Cascade, OneSamplePerServedJobBoundedByReplacements) {
+  const auto jobs = test_stream(32, 1200, 31);
+  const StreamResult r = serve_stream(2, obs_config(2, 2, 64, true), jobs);
+  ASSERT_GT(r.counters.replacements, 0u);
+  // Exactly one cascade sample per served job...
+  EXPECT_EQ(r.counters.cascade.count(), r.metrics.jobs_served);
+  // ...and no single job's cascade can exceed the run's replacements.
+  EXPECT_LE(static_cast<std::uint64_t>(r.counters.cascade.observed_max()),
+            r.counters.replacements);
+  EXPECT_EQ(r.counters.cascade.overflow_count(), 0u);
+}
+
+// --- the JSONL snapshotter --------------------------------------------------
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) lines.push_back(line);
+  return lines;
+}
+
+// A sample/final line up to (excluding) its Tier-B suffix — every
+// Tier-B key ends in `_ms` or starts `wall_`, and the serializer emits
+// them last, so cutting at `,"stage_` leaves exactly the Tier-A prefix.
+std::string tier_a_prefix(const std::string& line) {
+  const std::size_t cut = line.find(",\"stage_");
+  return cut == std::string::npos ? line : line.substr(0, cut);
+}
+
+std::string snapshot_run(const std::vector<Job>& jobs, int threads,
+                         std::int64_t stride) {
+  std::ostringstream out;
+  StatsSnapshotter snap(out, stride);
+  StreamEngine engine(2, obs_config(2, threads, 64, true));
+  engine.set_snapshotter(&snap);
+  engine.ingest(jobs);
+  engine.finish();
+  return out.str();
+}
+
+TEST(Snapshotter, EmitsWellFormedSchemaStream) {
+  const auto jobs = test_stream(16, 600, 37);
+  std::ostringstream out;
+  StatsSnapshotter snap(out, 2);
+  StreamEngine engine(2, obs_config(2, 2, 64, true));
+  engine.set_snapshotter(&snap);
+  engine.ingest(jobs);
+  const StreamResult r = engine.finish();
+  const auto lines = split_lines(out.str());
+  ASSERT_EQ(lines.size(), snap.lines_written());
+  // header first, final last, every line a JSON object.
+  EXPECT_NE(lines.front().find("\"kind\":\"header\""), std::string::npos);
+  EXPECT_NE(lines.front().find(kStatsSchema), std::string::npos);
+  EXPECT_NE(lines.back().find("\"kind\":\"final\""), std::string::npos);
+  std::size_t cube_lines = 0;
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    if (line.find("\"kind\":\"cube\"") != std::string::npos) ++cube_lines;
+  }
+  EXPECT_EQ(cube_lines, r.cubes);
+  // Ingesting 600 jobs at batch 64 = 10 batches; stride 2 -> 5 samples.
+  std::size_t samples = 0;
+  for (const auto& line : lines)
+    if (line.find("\"kind\":\"sample\"") != std::string::npos) ++samples;
+  EXPECT_EQ(samples, 5u);
+}
+
+TEST(Snapshotter, TierALinesAreThreadCountInvariant) {
+  const auto jobs = test_stream(16, 600, 41);
+  const auto one = split_lines(snapshot_run(jobs, 1, 2));
+  const auto two = split_lines(snapshot_run(jobs, 2, 2));
+  ASSERT_EQ(one.size(), two.size());
+  // Skip the header (it names the thread count by design); compare
+  // every other line with the Tier-B wall suffix stripped.
+  for (std::size_t i = 1; i < one.size(); ++i)
+    EXPECT_EQ(tier_a_prefix(one[i]), tier_a_prefix(two[i])) << "line " << i;
+}
+
+TEST(Snapshotter, StrideMustBePositive) {
+  std::ostringstream out;
+  EXPECT_THROW(StatsSnapshotter(out, 0), check_error);
+  EXPECT_THROW(StatsSnapshotter(out, -3), check_error);
+}
+
+}  // namespace
+}  // namespace cmvrp

@@ -57,6 +57,7 @@ void expect_identical(const StreamResult& a, const StreamResult& b) {
   EXPECT_EQ(a.jobs_rejected, b.jobs_rejected);
   EXPECT_TRUE(a.latency == b.latency);
   EXPECT_TRUE(a.timeseries == b.timeseries);
+  EXPECT_TRUE(a.counters == b.counters);
   EXPECT_EQ(a.cubes, b.cubes);
   EXPECT_EQ(a.jobs_ingested, b.jobs_ingested);
 }
@@ -587,6 +588,35 @@ TEST(TraceMuxTest, MuxFeedsTheObserver) {
   EXPECT_EQ(recorder.recorded(), r.jobs_ingested);
   EXPECT_EQ(recorder.served_digest(), index_set_digest(r.served_jobs));
   EXPECT_EQ(recorder.failed_digest(), index_set_digest(r.failed_jobs));
+}
+
+TEST(TraceMuxTest, CountersSurviveMuxAndRecordComposition) {
+  // Counters + mux + record composed: the merged run's Tier-A registry
+  // must equal the in-memory merge's bit for bit, while an
+  // OutcomeRecorder rides along auditing the same run. Undersized
+  // capacity so the obs-gated fields are actually exercised.
+  const auto sources = mux_source_jobs();
+  const auto paths = write_mux_sources(sources);
+  const std::vector<Job> merged = merge_streams(sources);
+  StreamConfig cfg = stream_config(2, 1, 256, /*capacity=*/8.0);
+  cfg.online.obs.counters = true;
+  const StreamResult reference = serve_stream(2, cfg, merged);
+  ASSERT_GT(reference.counters.replacements, 0u);
+  ASSERT_GT(reference.counters.comps_finished, 0u);
+  ASSERT_EQ(reference.counters.arrivals, merged.size());
+
+  const std::string audit = temp_path("mux_obs_audit.trace");
+  StreamConfig mcfg = stream_config(2, 8, 128, /*capacity=*/8.0);
+  mcfg.online.obs.counters = true;
+  TraceMux mux(2, mcfg);
+  for (const auto& path : paths) mux.add_source(path);
+  OutcomeRecorder recorder(audit, 2);
+  mux.set_observer(&recorder);
+  const StreamResult r = mux.replay();
+  recorder.close();
+  expect_identical(reference, r);
+  EXPECT_EQ(recorder.recorded(), r.jobs_ingested);
+  EXPECT_EQ(recorder.served_digest(), index_set_digest(r.served_jobs));
 }
 
 // --- silent-done failure injection through v2 traces ------------------------

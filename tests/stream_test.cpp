@@ -51,6 +51,8 @@ void expect_identical(const StreamResult& a, const StreamResult& b) {
   EXPECT_TRUE(a.latency == b.latency);
   EXPECT_EQ(a.latency.digest(), b.latency.digest());
   EXPECT_TRUE(a.timeseries == b.timeseries);
+  EXPECT_TRUE(a.counters == b.counters);
+  EXPECT_EQ(a.counters.digest(), b.counters.digest());
   EXPECT_EQ(a.cubes, b.cubes);
   EXPECT_EQ(a.jobs_ingested, b.jobs_ingested);
 }

@@ -380,6 +380,8 @@ void expect_identical(const StreamResult& a, const StreamResult& b) {
   EXPECT_TRUE(a.latency == b.latency);
   EXPECT_EQ(a.latency.digest(), b.latency.digest());
   EXPECT_TRUE(a.timeseries == b.timeseries);
+  EXPECT_TRUE(a.counters == b.counters);
+  EXPECT_EQ(a.counters.digest(), b.counters.digest());
   EXPECT_EQ(a.cubes, b.cubes);
   EXPECT_EQ(a.jobs_ingested, b.jobs_ingested);
 }
@@ -419,6 +421,40 @@ TEST(TraceReplay, BitIdenticalToInMemoryServingAcrossThreadCounts) {
     TraceReplayer replayer(2, replay_config(2, threads, 256));
     const StreamResult replayed = replayer.replay(reader);
     expect_identical(memory, replayed);
+  }
+}
+
+TEST(TraceReplay, CountersOnReplayMatchesInMemoryServing) {
+  // The Tier-A counter registry (src/obs/) must survive the trace
+  // boundary: replaying a recorded stream with counters on folds to the
+  // same registry as serving the jobs from memory, at every thread
+  // count. Undersized capacity so Phase I floods and cascades occur.
+  const std::string path = temp_path("replay_obs.trace");
+  {
+    TraceWriter writer(path, 2);
+    Rng rng(619);
+    bursty_hotspot_stream(2, 4, 8, 2000, 64, rng,
+                          [&writer](const Job& j) { writer.append(j); });
+    writer.close();
+  }
+  Rng rng(619);
+  const auto jobs = collect_jobs([&rng](const JobSink& sink) {
+    bursty_hotspot_stream(2, 4, 8, 2000, 64, rng, sink);
+  });
+  StreamConfig cfg = replay_config(2, 1, 256);
+  cfg.online.capacity = 8.0;
+  cfg.online.obs.counters = true;
+  const StreamResult memory = serve_stream(2, cfg, jobs);
+  ASSERT_GT(memory.counters.replacements, 0u);
+  ASSERT_GT(memory.counters.comps_finished, 0u);
+  ASSERT_GT(memory.counters.max_queries_per_comp, 0u);
+
+  for (const int threads : {1, 2, 8}) {
+    StreamConfig c = cfg;
+    c.threads = threads;
+    TraceReader reader(path);
+    TraceReplayer replayer(2, c);
+    expect_identical(memory, replayer.replay(reader));
   }
 }
 

@@ -14,11 +14,13 @@
 //                  [--record out.trace] [--monitor-stride K]
 //                  [--admission unbounded|reject|shed] [--queue-limit Q]
 //                  [--service-ticks D] [--sample-stride K]
+//                  [--obs] [--stats s.jsonl] [--stats-stride K]
 //   cmvrp record   --out outcomes.trace [stream flags]    serve + audit trail
 //   cmvrp trace    gen --out t.bin --generator g [--dim L] [--count N] ...
 //                  | info --file t.bin
 //                  | replay --file t.bin [--threads T] [--memory] ...
 //                  | mux t1.bin t2.bin ... [--threads T] [--record o.trace]
+//   cmvrp stats    --file s.jsonl [--top K]   summarize a stats snapshot
 //   cmvrp bench    --suite NAME [--reps N] [--warmup N]   experiment suites
 //                  [--filter S] [--json PATH] | --list | --scenarios
 //
@@ -26,6 +28,7 @@
 // the binary cmvrp-trace-v1/v2 formats (src/trace/format.h) — v2 carries
 // per-record event kinds (arrivals, silent-done failure markers, serving
 // outcomes), which is what `record` writes and `trace mux` merges.
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
@@ -44,6 +47,8 @@
 #include "exp/json.h"
 #include "exp/scenario.h"
 #include "exp/suites.h"
+#include "obs/counters.h"
+#include "obs/snapshot.h"
 #include "online/capacity_search.h"
 #include "record/mux.h"
 #include "record/recorder.h"
@@ -245,9 +250,13 @@ const char* admission_name(AdmissionPolicy policy) {
 }
 
 // Shared report for `stream` and `trace replay`: ASCII table plus the
-// cmvrp-stream-v2 JSON artifact (v2 adds admission config echo, shed /
+// cmvrp-stream-v3 JSON artifact (v2 added admission config echo, shed /
 // rejected counts and hash, latency percentiles + digest, and the
-// timeseries summary). Exit code 0 iff no job failed or was dropped.
+// timeseries summary; v3 adds the Tier-A counter totals — messages by
+// kind, Phase I computation counts, cascade stats, admission gauges,
+// one counters_hash — plus Tier-B stage spans, which carry the *_ms /
+// wall_* naming the CI exclusion list strips). Exit code 0 iff no job
+// failed or was dropped.
 int report_stream(const Args& args, const StreamConfig& cfg,
                   const StreamResult& r, double ms) {
   const double jobs_per_sec =
@@ -279,6 +288,17 @@ int report_stream(const Args& args, const StreamConfig& cfg,
   t.row().cell("latency max").cell(r.latency.observed_max());
   t.row().cell("replacements").cell(r.metrics.replacements);
   t.row().cell("messages total").cell(r.metrics.network.total());
+  const double mpr =
+      r.counters.replacements == 0
+          ? 0.0
+          : static_cast<double>(r.counters.messages_total()) /
+                static_cast<double>(r.counters.replacements);
+  t.row().cell("messages/replacement").cell(mpr);
+  if (cfg.online.obs.counters) {
+    t.row().cell("max queries/computation").cell(
+        r.counters.max_queries_per_comp);
+    t.row().cell("cascade p99").cell(r.counters.cascade.percentile(99.0));
+  }
   t.row().cell("max energy spent").cell(r.metrics.max_energy_spent);
   t.row().cell("wall ms").cell(ms);
   t.row().cell("jobs/sec").cell(jobs_per_sec);
@@ -286,7 +306,7 @@ int report_stream(const Args& args, const StreamConfig& cfg,
 
   if (args.has("json")) {
     Json doc = Json::object();
-    doc.set("schema", "cmvrp-stream-v2");
+    doc.set("schema", "cmvrp-stream-v3");
     doc.set("threads", static_cast<std::int64_t>(cfg.threads));
     doc.set("batch_size", cfg.batch_size);
     doc.set("monitor_stride", cfg.online.monitor_stride);
@@ -324,7 +344,38 @@ int report_stream(const Args& args, const StreamConfig& cfg,
     doc.set("ts_hash", digest_hex(r.timeseries.digest));
     doc.set("replacements", r.metrics.replacements);
     doc.set("messages", r.metrics.network.total());
+    // v3 Tier-A counter totals (deterministic, guarded by the CI
+    // counter-diff): messages by kind, Phase I computations, cascade
+    // stats, admission gauges, and one order-invariant hash over all of
+    // them. The obs-gated fields are zero when obs_counters is false.
+    doc.set("obs_counters", cfg.online.obs.counters);
+    doc.set("msg_queries", r.counters.msg_queries);
+    doc.set("msg_replies", r.counters.msg_replies);
+    doc.set("msg_moves", r.counters.msg_moves);
+    doc.set("msg_heartbeats", r.counters.msg_heartbeats);
+    doc.set("msg_heartbeat_skips", r.counters.msg_heartbeat_skips);
+    doc.set("comps_started", r.counters.comps_started);
+    doc.set("comps_finished", r.counters.comps_finished);
+    doc.set("comps_failed", r.counters.comps_failed);
+    doc.set("monitor_initiations", r.counters.monitor_initiations);
+    doc.set("max_queries_per_comp", r.counters.max_queries_per_comp);
+    doc.set("enqueued", r.counters.enqueued);
+    doc.set("backlog_peak", r.counters.backlog_peak);
+    doc.set("cascade_count", r.counters.cascade.count());
+    doc.set("cascade_p50", r.counters.cascade.percentile(50.0));
+    doc.set("cascade_p99", r.counters.cascade.percentile(99.0));
+    doc.set("cascade_max", r.counters.cascade.observed_max());
+    doc.set("cascade_hash", digest_hex(r.counters.cascade.digest()));
+    doc.set("messages_per_replacement", mpr);
+    doc.set("counters_hash", digest_hex(r.counters.digest()));
     doc.set("max_energy", r.metrics.max_energy_spent);
+    // Tier-B wall spans (nondeterministic by design; the *_ms suffix /
+    // wall_ prefix keeps them out of the CI round-trip diffs).
+    doc.set("stage_ingest_ms", r.stages.ingest_ms);
+    doc.set("stage_route_ms", r.stages.route_ms);
+    doc.set("stage_serve_ms", r.stages.serve_ms);
+    doc.set("stage_fold_ms", r.stages.fold_ms);
+    doc.set("stage_monitor_ms", r.stages.monitor_ms);
     doc.set("wall_ms", ms);
     doc.set("jobs_per_sec", jobs_per_sec);
     std::ofstream out(args.get("json", ""));
@@ -388,8 +439,42 @@ StreamConfig stream_config_from_args(
   // Timeseries sampling cadence (0 = off): every stride-th arrival per
   // cube records backlog depth + fleet occupancy.
   cfg.online.sample_stride = args.get_int("sample-stride", 0);
+  // Tier-A observability counters (src/obs/): per-computation query
+  // attribution, cascade histogram, admission gauges. Off by default —
+  // turning it on cannot change serving outcomes, only the report.
+  cfg.online.obs.counters = args.has("obs");
   return cfg;
 }
+
+// --stats FILE [--stats-stride K]: a JSONL StatsSnapshotter
+// (cmvrp-stats-v1) attached to the engine for the run's lifetime.
+class StatsFile {
+ public:
+  explicit StatsFile(const Args& args) {
+    if (!args.has("stats")) return;
+    CMVRP_CHECK_MSG(args.get("stats", "") != "true",
+                    "--stats needs a file path");
+    out_.open(args.get("stats", ""));
+    CMVRP_CHECK_MSG(out_.good(), "cannot open --stats path");
+    snapshotter_.emplace(out_, args.get_int("stats-stride", 16));
+  }
+
+  StatsSnapshotter* get() { return snapshotter_ ? &*snapshotter_ : nullptr; }
+
+  // Flush + verify after the final line (full-disk writes fail loudly).
+  void close(const Args& args) {
+    if (!snapshotter_) return;
+    out_.flush();
+    CMVRP_CHECK_MSG(out_.good(), "failed writing --stats JSONL");
+    std::cout << "wrote " << snapshotter_->lines_written()
+              << " stats lines (" << kStatsSchema << ") to "
+              << args.get("stats", "") << "\n";
+  }
+
+ private:
+  std::ofstream out_;
+  std::optional<StatsSnapshotter> snapshotter_;
+};
 
 StreamConfig trace_stream_config(const Args& args, TraceReader& reader) {
   return stream_config_from_args(args, reader.dim(), [&reader] {
@@ -439,9 +524,12 @@ int run_stream_serving(const Args& args, const std::string& record_path) {
       recorder.emplace(record_path, reader.dim());
       replayer.set_observer(&*recorder);
     }
+    StatsFile stats(args);
+    if (stats.get() != nullptr) replayer.set_snapshotter(stats.get());
     const StreamResult r = replayer.replay(reader);
     const double ms = timer.elapsed_ms();
     if (recorder) finish_recording(*recorder, r);
+    stats.close(args);
     return report_stream(args, cfg, r, ms);
   }
 
@@ -483,10 +571,13 @@ int run_stream_serving(const Args& args, const std::string& record_path) {
     recorder.emplace(record_path, dim);
     engine.set_observer(&*recorder);
   }
+  StatsFile stats(args);
+  if (stats.get() != nullptr) engine.set_snapshotter(stats.get());
   engine.ingest(jobs);
   const StreamResult r = engine.finish();
   const double ms = timer.elapsed_ms();
   if (recorder) finish_recording(*recorder, r);
+  stats.close(args);
   return report_stream(args, cfg, r, ms);
 }
 
@@ -627,6 +718,11 @@ int cmd_trace_info(const Args& args) {
     t.row().cell("engine cube slots").cell(table.size());
   }
   t.row().cell("mmap").cell(reader.mapped() ? "yes" : "no (read fallback)");
+  // Schema version report: what this binary reads and what its sibling
+  // subcommands write, so artifacts are self-describing end to end.
+  t.row().cell("reads trace schemas").cell("cmvrp-trace-v1, cmvrp-trace-v2");
+  t.row().cell("writes stream schema").cell("cmvrp-stream-v3");
+  t.row().cell("writes stats schema").cell(kStatsSchema);
   t.print(std::cout);
   return 0;
 }
@@ -667,11 +763,14 @@ int cmd_trace_mux(const Args& args) {
     recorder.emplace(args.get("record", ""), dim);
     mux.set_observer(&*recorder);
   }
+  StatsFile stats(args);
+  if (stats.get() != nullptr) mux.set_snapshotter(stats.get());
   const StreamResult r = mux.replay();
   const double ms = timer.elapsed_ms();
   std::cout << "muxed " << paths.size() << " traces, " << mux.jobs_merged()
             << " jobs merged by arrival index\n";
   if (recorder) finish_recording(*recorder, r);
+  stats.close(args);
   return report_stream(args, cfg, r, ms);
 }
 
@@ -683,16 +782,25 @@ int cmd_trace_replay(const Args& args) {
   TraceReader reader(args.get("file", ""));
   CMVRP_CHECK_MSG(reader.job_count() > 0, "trace has no jobs");
   const StreamConfig cfg = trace_stream_config(args, reader);
+  StatsFile stats(args);
   if (args.has("memory")) {
     const std::vector<Job> jobs = reader.read_all();
     WallTimer timer;
-    const StreamResult r = serve_stream(reader.dim(), cfg, jobs);
-    return report_stream(args, cfg, r, timer.elapsed_ms());
+    StreamEngine engine(reader.dim(), cfg);
+    if (stats.get() != nullptr) engine.set_snapshotter(stats.get());
+    engine.ingest(jobs);
+    const StreamResult r = engine.finish();
+    const double ms = timer.elapsed_ms();
+    stats.close(args);
+    return report_stream(args, cfg, r, ms);
   }
   WallTimer timer;
   TraceReplayer replayer(reader.dim(), cfg);
+  if (stats.get() != nullptr) replayer.set_snapshotter(stats.get());
   const StreamResult r = replayer.replay(reader);
-  return report_stream(args, cfg, r, timer.elapsed_ms());
+  const double ms = timer.elapsed_ms();
+  stats.close(args);
+  return report_stream(args, cfg, r, ms);
 }
 
 int cmd_trace(const Args& args) {
@@ -705,6 +813,135 @@ int cmd_trace(const Args& args) {
   CMVRP_CHECK_MSG(
       false, "trace needs an action: trace gen|info|replay|mux [--flags]");
   return 2;
+}
+
+std::string corner_string(const Json& corner) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < corner.size(); ++i) {
+    if (i > 0) out += ",";
+    out += json_number_to_string(corner.at(i).as_number());
+  }
+  return out + ")";
+}
+
+// Top-k cube lines by one numeric JSONL field, ties broken by corner
+// (the lines arrive in ascending-corner order, so the sort is stable
+// and deterministic).
+std::vector<const Json*> top_cubes(const std::vector<Json>& cubes,
+                                   const std::string& field,
+                                   std::size_t k) {
+  std::vector<const Json*> order;
+  order.reserve(cubes.size());
+  for (const Json& c : cubes) order.push_back(&c);
+  std::stable_sort(order.begin(), order.end(),
+                   [&field](const Json* a, const Json* b) {
+                     return a->at(field).as_number() >
+                            b->at(field).as_number();
+                   });
+  if (order.size() > k) order.resize(k);
+  return order;
+}
+
+// `stats`: summarize a cmvrp-stats-v1 JSONL snapshot file (written by
+// `stream --stats FILE`): run header, final Tier-A totals and
+// messages-per-replacement, the Tier-B stage-time breakdown, and the
+// top-k hotspot cubes by latency p99, backlog peak, and message volume.
+int cmd_stats(const Args& args) {
+  CMVRP_CHECK_MSG(args.has("file"), "--file <stats.jsonl> is required");
+  const auto top_k = static_cast<std::size_t>(args.get_int("top", 5));
+  std::ifstream in(args.get("file", ""));
+  CMVRP_CHECK_MSG(in.good(), "cannot open --file " << args.get("file", ""));
+
+  std::optional<Json> header, final_line;
+  std::vector<Json> cubes;
+  std::uint64_t samples = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Json j = Json::parse(line);
+    const std::string& kind = j.at("kind").as_string();
+    if (kind == "header") {
+      header = std::move(j);
+    } else if (kind == "sample") {
+      ++samples;
+    } else if (kind == "cube") {
+      cubes.push_back(std::move(j));
+    } else if (kind == "final") {
+      final_line = std::move(j);
+    }
+  }
+  CMVRP_CHECK_MSG(header.has_value(),
+                  "no header line — not a cmvrp-stats JSONL file");
+  const std::string& schema = header->at("schema").as_string();
+  std::cout << "stats schema: " << schema << " (reader supports "
+            << kStatsSchema << ")\n";
+  CMVRP_CHECK_MSG(schema == kStatsSchema,
+                  "unsupported stats schema: " << schema);
+  CMVRP_CHECK_MSG(final_line.has_value(),
+                  "no final line — the run did not finish()");
+
+  const Json& f = *final_line;
+  Table t({"metric", "value"});
+  t.row().cell("dim").cell(
+      static_cast<std::int64_t>(header->at("dim").as_number()));
+  t.row().cell("threads").cell(
+      static_cast<std::int64_t>(header->at("threads").as_number()));
+  t.row().cell("batch size").cell(
+      static_cast<std::int64_t>(header->at("batch_size").as_number()));
+  t.row().cell("counters").cell(header->at("counters").as_bool() ? "on"
+                                                                 : "off");
+  t.row().cell("samples / cubes").cell(std::to_string(samples) + " / " +
+                                       std::to_string(cubes.size()));
+  t.row().cell("jobs").cell(json_number_to_string(f.at("jobs").as_number()));
+  t.row().cell("served / failed").cell(
+      json_number_to_string(f.at("served").as_number()) + " / " +
+      json_number_to_string(f.at("failed").as_number()));
+  t.row().cell("messages (Q/R/M/H)").cell(
+      json_number_to_string(f.at("msg_queries").as_number()) + " / " +
+      json_number_to_string(f.at("msg_replies").as_number()) + " / " +
+      json_number_to_string(f.at("msg_moves").as_number()) + " / " +
+      json_number_to_string(f.at("msg_heartbeats").as_number()));
+  t.row().cell("replacements").cell(
+      json_number_to_string(f.at("replacements").as_number()));
+  t.row().cell("messages/replacement").cell(
+      f.at("messages_per_replacement").as_number());
+  t.row().cell("max queries/computation").cell(
+      json_number_to_string(f.at("max_queries_per_comp").as_number()));
+  t.row().cell("cascade p99 / max").cell(
+      json_number_to_string(f.at("cascade_p99").as_number()) + " / " +
+      json_number_to_string(f.at("cascade_max").as_number()));
+  // Tier-B stage breakdown (wall time; varies run to run by design).
+  const char* stages[] = {"stage_route_ms", "stage_serve_ms",
+                          "stage_fold_ms", "stage_monitor_ms"};
+  for (const char* s : stages) t.row().cell(s).cell(f.at(s).as_number());
+  t.row().cell("wall_rss_kb").cell(f.at("wall_rss_kb").as_number());
+  t.print(std::cout);
+
+  if (!cubes.empty()) {
+    struct Ranking {
+      const char* title;
+      const char* field;
+    };
+    const Ranking rankings[] = {
+        {"hotspot cubes by latency p99", "latency_p99"},
+        {"hotspot cubes by backlog peak", "backlog_peak"},
+        {"hotspot cubes by message volume", "msg_total"},
+    };
+    for (const Ranking& rank : rankings) {
+      std::cout << "\n" << rank.title << " (top " << top_k << "):\n";
+      Table ct({"cube", rank.field, "arrivals", "served", "replacements"});
+      for (const Json* c : top_cubes(cubes, rank.field, top_k)) {
+        ct.row()
+            .cell(corner_string(c->at("corner")))
+            .cell(json_number_to_string(c->at(rank.field).as_number()))
+            .cell(json_number_to_string(c->at("arrivals").as_number()))
+            .cell(json_number_to_string(c->at("served").as_number()))
+            .cell(json_number_to_string(c->at("replacements").as_number()));
+      }
+      ct.print(std::cout);
+    }
+  }
+  return 0;
 }
 
 int cmd_bench(const Args& args) {
@@ -742,7 +979,7 @@ int cmd_bench(const Args& args) {
 
 int usage(std::ostream& os, int exit_code) {
   os << "usage: cmvrp "
-         "<bounds|plan|online|won|gen|fig41|stream|record|trace|bench> "
+         "<bounds|plan|online|won|gen|fig41|stream|record|trace|stats|bench> "
          "[--flags]\n"
          "  bounds --file d.txt            offline bounds (Thm 1.4.1)\n"
          "  plan   --file d.txt [--ascii]  Lemma 2.2.5 plan + verification\n"
@@ -756,7 +993,15 @@ int usage(std::ostream& os, int exit_code) {
          "         [--record o.trace] [--monitor-stride K]\n"
          "         [--admission unbounded|reject|shed] [--queue-limit Q]\n"
          "         [--service-ticks D] [--sample-stride K]\n"
-         "                                 sharded streaming\n"
+         "         [--obs] [--stats s.jsonl] [--stats-stride K]\n"
+         "                                 sharded streaming; report schema\n"
+         "                                 cmvrp-stream-v3. --obs turns on\n"
+         "                                 Tier-A counters (per-computation\n"
+         "                                 query max, cascade histogram,\n"
+         "                                 admission gauges); --stats streams\n"
+         "                                 cmvrp-stats-v1 JSONL snapshots\n"
+         "                                 every --stats-stride batches\n"
+         "                                 (default 16)\n"
          "  record --out o.trace [stream flags]\n"
          "                                 serve + stream every outcome to a\n"
          "                                 v2 audit trace (digest-verified)\n"
@@ -766,15 +1011,24 @@ int usage(std::ostream& os, int exit_code) {
          "                                 stream a generator into a trace\n"
          "  trace info --file t.bin        print + validate header fields\n"
          "                                 (flags bits, v1/v2 record sizes,\n"
-         "                                 v2 event-kind counts)\n"
+         "                                 v2 event-kind counts, and the\n"
+         "                                 schema versions this binary\n"
+         "                                 reads/writes)\n"
          "  trace replay --file t.bin [--threads T] [--batch B] [--memory]\n"
          "               [--capacity W] [--side S] [--seed s] [--json out]\n"
+         "               [--obs] [--stats s.jsonl] [--stats-stride K]\n"
          "                                 bounded-memory replay (or\n"
          "                                 --memory: in-memory reference)\n"
          "  trace mux t1.bin t2.bin ... [--threads T] [--batch B]\n"
-         "            [--record o.trace] [--json out]\n"
+         "            [--record o.trace] [--json out] [--obs]\n"
+         "            [--stats s.jsonl] [--stats-stride K]\n"
          "                                 merge k traces by arrival index\n"
          "                                 into one engine (deterministic)\n"
+         "  stats  --file s.jsonl [--top K]\n"
+         "                                 summarize a cmvrp-stats-v1 JSONL\n"
+         "                                 snapshot: totals, stage breakdown,\n"
+         "                                 top-K hotspot cubes by p99 /\n"
+         "                                 backlog / messages\n"
          "  bench  --suite s [--reps N] [--warmup N] [--filter f]\n"
          "         [--json out.json]       run an experiment suite\n"
          "  bench  --list | --scenarios    list suites / workload scenarios\n";
@@ -798,6 +1052,7 @@ int main(int argc, char** argv) {
     if (args.command == "stream") return cmd_stream(args);
     if (args.command == "record") return cmd_record(args);
     if (args.command == "trace") return cmd_trace(args);
+    if (args.command == "stats") return cmd_stats(args);
     if (args.command == "bench") return cmd_bench(args);
     return usage(std::cerr, 2);
   } catch (const std::exception& e) {  // check_error, stoll/stod failures

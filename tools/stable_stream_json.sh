@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Strip the wall-clock fields from a cmvrp_cli JSON report, leaving only
+# the deterministic lines — so two runs of the same workload can be
+# diffed byte for byte under the engine's bit-identical contract.
+#
+# The exclusion list is the Tier-A/Tier-B naming convention from
+# src/obs/: every nondeterministic key ends in `_ms` (wall_ms,
+# routing_ms, the stage_*_ms spans), starts with `wall_` (wall_rss_kb),
+# or is the derived rate jobs_per_sec. Everything else in the report —
+# counts, digests, counter totals, messages_per_replacement — is a pure
+# function of the arrival sequence and seed.
+#
+# Usage: stable_stream_json.sh report.json [extra-pattern ...]
+# Extra patterns become additional grep -e exclusions (the record round
+# trip excludes cube_slots this way: the two runs size the slot table
+# from different geometry by design).
+set -eu
+file="$1"
+shift
+excludes="-e _ms -e \"wall_ -e jobs_per_sec"
+for extra in "$@"; do
+  excludes="$excludes -e $extra"
+done
+# shellcheck disable=SC2086
+exec grep -v $excludes "$file"
