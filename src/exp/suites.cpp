@@ -1186,6 +1186,20 @@ void suite_stream_scaling(BenchRun& b) {
                 off_jps && *off_jps > 0.0 ? p.jobs_per_sec / *off_jps : 0.0,
                 3);
   });
+  overhead.run_case("spans=on", [&](MetricRow& row) {
+    StreamConfig c = cfg;
+    c.threads = 1;
+    c.online.obs.counters = true;
+    c.online.obs.spans = true;
+    const StreamProbe p = probe_stream(2, c, jobs);
+    if (!same_serving_outcome(reference, p.result))
+      b.fail("enabling span tracing changed the serving outcome");
+    row.metric("jobs/sec", p.jobs_per_sec, 0)
+        .metric("on/off ratio",
+                off_jps && *off_jps > 0.0 ? p.jobs_per_sec / *off_jps : 0.0,
+                3)
+        .metric("span records", p.result.counters.spans_emitted);
+  });
 
   b.note("Stream scaling: 20000 jobs over 256 cubes (side 4). Outcomes "
          "are bit-identical across every thread count and batch size; "
@@ -1194,7 +1208,7 @@ void suite_stream_scaling(BenchRun& b) {
          "l = 3 and l = 4 streams. The obs section checks the Lemma 3.3.1 "
          "query-flood bound at l = 2/3/4 and records messages-per-"
          "replacement; obs_overhead records the counters-off fast path "
-         "against the counters-on run at one thread.");
+         "against the counters-on and spans-on runs at one thread.");
 }
 
 // served + failed + shed must partition the arrival indices 0..n-1

@@ -26,6 +26,9 @@ void CubeCounters::merge(const CubeCounters& other) {
   shed += other.shed;
   rejected += other.rejected;
   backlog_peak = std::max(backlog_peak, other.backlog_peak);
+  spans_emitted += other.spans_emitted;
+  spans_sampled_out += other.spans_sampled_out;
+  spans_ring_evicted += other.spans_ring_evicted;
   cascade.merge(other.cascade);
 }
 
@@ -38,7 +41,8 @@ std::uint64_t CubeCounters::digest() const {
       msg_heartbeat_skips, comps_started, comps_finished, comps_failed,
       monitor_initiations, replacements,  max_queries_per_comp, arrivals,
       served,        failed,            enqueued,   shed,
-      rejected,      backlog_peak,      cascade.digest()};
+      rejected,      backlog_peak,      spans_emitted, spans_sampled_out,
+      spans_ring_evicted, cascade.digest()};
   for (const std::uint64_t f : fields) h = mix64(h ^ f);
   return h;
 }
@@ -56,7 +60,11 @@ bool operator==(const CubeCounters& a, const CubeCounters& b) {
          a.arrivals == b.arrivals && a.served == b.served &&
          a.failed == b.failed && a.enqueued == b.enqueued &&
          a.shed == b.shed && a.rejected == b.rejected &&
-         a.backlog_peak == b.backlog_peak && a.cascade == b.cascade;
+         a.backlog_peak == b.backlog_peak &&
+         a.spans_emitted == b.spans_emitted &&
+         a.spans_sampled_out == b.spans_sampled_out &&
+         a.spans_ring_evicted == b.spans_ring_evicted &&
+         a.cascade == b.cascade;
 }
 
 std::uint64_t query_flood_bound(std::int64_t cube_side,

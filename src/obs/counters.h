@@ -32,9 +32,22 @@ struct ObsConfig {
   // cascade histogram, admission gauges). Off by default: the serve
   // path must cost the same as before this layer existed.
   bool counters = false;
+  // Tier-C causal span tracing (obs/span.h): per-cube protocol event
+  // records on the cube protocol clock. Off by default for the same
+  // reason as `counters`; turning it on cannot change serving outcomes.
+  bool spans = false;
+  // Deterministic span sampling: trace every span_sample-th diffusing
+  // computation per cube (1 = every computation). Serve begin/end
+  // anchors are always recorded while spans are on.
+  std::int64_t span_sample = 1;
+  // Flight-recorder ring: 0 keeps every sampled record; N > 0 keeps only
+  // the last N records per cube (post-mortem mode — front ends dump the
+  // rings on failed runs instead of exporting full traces).
+  std::int64_t flight = 0;
 
   friend bool operator==(const ObsConfig& a, const ObsConfig& b) {
-    return a.counters == b.counters;
+    return a.counters == b.counters && a.spans == b.spans &&
+           a.span_sample == b.span_sample && a.flight == b.flight;
   }
   friend bool operator!=(const ObsConfig& a, const ObsConfig& b) {
     return !(a == b);
@@ -84,6 +97,14 @@ struct CubeCounters {
   std::uint64_t shed = 0;
   std::uint64_t rejected = 0;
   std::uint64_t backlog_peak = 0;  // deepest the backlog ever got
+
+  // Tier-C span totals (obs/span.h; zero unless ObsConfig::spans):
+  // records kept, records skipped by the computation sampler, and
+  // records the flight-recorder ring evicted. All three are pure
+  // functions of the cube's arrival subsequence, like every field here.
+  std::uint64_t spans_emitted = 0;
+  std::uint64_t spans_sampled_out = 0;
+  std::uint64_t spans_ring_evicted = 0;
 
   // Replacement-cascade length per served job: how many completed
   // Phase II relocations the job's own serve triggered (obs-gated;

@@ -77,6 +77,9 @@ void counter_fields(std::string* line, const CubeCounters& c) {
   field_u64(line, "shed", c.shed);
   field_u64(line, "rejected", c.rejected);
   field_u64(line, "backlog_peak", c.backlog_peak);
+  field_u64(line, "spans_emitted", c.spans_emitted);
+  field_u64(line, "spans_sampled_out", c.spans_sampled_out);
+  field_u64(line, "spans_ring_evicted", c.spans_ring_evicted);
   field_u64(line, "cascade_count", c.cascade.count());
   field_i64(line, "cascade_p50", c.cascade.percentile(50.0));
   field_i64(line, "cascade_p99", c.cascade.percentile(99.0));

@@ -1,0 +1,222 @@
+#include "obs/span.h"
+
+#include "util/check.h"
+
+namespace cmvrp {
+
+const char* span_kind_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kSend:
+      return "send";
+    case SpanKind::kDeliver:
+      return "deliver";
+    case SpanKind::kCompStart:
+      return "comp_start";
+    case SpanKind::kCompFinish:
+      return "comp_finish";
+    case SpanKind::kRelay:
+      return "relay";
+    case SpanKind::kCascadeStep:
+      return "cascade_step";
+    case SpanKind::kServeBegin:
+      return "serve_begin";
+    case SpanKind::kServeEnd:
+      return "serve_end";
+  }
+  return "?";
+}
+
+const char* span_message_kind_name(std::uint8_t aux) {
+  switch (aux) {
+    case 0:
+      return "query";
+    case 1:
+      return "reply";
+    case 2:
+      return "move";
+    case 3:
+      return "existing";
+  }
+  return "?";
+}
+
+SpanRecorder::SpanRecorder(std::int64_t sample_every, std::int64_t flight)
+    : sample_every_(sample_every), flight_(flight) {
+  CMVRP_CHECK_MSG(sample_every >= 1,
+                  "span sample stride must be >= 1 computation");
+  CMVRP_CHECK_MSG(flight >= 0, "flight ring size must be >= 0 (0 = off)");
+  if (flight_ > 0) events_.reserve(static_cast<std::size_t>(flight_));
+}
+
+void SpanRecorder::note_vehicle_pair(std::size_t vid, std::int64_t pair_slot) {
+  CMVRP_CHECK_MSG(vid < (1ull << 32) && pair_slot >= 0 &&
+                      pair_slot < (1ll << 32),
+                  "vehicle/pair id exceeds span packing");
+  if (vid >= pair_of_.size()) pair_of_.resize(vid + 1, kNoActor);
+  pair_of_[vid] = static_cast<std::uint32_t>(pair_slot);
+}
+
+bool SpanRecorder::sampled(std::uint64_t comp) const {
+  const std::uint8_t* s = comp_sampled_.find(comp);
+  return s != nullptr && *s != 0;
+}
+
+void SpanRecorder::append(const SpanEvent& e) {
+  ++totals_.emitted;
+  if (flight_ <= 0) {
+    events_.push_back(e);
+    return;
+  }
+  const auto cap = static_cast<std::size_t>(flight_);
+  if (events_.size() < cap) {
+    events_.push_back(e);
+    return;
+  }
+  // Ring full: overwrite the oldest record.
+  events_[ring_head_] = e;
+  ring_head_ = (ring_head_ + 1) % cap;
+  ++totals_.ring_evicted;
+}
+
+std::vector<SpanEvent> SpanRecorder::snapshot() const {
+  std::vector<SpanEvent> out;
+  out.reserve(events_.size());
+  out.insert(out.end(), events_.begin() + static_cast<std::ptrdiff_t>(
+                                              ring_head_),
+             events_.end());
+  out.insert(out.end(), events_.begin(),
+             events_.begin() + static_cast<std::ptrdiff_t>(ring_head_));
+  return out;
+}
+
+void SpanRecorder::comp_start(std::int64_t clock, std::uint64_t comp,
+                              std::size_t vid, std::size_t fanout) {
+  // The sampling decision is made here, once per computation, and
+  // inherited by every later record carrying this tag — a pure function
+  // of the cube's computation ordinal, so sampled traces stay
+  // bit-identical across threads and batches.
+  const bool keep =
+      (comp_ordinal_++ % static_cast<std::uint64_t>(sample_every_)) == 0;
+  comp_sampled_[comp] = keep ? 1 : 0;
+  if (!keep) {
+    ++totals_.sampled_out;
+    return;
+  }
+  SpanEvent e;
+  e.clock = clock;
+  e.comp = comp;
+  e.data = static_cast<std::uint64_t>(fanout);
+  e.actor = static_cast<std::uint32_t>(vid);
+  e.kind = static_cast<std::uint8_t>(SpanKind::kCompStart);
+  append(e);
+}
+
+void SpanRecorder::comp_finish(std::int64_t clock, std::uint64_t comp,
+                               std::size_t vid, bool found) {
+  if (!sampled(comp)) {
+    ++totals_.sampled_out;
+    return;
+  }
+  SpanEvent e;
+  e.clock = clock;
+  e.comp = comp;
+  e.actor = static_cast<std::uint32_t>(vid);
+  e.kind = static_cast<std::uint8_t>(SpanKind::kCompFinish);
+  e.aux = found ? 1 : 0;
+  append(e);
+}
+
+void SpanRecorder::relay(std::int64_t clock, std::uint64_t comp,
+                         std::size_t vid, std::size_t parent,
+                         std::uint32_t hop, std::size_t fanout) {
+  if (!sampled(comp)) {
+    ++totals_.sampled_out;
+    return;
+  }
+  SpanEvent e;
+  e.clock = clock;
+  e.comp = comp;
+  e.data = static_cast<std::uint64_t>(fanout);
+  e.actor = static_cast<std::uint32_t>(vid);
+  e.parent = static_cast<std::uint32_t>(parent);
+  e.hop = static_cast<std::uint16_t>(hop);
+  e.kind = static_cast<std::uint8_t>(SpanKind::kRelay);
+  append(e);
+}
+
+void SpanRecorder::cascade_step(std::int64_t clock, std::uint64_t comp,
+                                std::size_t vid, std::size_t parent,
+                                std::uint64_t step) {
+  if (!sampled(comp)) {
+    ++totals_.sampled_out;
+    return;
+  }
+  SpanEvent e;
+  e.clock = clock;
+  e.comp = comp;
+  e.data = step;
+  e.actor = static_cast<std::uint32_t>(vid);
+  e.parent = static_cast<std::uint32_t>(parent);
+  e.kind = static_cast<std::uint8_t>(SpanKind::kCascadeStep);
+  append(e);
+}
+
+void SpanRecorder::serve_begin(std::int64_t clock, std::size_t vid,
+                               std::int64_t arrival_index) {
+  SpanEvent e;
+  e.clock = clock;
+  e.data = static_cast<std::uint64_t>(arrival_index);
+  e.actor = vid == SIZE_MAX ? kNoActor : static_cast<std::uint32_t>(vid);
+  e.kind = static_cast<std::uint8_t>(SpanKind::kServeBegin);
+  append(e);
+}
+
+void SpanRecorder::serve_end(std::int64_t clock, std::int64_t arrival_index,
+                             bool served) {
+  SpanEvent e;
+  e.clock = clock;
+  e.data = static_cast<std::uint64_t>(arrival_index);
+  e.kind = static_cast<std::uint8_t>(SpanKind::kServeEnd);
+  e.aux = served ? 1 : 0;
+  append(e);
+}
+
+void SpanRecorder::message(std::int64_t clock, bool send, int msg_kind,
+                           std::uint64_t comp, std::size_t from,
+                           std::size_t to, std::uint32_t hop) {
+  if (!sampled(comp)) {
+    ++totals_.sampled_out;
+    return;
+  }
+  // Flow-id pairing: the send pushes its ordinal onto the channel FIFO,
+  // the delivery pops it — sends and delivers of one (from, to) channel
+  // arrive in the same order (the network's per-channel FIFO clamp), so
+  // the pop always matches its push. Both sides carry the ordinal in
+  // `data`, giving the Chrome exporter its flow id for free.
+  const std::uint64_t channel = (static_cast<std::uint64_t>(from) << 32) |
+                                static_cast<std::uint64_t>(to);
+  std::uint64_t flow_id = 0;
+  if (send) {
+    flow_id = send_ordinal_++;
+    in_flight_[channel].push_back(flow_id);
+  } else {
+    std::vector<std::uint64_t>* fifo = in_flight_.find(channel);
+    CMVRP_CHECK_MSG(fifo != nullptr && !fifo->empty(),
+                    "span delivery without a matching recorded send");
+    flow_id = fifo->front();
+    fifo->erase(fifo->begin());
+  }
+  SpanEvent e;
+  e.clock = clock;
+  e.comp = comp;
+  e.data = flow_id;
+  e.actor = static_cast<std::uint32_t>(send ? from : to);
+  e.parent = static_cast<std::uint32_t>(send ? to : from);
+  e.hop = static_cast<std::uint16_t>(hop);
+  e.kind = static_cast<std::uint8_t>(
+      send ? SpanKind::kSend : SpanKind::kDeliver);
+  e.aux = static_cast<std::uint8_t>(msg_kind);
+  append(e);
+}
+
+}  // namespace cmvrp

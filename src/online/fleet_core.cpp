@@ -71,6 +71,10 @@ std::size_t FleetCore::ensure_vehicle(const Point& home, const Point& corner) {
   vehicles_.push_back(v);
   by_home_.emplace(home, v.id);
   cube_members_[corner].push_back(v.id);
+  // Register the vehicle's pair slot with the span recorder (the Chrome
+  // exporter's tid axis) — for every vehicle, not just active ones: idle
+  // vehicles appear in traces as relays and replacements.
+  if (spans_ != nullptr) spans_->note_vehicle_pair(v.id, k / 2);
   if (v.s1 == WorkState::kActive && !v.dead) {
     CubeState& st = state_of(corner);
     const auto slot = static_cast<std::size_t>(k / 2);
@@ -171,6 +175,7 @@ bool FleetCore::serve_job(const Job& job, const Point& cube_corner) {
   CubeState& st = state_of(cube_corner);
   const auto pair_slot = static_cast<std::size_t>(k / 2);
   const std::size_t vid = st.active_by_pair[pair_slot];
+  if (spans_ != nullptr) spans_->serve_begin(now, vid, job.index);
   if (vid == SIZE_MAX) {
     ++metrics_.jobs_failed;
     return false;
@@ -232,12 +237,18 @@ void FleetCore::initiate_computation(std::size_t initiator,
   auto& nb = neighbor_scratch_;
   neighbors_into(initiator, nb);
   v.num = static_cast<int>(nb.size());
+  // The span must open before the sends (and before the degenerate
+  // immediate finish) so every record tagged with this InitTag finds its
+  // sampling decision already made.
+  if (spans_ != nullptr)
+    spans_->comp_start(queue_.now(), packed_init(v.init), initiator,
+                       nb.size());
   if (nb.empty()) {
     v.s2 = TransferState::kWaiting;
     finish_phase_one(initiator);
     return;
   }
-  for (std::size_t q : nb) network_.send(initiator, q, QueryMsg{v.init});
+  for (std::size_t q : nb) network_.send(initiator, q, QueryMsg{v.init, 1});
   if (config_.obs.counters) obs_note_queries(v.init, nb.size());
 }
 
@@ -292,8 +303,12 @@ void FleetCore::on_query(std::size_t vid, std::size_t from,
       network_.send(vid, from, ReplyMsg{false, q.init});
       return;
     }
-    for (std::size_t n : nb) network_.send(vid, n, QueryMsg{q.init});
+    for (std::size_t n : nb)
+      network_.send(vid, n, QueryMsg{q.init, q.hop + 1});
     if (config_.obs.counters) obs_note_queries(q.init, nb.size());
+    if (spans_ != nullptr)
+      spans_->relay(queue_.now(), packed_init(q.init), vid, from, q.hop,
+                    nb.size());
     return;
   }
   network_.send(vid, from, ReplyMsg{false, q.init});
@@ -325,6 +340,9 @@ void FleetCore::on_reply(std::size_t vid, std::size_t from,
 void FleetCore::finish_phase_one(std::size_t vid) {
   if (config_.obs.counters) ++obs_comps_finished_;
   Vehicle& v = vehicles_[vid];
+  if (spans_ != nullptr)
+    spans_->comp_finish(queue_.now(), packed_init(v.init), vid,
+                        v.child != SIZE_MAX);
   auto dest_it = initiator_dest_.find(vid);
   CMVRP_CHECK(dest_it != initiator_dest_.end());
   const Point dest = dest_it->second;
@@ -344,7 +362,6 @@ void FleetCore::finish_phase_one(std::size_t vid) {
 }
 
 void FleetCore::on_move(std::size_t vid, std::size_t from, const MoveMsg& m) {
-  (void)from;
   Vehicle& v = vehicles_[vid];
   if (v.s1 == WorkState::kIdle && !v.dead) {
     const std::int64_t dist = l1_distance(v.pos, m.dest);
@@ -378,6 +395,9 @@ void FleetCore::on_move(std::size_t vid, std::size_t from, const MoveMsg& m) {
     st.active_since[pair_slot] = queue_.now();
     replacement_pending_[primary] = false;
     ++metrics_.replacements;
+    if (spans_ != nullptr)
+      spans_->cascade_step(queue_.now(), packed_init(m.init), vid, from,
+                           metrics_.replacements);
     // A replacement that arrives already too drained to accept work hands
     // the pair off immediately (only reachable at undersized capacities).
     if (v.exhausted()) {

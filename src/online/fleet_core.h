@@ -32,6 +32,7 @@
 #include "grid/neighborhood.h"
 #include "grid/point.h"
 #include "obs/counters.h"
+#include "obs/span.h"
 #include "online/pairing.h"
 #include "online/vehicle.h"
 #include "sim/event_queue.h"
@@ -177,6 +178,11 @@ class FleetCore {
 
   // Installs on_message as `network`'s receiver.
   void bind_network();
+
+  // Optional Tier-C span hook (borrowed; may be null). Wire before
+  // serving; the recorder sees computation start/finish, relay hops,
+  // cascade steps, and serve-begin anchors on the cube protocol clock.
+  void set_spans(SpanRecorder* spans) { spans_ = spans; }
 
   // Failure injection (call before serving).
   void inject_silent_done(const Point& home);        // scenario 2
@@ -334,6 +340,9 @@ class FleetCore {
   FlatMap<std::uint64_t, std::uint64_t, U64Hash> obs_comp_queries_;
   std::uint64_t obs_comps_finished_ = 0;
   std::uint64_t obs_max_queries_per_comp_ = 0;
+
+  // Tier-C span hook (borrowed; null unless ObsConfig::spans).
+  SpanRecorder* spans_ = nullptr;
 
   OnlineMetrics metrics_;
   JobTiming last_timing_;

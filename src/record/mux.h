@@ -57,6 +57,10 @@ class TraceMux {
   // Merges every source to exhaustion into the engine and finishes it.
   StreamResult replay();
 
+  // The underlying engine, for read-only post-run access (span export:
+  // the CLI pulls span_sources() after replay()).
+  const StreamEngine& engine() const { return engine_; }
+
  private:
   struct Source {
     std::unique_ptr<TraceReader> reader;

@@ -30,9 +30,21 @@ struct InitTag {
 
 inline constexpr InitTag kNoInit{};
 
+// Packed form of an InitTag for the span layer (obs/span.h): vehicle in
+// the high word, sequence in the low. init_seq starts at 1, so a real
+// tag never packs to 0 — 0 is the "no computation" value (kNoInit).
+inline std::uint64_t packed_init(const InitTag& t) {
+  if (t == kNoInit) return 0;
+  return (static_cast<std::uint64_t>(t.vehicle) << 32) | t.seq;
+}
+
 // Phase I: "are you (or do you know) an idle vehicle?" — (init, p).
+// `hop` is the query-tree depth the message travels at (1 = the
+// initiator's own fan-out), carried for the span layer's causal trace;
+// the protocol itself never reads it.
 struct QueryMsg {
   InitTag init;
+  std::uint32_t hop = 0;
 };
 
 // Phase I: reply (flag, p).

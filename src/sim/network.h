@@ -10,6 +10,7 @@
 #include <functional>
 #include <utility>
 
+#include "obs/span.h"
 #include "sim/event_queue.h"
 #include "sim/message.h"
 #include "util/flat_map.h"
@@ -61,6 +62,11 @@ class Network {
 
   void set_receiver(Receiver r) { receiver_ = std::move(r); }
 
+  // Optional Tier-C span hook (borrowed; may be null). When set, every
+  // non-heartbeat send and delivery is recorded on the cube protocol
+  // clock — heartbeats stay invisible, matching their elided delivery.
+  void set_spans(SpanRecorder* spans) { spans_ = spans; }
+
   // Sends m from -> to with a random delay in [1, 1 + max_delay], clamped
   // so the channel stays FIFO.
   void send(std::size_t from, std::size_t to, Message m) {
@@ -86,7 +92,16 @@ class Network {
       ++stats_.heartbeat_skips;
       return;
     }
+    if (spans_ != nullptr) {
+      spans_->message(queue_.now(), /*send=*/true, static_cast<int>(m.index()),
+                      span_comp(m), from, to, span_hop(m));
+    }
     queue_.schedule(at, [this, from, to, m = std::move(m)]() {
+      if (spans_ != nullptr) {
+        spans_->message(queue_.now(), /*send=*/false,
+                        static_cast<int>(m.index()), span_comp(m), from, to,
+                        span_hop(m));
+      }
       receiver_(to, from, m);
     });
   }
@@ -94,6 +109,25 @@ class Network {
   const NetworkStats& stats() const { return stats_; }
 
  private:
+  // Span-layer scalars of a message: the owning computation's packed
+  // InitTag and (for queries) the hop the message travels at. Heartbeats
+  // never reach these (send() elides them first).
+  static std::uint64_t span_comp(const Message& m) {
+    switch (m.index()) {
+      case 0:
+        return packed_init(std::get<QueryMsg>(m).init);
+      case 1:
+        return packed_init(std::get<ReplyMsg>(m).init);
+      case 2:
+        return packed_init(std::get<MoveMsg>(m).init);
+    }
+    return 0;
+  }
+
+  static std::uint32_t span_hop(const Message& m) {
+    return m.index() == 0 ? std::get<QueryMsg>(m).hop : 0;
+  }
+
   void count(const Message& m) {
     switch (m.index()) {
       case 0:
@@ -126,6 +160,7 @@ class Network {
   SimTime max_delay_;
   Receiver receiver_;
   NetworkStats stats_;
+  SpanRecorder* spans_ = nullptr;  // borrowed Tier-C hook; may be null
   // Per-channel FIFO clamp state. Open-addressed: one probe per send
   // beats the rb-tree walk the old std::map did on every message.
   FlatMap<std::uint64_t, SimTime, U64Hash> last_delivery_;

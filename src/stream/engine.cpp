@@ -270,6 +270,27 @@ std::vector<std::pair<Point, OnlineMetrics>> StreamEngine::per_cube_metrics()
   return out;
 }
 
+std::vector<CubeSpanSource> StreamEngine::span_sources() const {
+  std::vector<std::pair<Point, const CubeServer*>> cubes;
+  for (const auto& shard : shards_) shard.collect(cubes);
+  std::sort(cubes.begin(), cubes.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<CubeSpanSource> out;
+  out.reserve(cubes.size());
+  std::uint64_t ordinal = 0;
+  for (const auto& [corner, server] : cubes) {
+    const std::uint64_t fallback = kSpanUnslottedPidBase + ordinal++;
+    if (server->spans() == nullptr) continue;
+    const std::uint32_t slot = table_.slot_of_position(corner, nullptr);
+    CubeSpanSource src;
+    src.corner = corner;
+    src.pid = slot != CubeSlotTable::kNoSlot ? slot : fallback;
+    src.recorder = server->spans();
+    out.push_back(src);
+  }
+  return out;
+}
+
 StreamResult serve_stream(int dim, const StreamConfig& config,
                           const std::vector<Job>& jobs) {
   StreamEngine engine(dim, config);

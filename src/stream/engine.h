@@ -49,6 +49,7 @@
 #include "metrics/timeseries.h"
 #include "obs/counters.h"
 #include "obs/snapshot.h"
+#include "obs/span_export.h"
 #include "obs/stage_timer.h"
 #include "online/fleet_core.h"
 #include "stream/pool.h"
@@ -172,6 +173,14 @@ class StreamEngine {
   // tests/stream_test.cpp's shard-fold-order regression). Metrics are
   // finalized by finish(); call this after it.
   std::vector<std::pair<Point, OnlineMetrics>> per_cube_metrics() const;
+
+  // Tier-C export view: one (corner, pid, recorder) source per cube that
+  // carries a span recorder, in ascending-corner order. pid is the
+  // cube's slot in the routing table when covered (stable across runs of
+  // one scenario), else kSpanUnslottedPidBase + its ascending-corner
+  // ordinal. Empty unless OnlineConfig::obs.spans. Borrowed recorders:
+  // valid until the next ingest()/finish().
+  std::vector<CubeSpanSource> span_sources() const;
 
  private:
   void run_batch(const Job* jobs, std::size_t count);

@@ -30,6 +30,12 @@ CubeServer::CubeServer(int dim, const OnlineConfig& config,
       series_(config.sample_stride),
       obs_(config.obs.counters) {
   core_.bind_network();
+  if (config.obs.spans) {
+    spans_rec_ = std::make_unique<SpanRecorder>(config.obs.span_sample,
+                                                config.obs.flight);
+    core_.set_spans(spans_rec_.get());
+    network_.set_spans(spans_rec_.get());
+  }
 }
 
 void CubeServer::settle_if_due() {
@@ -54,6 +60,9 @@ void CubeServer::serve_now(const Job& job, SimTime queue_wait,
   // The replacement cascade this job triggered (if any) has fully
   // drained: the cube clock now is the job's completion time.
   timing.done_at = queue_.now();
+  // Close the serve span only after the drain, so the begin/end pair
+  // brackets the job's whole cascade on the protocol clock.
+  if (spans_rec_ != nullptr) spans_rec_->serve_end(queue_.now(), job.index, ok);
   timing.queue_wait = queue_wait;
   settle_if_due();
   (ok ? served_ : failed_).push_back(job.index);
@@ -167,6 +176,12 @@ CubeCounters CubeServer::counters() const {
   c.shed = jobs_shed_;
   c.rejected = jobs_rejected_;
   c.backlog_peak = backlog_peak_;
+  if (spans_rec_ != nullptr) {
+    const SpanTotals& t = spans_rec_->totals();
+    c.spans_emitted = t.emitted;
+    c.spans_sampled_out = t.sampled_out;
+    c.spans_ring_evicted = t.ring_evicted;
+  }
   c.cascade = cascade_;
   return c;
 }

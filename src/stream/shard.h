@@ -64,6 +64,7 @@
 #include "metrics/latency_histogram.h"
 #include "metrics/timeseries.h"
 #include "obs/counters.h"
+#include "obs/span.h"
 #include "online/fleet_core.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
@@ -150,6 +151,8 @@ class CubeServer {
   // assembled on demand so mid-run stats samples see current values.
   // The obs-gated fields are zero unless OnlineConfig::obs.counters.
   CubeCounters counters() const;
+  // Tier-C span recorder (null unless OnlineConfig::obs.spans).
+  const SpanRecorder* spans() const { return spans_rec_.get(); }
 
  private:
   void settle_if_due();
@@ -178,6 +181,10 @@ class CubeServer {
   EventQueue queue_;
   Network network_;
   FleetCore core_;
+  // Tier-C span recorder, owned per cube (null unless obs.spans): wired
+  // into both the core (protocol events) and the network (messages) at
+  // construction, read back through the engine's span_sources().
+  std::unique_ptr<SpanRecorder> spans_rec_;
   bool started_ = false;
   std::int64_t since_settle_ = 0;  // services since the last ring settle
   std::int64_t arrivals_ = 0;      // arrivals admitted to this cube

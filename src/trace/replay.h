@@ -50,6 +50,10 @@ class TraceReplayer {
 
   std::size_t chunk_jobs() const { return chunk_.size(); }
 
+  // The underlying engine, for read-only post-run access (span export:
+  // the CLI pulls span_sources() after replay()).
+  const StreamEngine& engine() const { return engine_; }
+
  private:
   void ingest_events(TraceReader& reader);
 

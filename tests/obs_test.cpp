@@ -1,16 +1,23 @@
 // Protocol observability layer (src/obs/): Tier-A counter determinism
 // across thread counts and batch sizes, the off-by-default fast path,
-// the Lemma 3.3.1 per-computation query-flood bound, and the JSONL
-// stats snapshotter's schema + thread-invariance contract.
+// the Lemma 3.3.1 per-computation query-flood bound, the JSONL stats
+// snapshotter's schema + thread-invariance contract, and the Tier-C
+// span layer: byte-identical exports across threads/batches, sampling
+// and flight-ring semantics, spool round-trips, and the prof analyzer's
+// attribution contract.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "obs/counters.h"
+#include "obs/prof.h"
 #include "obs/snapshot.h"
+#include "obs/span.h"
+#include "obs/span_export.h"
 #include "obs/stage_timer.h"
 #include "stream/engine.h"
 #include "util/check.h"
@@ -255,6 +262,199 @@ TEST(Snapshotter, StrideMustBePositive) {
   std::ostringstream out;
   EXPECT_THROW(StatsSnapshotter(out, 0), check_error);
   EXPECT_THROW(StatsSnapshotter(out, -3), check_error);
+}
+
+// --- Tier-C spans -----------------------------------------------------------
+
+struct SpanRun {
+  StreamResult result;
+  std::string spool;   // binary spool bytes
+  std::string chrome;  // Chrome trace-event JSON (wall_ms pinned to 0)
+};
+
+SpanRun span_run(const std::vector<Job>& jobs, int threads,
+                 std::int64_t batch, std::int64_t sample,
+                 std::int64_t flight) {
+  StreamConfig cfg = obs_config(2, threads, batch, true);
+  cfg.online.obs.spans = true;
+  cfg.online.obs.span_sample = sample;
+  cfg.online.obs.flight = flight;
+  StreamEngine engine(2, cfg);
+  engine.ingest(jobs);
+  SpanRun run;
+  run.result = engine.finish();
+  std::ostringstream spool, chrome;
+  write_span_spool(spool, 2, engine.span_sources());
+  export_chrome_trace(chrome, 2, engine.span_sources(), 0.0);
+  run.spool = spool.str();
+  run.chrome = chrome.str();
+  return run;
+}
+
+std::string span_temp_file(const char* name, const std::string& bytes) {
+  const std::string path = testing::TempDir() + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+  return path;
+}
+
+// The PR's acceptance bar: a saturating scenario's exported trace —
+// spool AND Chrome JSON — is byte-identical across thread counts {1,2,8}
+// and batch sizes {32,256}. wall_ms is pinned to 0 here; the CLI-level
+// guard strips the wall line instead (tools/stable_stream_json.sh).
+TEST(SpanDeterminism, ExportsBitIdenticalAcrossThreadsAndBatches) {
+  const auto jobs = test_stream(32, 1500, 23);
+  const SpanRun ref = span_run(jobs, 1, 32, 1, 0);
+  ASSERT_GT(ref.result.counters.spans_emitted, 0u);
+  ASSERT_GT(ref.result.counters.replacements, 0u);  // saturating
+  for (const int threads : {1, 2, 8}) {
+    for (const std::int64_t batch : {32, 256}) {
+      const SpanRun r = span_run(jobs, threads, batch, 1, 0);
+      EXPECT_EQ(ref.spool, r.spool)
+          << "threads=" << threads << " batch=" << batch;
+      EXPECT_EQ(ref.chrome, r.chrome)
+          << "threads=" << threads << " batch=" << batch;
+    }
+  }
+}
+
+TEST(SpanSampling, DeterministicSkipsEveryKthComputation) {
+  const auto jobs = test_stream(32, 1500, 23);
+  const SpanRun full = span_run(jobs, 2, 64, 1, 0);
+  const SpanRun a = span_run(jobs, 1, 256, 4, 0);
+  const SpanRun b = span_run(jobs, 8, 32, 4, 0);
+  // Sampling is per-cube-deterministic, so the sampled trace is still
+  // bit-identical across threads and batches.
+  EXPECT_EQ(a.spool, b.spool);
+  EXPECT_EQ(a.chrome, b.chrome);
+  EXPECT_GT(a.result.counters.spans_sampled_out, 0u);
+  EXPECT_LT(a.result.counters.spans_emitted,
+            full.result.counters.spans_emitted);
+  // Sampling never changes serving outcomes.
+  EXPECT_TRUE(full.result.metrics == a.result.metrics);
+  EXPECT_EQ(full.result.served_jobs, a.result.served_jobs);
+}
+
+TEST(SpanFlightRing, BoundsPerCubeStorageAndCountsEvictions) {
+  const auto jobs = test_stream(32, 1500, 23);
+  const SpanRun r = span_run(jobs, 2, 64, 1, 16);
+  EXPECT_GT(r.result.counters.spans_ring_evicted, 0u);
+  const std::string path = span_temp_file("obs_flight.bin", r.spool);
+  const SpanSpool spool = read_span_spool(path);
+  for (const CubeSpans& cube : spool.cubes) {
+    EXPECT_LE(cube.events.size(), 16u);
+    // emitted counts pre-eviction appends; the ring never holds more
+    // than emitted - evicted.
+    EXPECT_EQ(cube.events.size(),
+              cube.totals.emitted - cube.totals.ring_evicted);
+  }
+  EXPECT_EQ(spool.totals.emitted, r.result.counters.spans_emitted);
+  EXPECT_EQ(spool.totals.ring_evicted,
+            r.result.counters.spans_ring_evicted);
+}
+
+TEST(SpanOffPath, OutcomeInvariantAndSourcesEmpty) {
+  const auto jobs = test_stream(32, 1000, 29);
+  StreamEngine off_engine(2, obs_config(2, 2, 64, true));
+  off_engine.ingest(jobs);
+  const StreamResult off = off_engine.finish();
+  EXPECT_TRUE(off_engine.span_sources().empty());
+  EXPECT_EQ(off.counters.spans_emitted, 0u);
+  EXPECT_EQ(off.counters.spans_sampled_out, 0u);
+  EXPECT_EQ(off.counters.spans_ring_evicted, 0u);
+  // Turning spans on cannot change serving outcomes.
+  const SpanRun on = span_run(jobs, 2, 64, 1, 0);
+  EXPECT_TRUE(off.metrics == on.result.metrics);
+  EXPECT_EQ(off.served_jobs, on.result.served_jobs);
+  EXPECT_EQ(off.failed_jobs, on.result.failed_jobs);
+  EXPECT_TRUE(off.latency == on.result.latency);
+}
+
+TEST(SpanSpoolReader, RoundTripsEventsRegistryAndTotals) {
+  const auto jobs = test_stream(16, 600, 37);
+  StreamConfig cfg = obs_config(2, 2, 64, true);
+  cfg.online.obs.spans = true;
+  StreamEngine engine(2, cfg);
+  engine.ingest(jobs);
+  engine.finish();
+  const auto sources = engine.span_sources();
+  ASSERT_FALSE(sources.empty());
+  std::ostringstream out;
+  write_span_spool(out, 2, sources);
+  const std::string path = span_temp_file("obs_roundtrip.bin", out.str());
+  const SpanSpool spool = read_span_spool(path);
+  ASSERT_EQ(spool.cubes.size(), sources.size());
+  EXPECT_EQ(spool.dim, 2);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const CubeSpans& cube = spool.cubes[i];
+    const SpanRecorder& rec = *sources[i].recorder;
+    EXPECT_EQ(cube.corner, sources[i].corner);
+    EXPECT_EQ(cube.pid, sources[i].pid);
+    EXPECT_EQ(cube.events, rec.snapshot());
+    ASSERT_EQ(cube.pair_of.size(), rec.vehicle_count());
+    for (std::size_t v = 0; v < cube.pair_of.size(); ++v)
+      EXPECT_EQ(cube.pair_of[v],
+                rec.pair_of(static_cast<std::uint32_t>(v)));
+  }
+}
+
+TEST(SpanSpoolReader, RejectsTruncationNamingTheByteOffset) {
+  const auto jobs = test_stream(16, 400, 43);
+  const SpanRun r = span_run(jobs, 1, 64, 1, 0);
+  const std::string half = r.spool.substr(0, r.spool.size() / 2);
+  const std::string path = span_temp_file("obs_truncated.bin", half);
+  try {
+    read_span_spool(path);
+    FAIL() << "truncated spool was accepted";
+  } catch (const check_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated at byte"),
+              std::string::npos)
+        << e.what();
+  }
+  // A wrong magic byte is named too.
+  std::string bad = r.spool;
+  bad[0] = 'X';
+  const std::string bad_path = span_temp_file("obs_badmagic.bin", bad);
+  EXPECT_THROW(read_span_spool(bad_path), check_error);
+}
+
+// The prof acceptance bar: at sampling K=1, >= 95% of counted Phase I
+// queries (CubeCounters::msg_queries) attribute to a computation tree —
+// in fact 100%, because the span hook and the counter hook sit at the
+// same send site and every query carries its InitTag.
+TEST(Prof, AttributesQueriesAndMeasuresCriticalPaths) {
+  const auto jobs = test_stream(32, 1500, 23);
+  const SpanRun run = span_run(jobs, 2, 64, 1, 0);
+  const std::string path = span_temp_file("obs_prof.bin", run.spool);
+  const SpanSpool spool = read_span_spool(path);
+  const ProfReport rep = profile_spans(spool.cubes, 3);
+  ASSERT_GT(rep.comps, 0u);
+  EXPECT_EQ(rep.query_sends, run.result.counters.msg_queries);
+  EXPECT_EQ(rep.attributed_queries, rep.query_sends);
+  EXPECT_GE(rep.attribution_ratio(), 0.95);
+  EXPECT_EQ(rep.comps, run.result.counters.comps_started);
+  EXPECT_EQ(rep.comps_finished, run.result.counters.comps_finished);
+  EXPECT_EQ(rep.replacements, run.result.counters.replacements);
+  // Per-replacement critical paths on the protocol clock.
+  EXPECT_EQ(rep.critical.count(), rep.comps_finished);
+  EXPECT_GT(rep.critical.observed_max(), 0);
+  EXPECT_GT(rep.depth.observed_max(), 0);
+  // Fan-out breadth by hop partitions the attributed query sends.
+  std::uint64_t hop_sum = 0;
+  for (const std::uint64_t b : rep.breadth_by_hop) hop_sum += b;
+  EXPECT_EQ(hop_sum, rep.attributed_queries);
+  // Widest floods are sorted by query count, descending.
+  ASSERT_EQ(rep.widest.size(), 3u);
+  EXPECT_GE(rep.widest[0].queries, rep.widest[1].queries);
+  EXPECT_GE(rep.widest[1].queries, rep.widest[2].queries);
+  EXPECT_EQ(static_cast<std::uint64_t>(rep.flood_width.observed_max()),
+            rep.widest[0].queries);
+}
+
+TEST(SpanRecorder, GuardsConstructionParameters) {
+  EXPECT_THROW(SpanRecorder(0, 0), check_error);
+  EXPECT_THROW(SpanRecorder(-2, 0), check_error);
+  EXPECT_THROW(SpanRecorder(1, -1), check_error);
 }
 
 }  // namespace

@@ -9,9 +9,11 @@
 
 #include <cstdint>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/span_export.h"
 #include "online/pairing.h"
 #include "record/mux.h"
 #include "record/recorder.h"
@@ -723,6 +725,55 @@ TEST(SilentDoneReplay, AuditTrailOfInjectedRunCarriesTheInjection) {
   EXPECT_TRUE(trail.has_failure_events());
   TraceReplayer replayer(2, stream_config(2, 2, 64, 12.0));
   expect_identical(original, replayer.replay(trail));
+}
+
+TEST(SilentDoneReplay, CountersAndSpansSurviveRecordedReplayBitIdentical) {
+  // A counters-on (and spans-on) run with a mid-stream injection must be
+  // bit-identical to replaying its own audit trail: expect_identical
+  // covers CubeCounters (Tier-A counts plus the Tier-C span totals), and
+  // the exported span spool must match byte for byte — the injection
+  // lands between the same two arrivals of its cube's subsequence on
+  // both sides.
+  // Point burst (the MarkerForcesRingRecovery setup): the serving
+  // vehicle is still alive when the marker lands mid-stream, then
+  // exhausts silently, so only the ring can recover it.
+  const Point p{1, 1};
+  const Point home = CubePairing(2, Point{0, 0}, 4).primary(p);
+  std::vector<Job> jobs;
+  for (std::int64_t k = 0; k < 60; ++k) jobs.push_back(Job{p, k});
+  StreamConfig cfg = stream_config(2, 2, 16, /*capacity=*/12.0);
+  cfg.online.obs.counters = true;
+  cfg.online.obs.spans = true;
+
+  const std::string audit = temp_path("counters_inject.trace");
+  StreamResult original;
+  std::string original_spool;
+  {
+    StreamEngine engine(2, cfg);
+    OutcomeRecorder recorder(audit, 2);
+    engine.set_observer(&recorder);
+    // Inject mid-stream but before the primary exhausts, so the marker
+    // hits the vehicle that is still serving.
+    engine.ingest(jobs.data(), 4);
+    engine.inject_silent_done(home);
+    engine.ingest(jobs.data() + 4, jobs.size() - 4);
+    original = engine.finish();
+    recorder.close();
+    std::ostringstream spool;
+    write_span_spool(spool, 2, engine.span_sources());
+    original_spool = spool.str();
+  }
+  ASSERT_GT(original.counters.replacements, 0u);
+  ASSERT_GT(original.counters.spans_emitted, 0u);
+  ASSERT_GT(original.metrics.monitor_initiations, 0u);  // injection bit
+
+  TraceReader trail(audit);
+  TraceReplayer replayer(2, cfg);
+  const StreamResult replayed = replayer.replay(trail);
+  expect_identical(original, replayed);
+  std::ostringstream replay_spool;
+  write_span_spool(replay_spool, 2, replayer.engine().span_sources());
+  EXPECT_EQ(original_spool, replay_spool.str());
 }
 
 // --- amortized monitoring: the stride contract ------------------------------

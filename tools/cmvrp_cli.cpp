@@ -15,12 +15,14 @@
 //                  [--admission unbounded|reject|shed] [--queue-limit Q]
 //                  [--service-ticks D] [--sample-stride K]
 //                  [--obs] [--stats s.jsonl] [--stats-stride K]
+//                  [--trace-spans f.json|f.bin] [--span-sample K] [--flight N]
 //   cmvrp record   --out outcomes.trace [stream flags]    serve + audit trail
 //   cmvrp trace    gen --out t.bin --generator g [--dim L] [--count N] ...
 //                  | info --file t.bin
 //                  | replay --file t.bin [--threads T] [--memory] ...
 //                  | mux t1.bin t2.bin ... [--threads T] [--record o.trace]
 //   cmvrp stats    --file s.jsonl [--top K]   summarize a stats snapshot
+//   cmvrp prof     --file spans.bin|spans.json [--top K]  span-trace analyzer
 //   cmvrp bench    --suite NAME [--reps N] [--warmup N]   experiment suites
 //                  [--filter S] [--json PATH] | --list | --scenarios
 //
@@ -48,7 +50,10 @@
 #include "exp/scenario.h"
 #include "exp/suites.h"
 #include "obs/counters.h"
+#include "obs/prof.h"
 #include "obs/snapshot.h"
+#include "obs/span.h"
+#include "obs/span_export.h"
 #include "online/capacity_search.h"
 #include "record/mux.h"
 #include "record/recorder.h"
@@ -299,6 +304,11 @@ int report_stream(const Args& args, const StreamConfig& cfg,
         r.counters.max_queries_per_comp);
     t.row().cell("cascade p99").cell(r.counters.cascade.percentile(99.0));
   }
+  if (cfg.online.obs.spans) {
+    t.row().cell("span records").cell(r.counters.spans_emitted);
+    t.row().cell("spans sampled out").cell(r.counters.spans_sampled_out);
+    t.row().cell("span ring evictions").cell(r.counters.spans_ring_evicted);
+  }
   t.row().cell("max energy spent").cell(r.metrics.max_energy_spent);
   t.row().cell("wall ms").cell(ms);
   t.row().cell("jobs/sec").cell(jobs_per_sec);
@@ -361,6 +371,14 @@ int report_stream(const Args& args, const StreamConfig& cfg,
     doc.set("max_queries_per_comp", r.counters.max_queries_per_comp);
     doc.set("enqueued", r.counters.enqueued);
     doc.set("backlog_peak", r.counters.backlog_peak);
+    // Tier-C span bookkeeping (deterministic like the counters above;
+    // all zero unless --trace-spans turned the recorders on).
+    doc.set("obs_spans", cfg.online.obs.spans);
+    doc.set("span_sample", cfg.online.obs.span_sample);
+    doc.set("flight", cfg.online.obs.flight);
+    doc.set("spans_emitted", r.counters.spans_emitted);
+    doc.set("spans_sampled_out", r.counters.spans_sampled_out);
+    doc.set("spans_ring_evicted", r.counters.spans_ring_evicted);
     doc.set("cascade_count", r.counters.cascade.count());
     doc.set("cascade_p50", r.counters.cascade.percentile(50.0));
     doc.set("cascade_p99", r.counters.cascade.percentile(99.0));
@@ -443,6 +461,27 @@ StreamConfig stream_config_from_args(
   // attribution, cascade histogram, admission gauges. Off by default —
   // turning it on cannot change serving outcomes, only the report.
   cfg.online.obs.counters = args.has("obs");
+  // Tier-C causal span tracing (src/obs/span.h): --trace-spans FILE turns
+  // the per-cube recorders on (.json = Chrome trace events, anything else
+  // = the binary spool `prof` reads); --span-sample K traces every K-th
+  // computation per cube; --flight N keeps only the last N records per
+  // cube and dumps them post-mortem instead of exporting every run.
+  if (args.has("trace-spans")) {
+    CMVRP_CHECK_MSG(args.get("trace-spans", "") != "true",
+                    "--trace-spans needs a file path");
+    cfg.online.obs.spans = true;
+  }
+  CMVRP_CHECK_MSG(!args.has("span-sample") || cfg.online.obs.spans,
+                  "--span-sample needs --trace-spans");
+  CMVRP_CHECK_MSG(!args.has("flight") || cfg.online.obs.spans,
+                  "--flight needs --trace-spans");
+  cfg.online.obs.span_sample = args.get_int("span-sample", 1);
+  CMVRP_CHECK_MSG(cfg.online.obs.span_sample >= 1,
+                  "--span-sample must be >= 1, got "
+                      << cfg.online.obs.span_sample);
+  cfg.online.obs.flight = args.get_int("flight", 0);
+  CMVRP_CHECK_MSG(cfg.online.obs.flight >= 0,
+                  "--flight must be >= 0, got " << cfg.online.obs.flight);
   return cfg;
 }
 
@@ -451,12 +490,18 @@ StreamConfig stream_config_from_args(
 class StatsFile {
  public:
   explicit StatsFile(const Args& args) {
+    // Reject a bad stride at parse time — before the early return (it is
+    // a usage error with or without --stats) and before the truncating
+    // open below, so a typo'd flag cannot clobber an existing snapshot.
+    const std::int64_t stride = args.get_int("stats-stride", 16);
+    CMVRP_CHECK_MSG(stride >= 1,
+                    "--stats-stride must be >= 1, got " << stride);
     if (!args.has("stats")) return;
     CMVRP_CHECK_MSG(args.get("stats", "") != "true",
                     "--stats needs a file path");
     out_.open(args.get("stats", ""));
     CMVRP_CHECK_MSG(out_.good(), "cannot open --stats path");
-    snapshotter_.emplace(out_, args.get_int("stats-stride", 16));
+    snapshotter_.emplace(out_, stride);
   }
 
   StatsSnapshotter* get() { return snapshotter_ ? &*snapshotter_ : nullptr; }
@@ -474,6 +519,67 @@ class StatsFile {
  private:
   std::ofstream out_;
   std::optional<StatsSnapshotter> snapshotter_;
+};
+
+// --trace-spans FILE [--span-sample K] [--flight N]: Tier-C span export
+// (src/obs/span_export.h). Full-trace mode writes the file after every
+// run; flight mode (--flight N > 0) keeps only the per-cube rings and
+// writes the file only for post-mortems — a failed run or a thrown
+// check_error mid-serve.
+class SpanFile {
+ public:
+  SpanFile(const Args& args, int dim)
+      : dim_(dim),
+        path_(args.get("trace-spans", "")),
+        flight_only_(args.get_int("flight", 0) > 0) {}
+
+  // After a completed run; `run_ok` is the report's success bit.
+  void finish(const StreamEngine& engine, double wall_ms, bool run_ok) {
+    if (path_.empty()) return;
+    if (flight_only_ && run_ok) {
+      std::cout << "flight recorder: run clean, no span dump (" << path_
+                << " not written)\n";
+      return;
+    }
+    write(engine, wall_ms);
+  }
+
+  // From a catch block: best-effort post-mortem dump — a failure here
+  // must not mask the exception already in flight.
+  void dump_on_error(const StreamEngine& engine) {
+    if (path_.empty()) return;
+    try {
+      write(engine, 0.0);
+    } catch (...) {
+      std::cerr << "warning: span post-mortem dump to " << path_
+                << " failed\n";
+    }
+  }
+
+ private:
+  void write(const StreamEngine& engine, double wall_ms) {
+    const std::vector<CubeSpanSource> sources = engine.span_sources();
+    std::uint64_t records = 0;
+    for (const CubeSpanSource& s : sources) records += s.recorder->stored();
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    CMVRP_CHECK_MSG(out.good(), "cannot open --trace-spans path: " << path_);
+    const bool json = path_.size() >= 5 &&
+                      path_.compare(path_.size() - 5, 5, ".json") == 0;
+    if (json) {
+      export_chrome_trace(out, dim_, sources, wall_ms);
+    } else {
+      write_span_spool(out, dim_, sources);
+    }
+    out.flush();
+    CMVRP_CHECK_MSG(out.good(), "failed writing span trace: " << path_);
+    std::cout << "wrote " << records << " span records (" << sources.size()
+              << " cubes, " << (json ? "chrome-trace json" : "span spool")
+              << ") to " << path_ << "\n";
+  }
+
+  int dim_;
+  std::string path_;
+  bool flight_only_;
 };
 
 StreamConfig trace_stream_config(const Args& args, TraceReader& reader) {
@@ -526,11 +632,20 @@ int run_stream_serving(const Args& args, const std::string& record_path) {
     }
     StatsFile stats(args);
     if (stats.get() != nullptr) replayer.set_snapshotter(stats.get());
-    const StreamResult r = replayer.replay(reader);
+    SpanFile spans(args, reader.dim());
+    StreamResult r;
+    try {
+      r = replayer.replay(reader);
+    } catch (...) {
+      spans.dump_on_error(replayer.engine());
+      throw;
+    }
     const double ms = timer.elapsed_ms();
     if (recorder) finish_recording(*recorder, r);
     stats.close(args);
-    return report_stream(args, cfg, r, ms);
+    const int rc = report_stream(args, cfg, r, ms);
+    spans.finish(replayer.engine(), ms, rc == 0);
+    return rc;
   }
 
   std::vector<Job> jobs;
@@ -573,12 +688,21 @@ int run_stream_serving(const Args& args, const std::string& record_path) {
   }
   StatsFile stats(args);
   if (stats.get() != nullptr) engine.set_snapshotter(stats.get());
-  engine.ingest(jobs);
-  const StreamResult r = engine.finish();
+  SpanFile spans(args, dim);
+  StreamResult r;
+  try {
+    engine.ingest(jobs);
+    r = engine.finish();
+  } catch (...) {
+    spans.dump_on_error(engine);
+    throw;
+  }
   const double ms = timer.elapsed_ms();
   if (recorder) finish_recording(*recorder, r);
   stats.close(args);
-  return report_stream(args, cfg, r, ms);
+  const int rc = report_stream(args, cfg, r, ms);
+  spans.finish(engine, ms, rc == 0);
+  return rc;
 }
 
 int cmd_stream(const Args& args) {
@@ -765,13 +889,22 @@ int cmd_trace_mux(const Args& args) {
   }
   StatsFile stats(args);
   if (stats.get() != nullptr) mux.set_snapshotter(stats.get());
-  const StreamResult r = mux.replay();
+  SpanFile spans(args, dim);
+  StreamResult r;
+  try {
+    r = mux.replay();
+  } catch (...) {
+    spans.dump_on_error(mux.engine());
+    throw;
+  }
   const double ms = timer.elapsed_ms();
   std::cout << "muxed " << paths.size() << " traces, " << mux.jobs_merged()
             << " jobs merged by arrival index\n";
   if (recorder) finish_recording(*recorder, r);
   stats.close(args);
-  return report_stream(args, cfg, r, ms);
+  const int rc = report_stream(args, cfg, r, ms);
+  spans.finish(mux.engine(), ms, rc == 0);
+  return rc;
 }
 
 // `trace replay`: bounded-memory replay (default) or, with --memory, an
@@ -783,24 +916,41 @@ int cmd_trace_replay(const Args& args) {
   CMVRP_CHECK_MSG(reader.job_count() > 0, "trace has no jobs");
   const StreamConfig cfg = trace_stream_config(args, reader);
   StatsFile stats(args);
+  SpanFile spans(args, reader.dim());
   if (args.has("memory")) {
     const std::vector<Job> jobs = reader.read_all();
     WallTimer timer;
     StreamEngine engine(reader.dim(), cfg);
     if (stats.get() != nullptr) engine.set_snapshotter(stats.get());
-    engine.ingest(jobs);
-    const StreamResult r = engine.finish();
+    StreamResult r;
+    try {
+      engine.ingest(jobs);
+      r = engine.finish();
+    } catch (...) {
+      spans.dump_on_error(engine);
+      throw;
+    }
     const double ms = timer.elapsed_ms();
     stats.close(args);
-    return report_stream(args, cfg, r, ms);
+    const int rc = report_stream(args, cfg, r, ms);
+    spans.finish(engine, ms, rc == 0);
+    return rc;
   }
   WallTimer timer;
   TraceReplayer replayer(reader.dim(), cfg);
   if (stats.get() != nullptr) replayer.set_snapshotter(stats.get());
-  const StreamResult r = replayer.replay(reader);
+  StreamResult r;
+  try {
+    r = replayer.replay(reader);
+  } catch (...) {
+    spans.dump_on_error(replayer.engine());
+    throw;
+  }
   const double ms = timer.elapsed_ms();
   stats.close(args);
-  return report_stream(args, cfg, r, ms);
+  const int rc = report_stream(args, cfg, r, ms);
+  spans.finish(replayer.engine(), ms, rc == 0);
+  return rc;
 }
 
 int cmd_trace(const Args& args) {
@@ -856,9 +1006,30 @@ int cmd_stats(const Args& args) {
   std::vector<Json> cubes;
   std::uint64_t samples = 0;
   std::string line;
+  // Byte-offset accounting: malformed input (truncated lines, non-JSONL
+  // files) fails with the offset of the offending line, not a bare parse
+  // error — same contract as the binary trace readers.
+  std::uint64_t offset = 0;
+  std::uint64_t lines = 0;
+  const std::string path = args.get("file", "");
   while (std::getline(in, line)) {
+    const std::uint64_t line_start = offset;
+    offset += line.size() + 1;  // + the newline getline consumed
+    ++lines;
     if (line.empty()) continue;
-    Json j = Json::parse(line);
+    Json j;
+    try {
+      j = Json::parse(line);
+    } catch (const std::exception& e) {
+      CMVRP_CHECK_MSG(false, "not a cmvrp-stats JSONL file — line " << lines
+                                 << " at byte " << line_start
+                                 << " does not parse (" << e.what()
+                                 << "): " << path);
+    }
+    CMVRP_CHECK_MSG(j.is_object() && j.contains("kind"),
+                    "not a cmvrp-stats JSONL file — line "
+                        << lines << " at byte " << line_start
+                        << " has no \"kind\" field: " << path);
     const std::string& kind = j.at("kind").as_string();
     if (kind == "header") {
       header = std::move(j);
@@ -870,15 +1041,22 @@ int cmd_stats(const Args& args) {
       final_line = std::move(j);
     }
   }
+  CMVRP_CHECK_MSG(offset > 0, "stats file is empty (0 bytes): " << path);
   CMVRP_CHECK_MSG(header.has_value(),
-                  "no header line — not a cmvrp-stats JSONL file");
+                  "no header line in " << offset << " bytes (" << lines
+                                       << " lines) — not a cmvrp-stats "
+                                          "JSONL file: "
+                                       << path);
   const std::string& schema = header->at("schema").as_string();
   std::cout << "stats schema: " << schema << " (reader supports "
             << kStatsSchema << ")\n";
   CMVRP_CHECK_MSG(schema == kStatsSchema,
                   "unsupported stats schema: " << schema);
   CMVRP_CHECK_MSG(final_line.has_value(),
-                  "no final line — the run did not finish()");
+                  "no final line after " << offset << " bytes (" << lines
+                                         << " lines) — truncated? the run "
+                                            "did not finish(): "
+                                         << path);
 
   const Json& f = *final_line;
   Table t({"metric", "value"});
@@ -944,6 +1122,175 @@ int cmd_stats(const Args& args) {
   return 0;
 }
 
+// Rebuilds analyzer-side cube spans from a Chrome trace-event JSON
+// export — the inverse of export_chrome_trace's mapping. Every event
+// carries the full span record in its args block, so the round-trip is
+// lossless except per-cube totals (only the global trailer has totals).
+std::vector<CubeSpans> chrome_spans(const std::string& path,
+                                    SpanTotals* totals) {
+  std::ifstream in(path);
+  CMVRP_CHECK_MSG(in.good(), "cannot open span trace: " << path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const Json doc = Json::parse(buffer.str());
+  CMVRP_CHECK_MSG(doc.is_array(),
+                  "span trace is not a JSON event array: " << path);
+
+  const auto u64 = [](const Json& j) {
+    return static_cast<std::uint64_t>(j.as_number());
+  };
+  const auto actor32 = [](const Json& j) {
+    const auto v = static_cast<std::int64_t>(j.as_number());
+    return v < 0 ? SpanEvent::kNoActor : static_cast<std::uint32_t>(v);
+  };
+
+  std::map<std::uint64_t, CubeSpans> by_pid;  // ordered -> deterministic
+  for (std::size_t i = 0; i < doc.size(); ++i) {
+    const Json& ev = doc.at(i);
+    const std::string& ph = ev.at("ph").as_string();
+    if (ph == "M") {  // metadata: naming, wall_ms, or the totals trailer
+      if (ev.at("name").as_string() == "cmvrp_span_totals" &&
+          totals != nullptr) {
+        const Json& a = ev.at("args");
+        totals->emitted = u64(a.at("emitted"));
+        totals->sampled_out = u64(a.at("sampled_out"));
+        totals->ring_evicted = u64(a.at("ring_evicted"));
+      }
+      continue;
+    }
+    SpanEvent e;
+    if (ph == "b") {
+      e.kind = static_cast<std::uint8_t>(SpanKind::kCompStart);
+    } else if (ph == "e") {
+      e.kind = static_cast<std::uint8_t>(SpanKind::kCompFinish);
+    } else if (ph == "s") {
+      e.kind = static_cast<std::uint8_t>(SpanKind::kSend);
+    } else if (ph == "f") {
+      e.kind = static_cast<std::uint8_t>(SpanKind::kDeliver);
+    } else if (ph == "i") {
+      e.kind = static_cast<std::uint8_t>(ev.at("cat").as_string() == "cascade"
+                                             ? SpanKind::kCascadeStep
+                                             : SpanKind::kRelay);
+    } else if (ph == "B") {
+      e.kind = static_cast<std::uint8_t>(SpanKind::kServeBegin);
+    } else if (ph == "E") {
+      e.kind = static_cast<std::uint8_t>(SpanKind::kServeEnd);
+    } else {
+      CMVRP_CHECK_MSG(false, "span trace event " << i << " has unexpected "
+                                                    "phase \""
+                                                 << ph << "\": " << path);
+    }
+    const Json& a = ev.at("args");
+    e.clock = static_cast<std::int64_t>(ev.at("ts").as_number());
+    e.comp = u64(a.at("comp"));
+    e.data = u64(a.at("data"));
+    e.actor = actor32(a.at("actor"));
+    e.parent = actor32(a.at("parent"));
+    e.hop = static_cast<std::uint16_t>(u64(a.at("hop")));
+    e.aux = static_cast<std::uint8_t>(u64(a.at("aux")));
+    const std::uint64_t pid = u64(ev.at("pid"));
+    CubeSpans& cube = by_pid[pid];
+    cube.pid = pid;
+    cube.events.push_back(e);
+  }
+  std::vector<CubeSpans> cubes;
+  cubes.reserve(by_pid.size());
+  for (auto& [pid, cube] : by_pid) cubes.push_back(std::move(cube));
+  return cubes;
+}
+
+// `prof`: the span-trace analyzer (src/obs/prof.h). Reads a
+// --trace-spans export — binary spool or Chrome JSON — and reports the
+// Algorithm 2 flood shape: query fan-out breadth by hop, per-computation
+// critical-path percentiles on the protocol clock, the top-K widest
+// floods (the query-batching targets), and the query -> computation
+// attribution ratio the acceptance bar asserts.
+int cmd_prof(const Args& args) {
+  CMVRP_CHECK_MSG(args.has("file") && args.get("file", "") != "true",
+                  "--file <spans.bin|spans.json> is required");
+  const std::string path = args.get("file", "");
+  const std::int64_t top = args.get_int("top", 5);
+  CMVRP_CHECK_MSG(top >= 1, "--top must be >= 1, got " << top);
+
+  const bool json = path.size() >= 5 &&
+                    path.compare(path.size() - 5, 5, ".json") == 0;
+  std::vector<CubeSpans> cubes;
+  SpanTotals json_totals;
+  if (json) {
+    cubes = chrome_spans(path, &json_totals);
+  } else {
+    SpanSpool spool = read_span_spool(path);
+    cubes = std::move(spool.cubes);
+  }
+  ProfReport rep = profile_spans(cubes, static_cast<std::size_t>(top));
+  // Per-cube totals only exist in the spool; the Chrome export carries
+  // them in its trailer instead.
+  if (json) rep.totals = json_totals;
+
+  Table t({"metric", "value"});
+  t.row().cell("file").cell(path + (json ? " (chrome json)" : " (spool)"));
+  t.row().cell("cubes").cell(static_cast<std::uint64_t>(rep.cubes));
+  t.row().cell("span records").cell(rep.events);
+  t.row().cell("emitted / sampled out / evicted").cell(
+      std::to_string(rep.totals.emitted) + " / " +
+      std::to_string(rep.totals.sampled_out) + " / " +
+      std::to_string(rep.totals.ring_evicted));
+  t.row().cell("computations").cell(rep.comps);
+  t.row().cell("finished / found a child").cell(
+      std::to_string(rep.comps_finished) + " / " +
+      std::to_string(rep.comps_found));
+  t.row().cell("query sends").cell(rep.query_sends);
+  t.row().cell("attributed to a computation").cell(rep.attributed_queries);
+  t.row().cell("attribution ratio").cell(rep.attribution_ratio());
+  t.row().cell("replacements (cascade steps)").cell(rep.replacements);
+  t.row().cell("fan-out depth p50 / p99 / max").cell(
+      json_number_to_string(rep.depth.percentile(50.0)) + " / " +
+      json_number_to_string(rep.depth.percentile(99.0)) + " / " +
+      json_number_to_string(rep.depth.observed_max()));
+  t.row().cell("critical path p50 / p99 / max").cell(
+      json_number_to_string(rep.critical.percentile(50.0)) + " / " +
+      json_number_to_string(rep.critical.percentile(99.0)) + " / " +
+      json_number_to_string(rep.critical.observed_max()));
+  t.row().cell("flood width p50 / p99 / max").cell(
+      json_number_to_string(rep.flood_width.percentile(50.0)) + " / " +
+      json_number_to_string(rep.flood_width.percentile(99.0)) + " / " +
+      json_number_to_string(rep.flood_width.observed_max()));
+  t.print(std::cout);
+
+  // Lemma 3.3.1's flood tree, measured: how many queries travel at each
+  // hop of the Algorithm 2 fan-out (hop 1 = the initiator's own sends).
+  bool any_hop = false;
+  for (std::size_t h = 1; h < rep.breadth_by_hop.size(); ++h)
+    any_hop = any_hop || rep.breadth_by_hop[h] > 0;
+  if (any_hop) {
+    std::cout << "\nquery fan-out breadth by hop:\n";
+    Table bt({"hop", "query sends"});
+    for (std::size_t h = 1; h < rep.breadth_by_hop.size(); ++h)
+      bt.row()
+          .cell(static_cast<std::uint64_t>(h))
+          .cell(rep.breadth_by_hop[h]);
+    bt.print(std::cout);
+  }
+
+  if (!rep.widest.empty()) {
+    std::cout << "\nwidest floods (top " << top << " by query count):\n";
+    Table wt({"pid", "comp", "queries", "relays", "depth", "critical path",
+              "state"});
+    for (const CompProfile& p : rep.widest) {
+      wt.row()
+          .cell(p.pid)
+          .cell(p.comp)
+          .cell(p.queries)
+          .cell(p.relays)
+          .cell(static_cast<std::uint64_t>(p.depth))
+          .cell(p.critical_path)
+          .cell(p.finished ? (p.found ? "found" : "no child") : "open");
+    }
+    wt.print(std::cout);
+  }
+  return 0;
+}
+
 int cmd_bench(const Args& args) {
   register_builtin_suites();
   // parse_args maps a valueless flag to the sentinel "true"; every bench
@@ -979,8 +1326,8 @@ int cmd_bench(const Args& args) {
 
 int usage(std::ostream& os, int exit_code) {
   os << "usage: cmvrp "
-         "<bounds|plan|online|won|gen|fig41|stream|record|trace|stats|bench> "
-         "[--flags]\n"
+         "<bounds|plan|online|won|gen|fig41|stream|record|trace|stats|prof|"
+         "bench> [--flags]\n"
          "  bounds --file d.txt            offline bounds (Thm 1.4.1)\n"
          "  plan   --file d.txt [--ascii]  Lemma 2.2.5 plan + verification\n"
          "  online --file d.txt [--capacity W] [--order o] [--seed s]\n"
@@ -994,6 +1341,8 @@ int usage(std::ostream& os, int exit_code) {
          "         [--admission unbounded|reject|shed] [--queue-limit Q]\n"
          "         [--service-ticks D] [--sample-stride K]\n"
          "         [--obs] [--stats s.jsonl] [--stats-stride K]\n"
+         "         [--trace-spans f.json|f.bin] [--span-sample K]\n"
+         "         [--flight N]\n"
          "                                 sharded streaming; report schema\n"
          "                                 cmvrp-stream-v3. --obs turns on\n"
          "                                 Tier-A counters (per-computation\n"
@@ -1001,7 +1350,15 @@ int usage(std::ostream& os, int exit_code) {
          "                                 admission gauges); --stats streams\n"
          "                                 cmvrp-stats-v1 JSONL snapshots\n"
          "                                 every --stats-stride batches\n"
-         "                                 (default 16)\n"
+         "                                 (default 16); --trace-spans\n"
+         "                                 exports Tier-C causal spans\n"
+         "                                 (.json = Chrome/Perfetto trace\n"
+         "                                 events, else the binary spool\n"
+         "                                 `prof` reads), --span-sample K\n"
+         "                                 traces every K-th computation per\n"
+         "                                 cube, --flight N keeps the last N\n"
+         "                                 records per cube and dumps only\n"
+         "                                 on failure\n"
          "  record --out o.trace [stream flags]\n"
          "                                 serve + stream every outcome to a\n"
          "                                 v2 audit trace (digest-verified)\n"
@@ -1017,11 +1374,13 @@ int usage(std::ostream& os, int exit_code) {
          "  trace replay --file t.bin [--threads T] [--batch B] [--memory]\n"
          "               [--capacity W] [--side S] [--seed s] [--json out]\n"
          "               [--obs] [--stats s.jsonl] [--stats-stride K]\n"
+         "               [--trace-spans f] [--span-sample K] [--flight N]\n"
          "                                 bounded-memory replay (or\n"
          "                                 --memory: in-memory reference)\n"
          "  trace mux t1.bin t2.bin ... [--threads T] [--batch B]\n"
          "            [--record o.trace] [--json out] [--obs]\n"
          "            [--stats s.jsonl] [--stats-stride K]\n"
+         "            [--trace-spans f] [--span-sample K] [--flight N]\n"
          "                                 merge k traces by arrival index\n"
          "                                 into one engine (deterministic)\n"
          "  stats  --file s.jsonl [--top K]\n"
@@ -1029,6 +1388,12 @@ int usage(std::ostream& os, int exit_code) {
          "                                 snapshot: totals, stage breakdown,\n"
          "                                 top-K hotspot cubes by p99 /\n"
          "                                 backlog / messages\n"
+         "  prof   --file spans.bin|spans.json [--top K]\n"
+         "                                 analyze a --trace-spans export:\n"
+         "                                 query fan-out breadth by hop,\n"
+         "                                 critical-path percentiles on the\n"
+         "                                 protocol clock, top-K widest\n"
+         "                                 floods, attribution ratio\n"
          "  bench  --suite s [--reps N] [--warmup N] [--filter f]\n"
          "         [--json out.json]       run an experiment suite\n"
          "  bench  --list | --scenarios    list suites / workload scenarios\n";
@@ -1053,6 +1418,7 @@ int main(int argc, char** argv) {
     if (args.command == "record") return cmd_record(args);
     if (args.command == "trace") return cmd_trace(args);
     if (args.command == "stats") return cmd_stats(args);
+    if (args.command == "prof") return cmd_prof(args);
     if (args.command == "bench") return cmd_bench(args);
     return usage(std::cerr, 2);
   } catch (const std::exception& e) {  // check_error, stoll/stod failures
