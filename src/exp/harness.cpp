@@ -234,14 +234,16 @@ std::vector<const Suite*> all_suites() {
 }
 
 int run_suite(const std::string& name, const RunOptions& options,
-              std::ostream& os) {
+              std::ostream& os, Json* doc_out) {
   const Suite* suite = find_suite(name);
   CMVRP_CHECK_MSG(suite != nullptr, "unknown suite: " << name
                                                       << " (try --list)");
   os << name << ": " << suite->description << "\n\n";
   BenchRun run(name, options);
   suite->fn(run);
-  return run.finish(os);
+  const int rc = run.finish(os);
+  if (doc_out != nullptr) *doc_out = run.to_json();
+  return rc;
 }
 
 int bench_driver_main(const std::string& suite_name, int argc, char** argv) {

@@ -26,7 +26,7 @@
 #include <string>
 #include <vector>
 
-#include "exp/json.h"
+#include "util/json.h"
 #include "util/stats.h"
 
 namespace cmvrp {
@@ -152,8 +152,12 @@ std::vector<const Suite*> all_suites();
 
 // Runs one registered suite end to end (header, tables, notes, JSON).
 // Returns 0 on success, 1 on claim failure; throws on unknown suite.
+// When `doc_out` is non-null it receives the cmvrp-bench-v1 document of
+// the finished run (the same JSON the artifact file gets) — this is how
+// `cmvrp_cli bench --baseline` compares a fresh run without re-reading
+// its own artifact from disk.
 int run_suite(const std::string& name, const RunOptions& options,
-              std::ostream& os);
+              std::ostream& os, Json* doc_out = nullptr);
 
 // main() body shared by the thin bench drivers: parses
 //   [--reps N] [--warmup N] [--filter S] [--json PATH] [--list]

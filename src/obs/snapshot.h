@@ -12,17 +12,18 @@
 //                                  ascending-corner order
 //   {"kind":"final",  <Tier-A totals>, <Tier-B spans>}  once, at finish
 //
-// Determinism contract: with the wall fields stripped (every Tier-B key
-// ends in `_ms` or starts with `wall_` — see tools/stable_stream_json.sh),
-// the stream is bit-identical across thread counts, because sample lines
-// fire on batch boundaries (a pure function of the arrival sequence and
-// batch size) and every Tier-A field folds commutatively from per-cube
-// state. The CI counter-diff guard diffs exactly that stripped stream.
+// Determinism contract: with the wall fields excluded (every Tier-B key
+// ends in `_ms` or starts with `wall_` — the rule obs/compare.h applies
+// per field), the stream is bit-identical across thread counts, because
+// sample lines fire on batch boundaries (a pure function of the arrival
+// sequence and batch size) and every Tier-A field folds commutatively
+// from per-cube state. The CI counter-diff guard runs
+// `cmvrp_cli compare --kind stats` over exactly that contract.
 //
-// This layer deliberately serializes by hand instead of using exp/json.h:
-// cmvrp_exp depends (through the suites) on cmvrp_stream, which depends
-// on this library — the reader side (`cmvrp_cli stats`) parses with
-// exp/json.h from above the cycle.
+// This layer deliberately serializes by hand instead of using
+// util/json.h's document model: building a Json per line would allocate
+// on the serving path. The readers (`cmvrp_cli stats`, obs/compare.h)
+// parse the lines back with util/json.h.
 #pragma once
 
 #include <cstdint>

@@ -176,7 +176,7 @@ void export_chrome_trace(std::ostream& out, int dim,
                          double wall_ms) {
   out << "[\n";
   // The one wall-clock byte sequence, first so a grep over Tier-B keys
-  // (tools/stable_stream_json.sh) strips it and leaves the rest of the
+  // (obs/compare.h wall rule) skips it and leaves the rest of the
   // file byte-diffable across runs.
   {
     char buf[96];

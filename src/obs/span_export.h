@@ -6,7 +6,7 @@
 // counts and batch sizes. The single wall-clock field the Chrome export
 // carries (`wall_ms`, run duration metadata for humans reading the
 // trace) sits alone on the line right after the opening `[`, keyed with
-// the Tier-B `wall_` prefix, so `tools/stable_stream_json.sh` strips it
+// the Tier-B `wall_` prefix, so the comparator (obs/compare.h) wall rule skips it
 // and leaves a byte-diffable remainder.
 //
 // Chrome trace-event mapping (load the JSON in Perfetto or

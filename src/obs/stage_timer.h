@@ -5,7 +5,7 @@
 // tier, strictly separated from the Tier-A counters (obs/counters.h).
 // The separation is enforced by naming: every Tier-B JSON field carries
 // a `wall_` prefix or `_ms` suffix, which is exactly the pattern the
-// shared CI exclusion list (tools/stable_stream_json.sh) strips before
+// shared wall-field rule (obs/compare.h) excludes before
 // diffing reports across thread counts.
 #pragma once
 

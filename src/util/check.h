@@ -17,6 +17,17 @@ class check_error : public std::logic_error {
   explicit check_error(const std::string& what) : std::logic_error(what) {}
 };
 
+// Thrown for *usage* errors — a caller (typically the CLI) passed a
+// malformed flag or asked for something that can never work, as opposed
+// to data that turned out to be bad. Front ends map this to exit code 2
+// (usage) while plain check_error stays exit code 1 (data failure), the
+// convention every cmvrp_cli subcommand follows. Subclasses check_error
+// so call sites that only distinguish "failed" keep working.
+class usage_error : public check_error {
+ public:
+  explicit usage_error(const std::string& what) : check_error(what) {}
+};
+
 namespace detail {
 
 [[noreturn]] inline void check_failed(const char* expr, const char* file,

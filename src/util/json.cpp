@@ -1,4 +1,4 @@
-#include "exp/json.h"
+#include "util/json.h"
 
 #include <cmath>
 #include <cstdio>

@@ -7,7 +7,7 @@
 #include <string>
 
 #include "exp/harness.h"
-#include "exp/json.h"
+#include "util/json.h"
 #include "exp/scenario.h"
 #include "exp/suites.h"
 #include "util/check.h"

@@ -4,7 +4,7 @@
 #include <limits>
 #include <string>
 
-#include "exp/json.h"
+#include "util/json.h"
 #include "util/check.h"
 
 namespace cmvrp {

@@ -301,7 +301,7 @@ std::string span_temp_file(const char* name, const std::string& bytes) {
 // The PR's acceptance bar: a saturating scenario's exported trace —
 // spool AND Chrome JSON — is byte-identical across thread counts {1,2,8}
 // and batch sizes {32,256}. wall_ms is pinned to 0 here; the CLI-level
-// guard strips the wall line instead (tools/stable_stream_json.sh).
+// guard skips the wall line instead (obs/compare.h, kind=spans).
 TEST(SpanDeterminism, ExportsBitIdenticalAcrossThreadsAndBatches) {
   const auto jobs = test_stream(32, 1500, 23);
   const SpanRun ref = span_run(jobs, 1, 32, 1, 0);

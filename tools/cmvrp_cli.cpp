@@ -23,13 +23,22 @@
 //                  | mux t1.bin t2.bin ... [--threads T] [--record o.trace]
 //   cmvrp stats    --file s.jsonl [--top K]   summarize a stats snapshot
 //   cmvrp prof     --file spans.bin|spans.json [--top K]  span-trace analyzer
+//   cmvrp compare  A B [--kind auto|stream|stats|bench|spans]
+//                  [--warn-ratio R] [--fail-ratio R] [--ignore k1,k2]
+//                  [--json diff.json]      structural artifact diff
 //   cmvrp bench    --suite NAME [--reps N] [--warmup N]   experiment suites
-//                  [--filter S] [--json PATH] | --list | --scenarios
+//                  [--filter S] [--json PATH]
+//                  [--baseline B.json [--diff-json d.json]]
+//                  | --list | --scenarios
 //
 // Demand files: lines of "x y demand" (see src/workload/io.h); traces are
 // the binary cmvrp-trace-v1/v2 formats (src/trace/format.h) — v2 carries
 // per-record event kinds (arrivals, silent-done failure markers, serving
 // outcomes), which is what `record` writes and `trace mux` merges.
+//
+// Exit codes are uniform across subcommands: 0 success, 1 data or drift
+// failure (bad input files, failed jobs, comparator drift), 2 usage
+// (malformed flags — usage_error from util/check.h).
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
@@ -46,9 +55,10 @@
 #include "core/bounds.h"
 #include "core/offline_planner.h"
 #include "exp/harness.h"
-#include "exp/json.h"
+#include "util/json.h"
 #include "exp/scenario.h"
 #include "exp/suites.h"
+#include "obs/compare.h"
 #include "obs/counters.h"
 #include "obs/prof.h"
 #include "obs/snapshot.h"
@@ -74,6 +84,18 @@ namespace {
 
 using namespace cmvrp;
 
+// CLI-side precondition: a malformed or missing flag is a *usage* error
+// (exit 2), unlike data that turned out to be bad (check_error, exit 1).
+// Streams its message like CMVRP_CHECK_MSG.
+#define CLI_USAGE_CHECK(expr, msg)               \
+  do {                                           \
+    if (!(expr)) {                               \
+      std::ostringstream cli_usage_os_;          \
+      cli_usage_os_ << msg;                      \
+      throw usage_error(cli_usage_os_.str());    \
+    }                                            \
+  } while (0)
+
 struct Args {
   std::string command;
   std::vector<std::string> positional;  // non-flag tokens ("trace gen ...")
@@ -85,11 +107,23 @@ struct Args {
   }
   double get_double(const std::string& key, double fallback) const {
     auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::stod(it->second);
+    if (it == flags.end()) return fallback;
+    try {
+      return std::stod(it->second);
+    } catch (const std::exception&) {
+      throw usage_error("--" + key + " needs a number, got \"" + it->second +
+                        "\"");
+    }
   }
   std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
     auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::stoll(it->second);
+    if (it == flags.end()) return fallback;
+    try {
+      return std::stoll(it->second);
+    } catch (const std::exception&) {
+      throw usage_error("--" + key + " needs an integer, got \"" +
+                        it->second + "\"");
+    }
   }
   bool has(const std::string& key) const { return flags.count(key) > 0; }
 };
@@ -115,7 +149,7 @@ Args parse_args(int argc, char** argv) {
 
 DemandMap demand_from_args(const Args& args) {
   const int dim = static_cast<int>(args.get_int("dim", 2));
-  CMVRP_CHECK_MSG(args.has("file"), "--file <demand.txt> is required");
+  CLI_USAGE_CHECK(args.has("file"), "--file <demand.txt> is required");
   return load_demand_file(args.get("file", ""), dim);
 }
 
@@ -159,7 +193,9 @@ ArrivalOrder order_from_args(const Args& args) {
   const std::string order_name = args.get("order", "shuffled");
   if (order_name == "sorted") return ArrivalOrder::kSorted;
   if (order_name == "roundrobin") return ArrivalOrder::kRoundRobin;
-  CMVRP_CHECK_MSG(order_name == "shuffled", "unknown --order");
+  CLI_USAGE_CHECK(order_name == "shuffled",
+                  "--order must be sorted, shuffled, or roundrobin; got "
+                      << order_name);
   return ArrivalOrder::kShuffled;
 }
 
@@ -216,7 +252,7 @@ int cmd_gen(const Args& args) {
   else if (kind == "line") d = line_demand(n, dval, Point{0, 0});
   else if (kind == "point") d = point_demand(dval, Point{n / 2, n / 2});
   else if (kind == "square") d = square_demand(n / 2, dval, Point{0, 0});
-  else CMVRP_CHECK_MSG(false, "unknown --workload: " << kind);
+  else CLI_USAGE_CHECK(false, "unknown --workload: " << kind);
   save_demand(std::cout, d);
   return 0;
 }
@@ -448,7 +484,7 @@ StreamConfig stream_config_from_args(
   } else if (admission == "shed") {
     cfg.online.admission = AdmissionPolicy::kShed;
   } else {
-    CMVRP_CHECK_MSG(false, "--admission must be unbounded, reject, or shed; "
+    CLI_USAGE_CHECK(false, "--admission must be unbounded, reject, or shed; "
                            "got "
                                << admission);
   }
@@ -467,20 +503,20 @@ StreamConfig stream_config_from_args(
   // computation per cube; --flight N keeps only the last N records per
   // cube and dumps them post-mortem instead of exporting every run.
   if (args.has("trace-spans")) {
-    CMVRP_CHECK_MSG(args.get("trace-spans", "") != "true",
+    CLI_USAGE_CHECK(args.get("trace-spans", "") != "true",
                     "--trace-spans needs a file path");
     cfg.online.obs.spans = true;
   }
-  CMVRP_CHECK_MSG(!args.has("span-sample") || cfg.online.obs.spans,
+  CLI_USAGE_CHECK(!args.has("span-sample") || cfg.online.obs.spans,
                   "--span-sample needs --trace-spans");
-  CMVRP_CHECK_MSG(!args.has("flight") || cfg.online.obs.spans,
+  CLI_USAGE_CHECK(!args.has("flight") || cfg.online.obs.spans,
                   "--flight needs --trace-spans");
   cfg.online.obs.span_sample = args.get_int("span-sample", 1);
-  CMVRP_CHECK_MSG(cfg.online.obs.span_sample >= 1,
+  CLI_USAGE_CHECK(cfg.online.obs.span_sample >= 1,
                   "--span-sample must be >= 1, got "
                       << cfg.online.obs.span_sample);
   cfg.online.obs.flight = args.get_int("flight", 0);
-  CMVRP_CHECK_MSG(cfg.online.obs.flight >= 0,
+  CLI_USAGE_CHECK(cfg.online.obs.flight >= 0,
                   "--flight must be >= 0, got " << cfg.online.obs.flight);
   return cfg;
 }
@@ -494,10 +530,10 @@ class StatsFile {
     // a usage error with or without --stats) and before the truncating
     // open below, so a typo'd flag cannot clobber an existing snapshot.
     const std::int64_t stride = args.get_int("stats-stride", 16);
-    CMVRP_CHECK_MSG(stride >= 1,
+    CLI_USAGE_CHECK(stride >= 1,
                     "--stats-stride must be >= 1, got " << stride);
     if (!args.has("stats")) return;
-    CMVRP_CHECK_MSG(args.get("stats", "") != "true",
+    CLI_USAGE_CHECK(args.get("stats", "") != "true",
                     "--stats needs a file path");
     out_.open(args.get("stats", ""));
     CMVRP_CHECK_MSG(out_.good(), "cannot open --stats path");
@@ -706,7 +742,7 @@ int run_stream_serving(const Args& args, const std::string& record_path) {
 }
 
 int cmd_stream(const Args& args) {
-  CMVRP_CHECK_MSG(!args.has("record") || args.get("record", "") != "true",
+  CLI_USAGE_CHECK(!args.has("record") || args.get("record", "") != "true",
                   "--record needs a file path");
   return run_stream_serving(args, args.get("record", ""));
 }
@@ -716,7 +752,7 @@ int cmd_stream(const Args& args) {
 // to --out during serving as a cmvrp-trace-v2 audit trail, verified
 // bit-identical to the in-memory digests before the report prints.
 int cmd_record(const Args& args) {
-  CMVRP_CHECK_MSG(args.has("out") && args.get("out", "") != "true",
+  CLI_USAGE_CHECK(args.has("out") && args.get("out", "") != "true",
                   "--out <outcome trace> is required");
   return run_stream_serving(args, args.get("out", ""));
 }
@@ -724,7 +760,7 @@ int cmd_record(const Args& args) {
 // `trace gen`: run a streaming generator straight into a TraceWriter —
 // the stream is never materialized, so --count can exceed memory.
 int cmd_trace_gen(const Args& args) {
-  CMVRP_CHECK_MSG(args.has("out"), "--out <trace file> is required");
+  CLI_USAGE_CHECK(args.has("out"), "--out <trace file> is required");
   const std::string kind = args.get("generator", "hotspot");
   const int dim = static_cast<int>(args.get_int("dim", 2));
   const std::int64_t count = args.get_int("count", 10000);
@@ -737,17 +773,17 @@ int cmd_trace_gen(const Args& args) {
   // Mirror the generator preconditions before the truncating open, so a
   // rejected command (typo'd --generator, bad --cubes, ...) cannot
   // clobber an existing trace at --out.
-  CMVRP_CHECK_MSG(kind == "boundary" || kind == "hotspot" ||
+  CLI_USAGE_CHECK(kind == "boundary" || kind == "hotspot" ||
                       kind == "gradient",
                   "unknown --generator: " << kind
                                           << " (boundary|hotspot|gradient)");
-  CMVRP_CHECK_MSG(dim >= 1 && dim <= Point::kMaxDim,
+  CLI_USAGE_CHECK(dim >= 1 && dim <= Point::kMaxDim,
                   "--dim must be in [1, " << Point::kMaxDim << "]");
-  CMVRP_CHECK_MSG(count >= 0, "--count must be >= 0");
-  CMVRP_CHECK_MSG(side >= 1, "--side must be >= 1");
-  CMVRP_CHECK_MSG(cubes >= 2, "--cubes must be >= 2");
-  CMVRP_CHECK_MSG(burst >= 1, "--burst must be >= 1");
-  CMVRP_CHECK_MSG(sigma >= 0.0, "--sigma must be >= 0");
+  CLI_USAGE_CHECK(count >= 0, "--count must be >= 0");
+  CLI_USAGE_CHECK(side >= 1, "--side must be >= 1");
+  CLI_USAGE_CHECK(cubes >= 2, "--cubes must be >= 2");
+  CLI_USAGE_CHECK(burst >= 1, "--burst must be >= 1");
+  CLI_USAGE_CHECK(sigma >= 0.0, "--sigma must be >= 0");
 
   TraceWriter writer(args.get("out", ""), dim);
   const JobSink sink = [&writer](const Job& job) { writer.append(job); };
@@ -788,7 +824,7 @@ std::string render_trace_flags(const TraceReader& reader) {
 }
 
 int cmd_trace_info(const Args& args) {
-  CMVRP_CHECK_MSG(args.has("file"), "--file <trace file> is required");
+  CLI_USAGE_CHECK(args.has("file"), "--file <trace file> is required");
   TraceReader reader(args.get("file", ""));
   const std::size_t record_size =
       trace_record_size(reader.dim(), reader.version());
@@ -858,7 +894,7 @@ int cmd_trace_info(const Args& args) {
 int cmd_trace_mux(const Args& args) {
   std::vector<std::string> paths(args.positional.begin() + 1,
                                  args.positional.end());
-  CMVRP_CHECK_MSG(paths.size() >= 2,
+  CLI_USAGE_CHECK(paths.size() >= 2,
                   "trace mux needs >= 2 trace files: trace mux a.bin b.bin "
                   "[--flags]");
   // Dimension from the first source; config sized from the *merged*
@@ -882,7 +918,7 @@ int cmd_trace_mux(const Args& args) {
   TraceMux mux(dim, cfg);
   for (const auto& path : paths) mux.add_source(path);
   if (args.has("record")) {
-    CMVRP_CHECK_MSG(args.get("record", "") != "true",
+    CLI_USAGE_CHECK(args.get("record", "") != "true",
                     "--record needs a file path");
     recorder.emplace(args.get("record", ""), dim);
     mux.set_observer(&*recorder);
@@ -911,7 +947,7 @@ int cmd_trace_mux(const Args& args) {
 // in-memory serve of the same jobs — the two reports must agree on
 // everything but wall time (the CI round-trip diffs them).
 int cmd_trace_replay(const Args& args) {
-  CMVRP_CHECK_MSG(args.has("file"), "--file <trace file> is required");
+  CLI_USAGE_CHECK(args.has("file"), "--file <trace file> is required");
   TraceReader reader(args.get("file", ""));
   CMVRP_CHECK_MSG(reader.job_count() > 0, "trace has no jobs");
   const StreamConfig cfg = trace_stream_config(args, reader);
@@ -960,7 +996,7 @@ int cmd_trace(const Args& args) {
   if (action == "info") return cmd_trace_info(args);
   if (action == "replay") return cmd_trace_replay(args);
   if (action == "mux") return cmd_trace_mux(args);
-  CMVRP_CHECK_MSG(
+  CLI_USAGE_CHECK(
       false, "trace needs an action: trace gen|info|replay|mux [--flags]");
   return 2;
 }
@@ -997,7 +1033,9 @@ std::vector<const Json*> top_cubes(const std::vector<Json>& cubes,
 // messages-per-replacement, the Tier-B stage-time breakdown, and the
 // top-k hotspot cubes by latency p99, backlog peak, and message volume.
 int cmd_stats(const Args& args) {
-  CMVRP_CHECK_MSG(args.has("file"), "--file <stats.jsonl> is required");
+  CLI_USAGE_CHECK(args.has("file"), "--file <stats.jsonl> is required");
+  CLI_USAGE_CHECK(args.get_int("top", 5) >= 1,
+                  "--top must be >= 1, got " << args.get_int("top", 5));
   const auto top_k = static_cast<std::size_t>(args.get_int("top", 5));
   std::ifstream in(args.get("file", ""));
   CMVRP_CHECK_MSG(in.good(), "cannot open --file " << args.get("file", ""));
@@ -1206,11 +1244,11 @@ std::vector<CubeSpans> chrome_spans(const std::string& path,
 // floods (the query-batching targets), and the query -> computation
 // attribution ratio the acceptance bar asserts.
 int cmd_prof(const Args& args) {
-  CMVRP_CHECK_MSG(args.has("file") && args.get("file", "") != "true",
+  CLI_USAGE_CHECK(args.has("file") && args.get("file", "") != "true",
                   "--file <spans.bin|spans.json> is required");
   const std::string path = args.get("file", "");
   const std::int64_t top = args.get_int("top", 5);
-  CMVRP_CHECK_MSG(top >= 1, "--top must be >= 1, got " << top);
+  CLI_USAGE_CHECK(top >= 1, "--top must be >= 1, got " << top);
 
   const bool json = path.size() >= 5 &&
                     path.compare(path.size() - 5, 5, ".json") == 0;
@@ -1291,13 +1329,137 @@ int cmd_prof(const Args& args) {
   return 0;
 }
 
+// Reads a whole artifact file; check_error (exit 1) when unreadable —
+// a missing baseline or input is a data failure, not a usage slip.
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CMVRP_CHECK_MSG(in.good(), "cannot open " << path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::string item = s.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+// Comparison thresholds shared by `compare` and `bench --baseline`.
+CompareOptions compare_options_from_args(const Args& args) {
+  CompareOptions opt;
+  opt.warn_ratio = args.get_double("warn-ratio", opt.warn_ratio);
+  opt.fail_ratio = args.get_double("fail-ratio", opt.fail_ratio);
+  opt.min_wall_ms = args.get_double("min-wall-ms", opt.min_wall_ms);
+  opt.noise_sigmas = args.get_double("noise-sigmas", opt.noise_sigmas);
+  opt.ignore = split_commas(args.get("ignore", ""));
+  CLI_USAGE_CHECK(opt.warn_ratio >= 1.0,
+                  "--warn-ratio must be >= 1, got " << opt.warn_ratio);
+  CLI_USAGE_CHECK(opt.fail_ratio == 0.0 || opt.fail_ratio >= 1.0,
+                  "--fail-ratio must be 0 (wall never fails) or >= 1, got "
+                      << opt.fail_ratio);
+  CLI_USAGE_CHECK(opt.min_wall_ms >= 0.0,
+                  "--min-wall-ms must be >= 0, got " << opt.min_wall_ms);
+  CLI_USAGE_CHECK(opt.noise_sigmas >= 0.0,
+                  "--noise-sigmas must be >= 0, got " << opt.noise_sigmas);
+  return opt;
+}
+
+void print_compare_report(const CompareReport& rep, const std::string& a,
+                          const std::string& b) {
+  Table t({"metric", "value"});
+  t.row().cell("kind").cell(compare_kind_name(rep.kind));
+  t.row().cell("A").cell(a);
+  t.row().cell("B").cell(b);
+  t.row().cell("fields compared").cell(rep.fields_compared);
+  t.row().cell("deterministic fields").cell(rep.deterministic_fields);
+  t.row().cell("wall fields").cell(rep.wall_fields);
+  t.row().cell("deterministic drift").cell(rep.drift);
+  t.row().cell("wall warns").cell(rep.warns);
+  t.row().cell("wall fails").cell(rep.wall_fails);
+  t.row().cell("context diffs").cell(rep.context_diffs);
+  if (!rep.worst_wall_field.empty())
+    t.row().cell("worst wall regression").cell(
+        rep.worst_wall_field + " x" +
+        json_number_to_string(rep.worst_wall_ratio));
+  t.print(std::cout);
+
+  if (!rep.diffs.empty()) {
+    std::cout << "\nper-field verdicts";
+    if (rep.diffs_truncated > 0)
+      std::cout << " (first " << rep.diffs.size() << "; "
+                << rep.diffs_truncated << " more suppressed)";
+    std::cout << ":\n";
+    Table dt({"path", "class", "verdict", "A", "B", "note"});
+    for (const FieldDiff& d : rep.diffs)
+      dt.row()
+          .cell(d.path)
+          .cell(field_class_name(d.cls))
+          .cell(field_verdict_name(d.verdict))
+          .cell(d.a)
+          .cell(d.b)
+          .cell(d.ratio > 0.0
+                    ? "x" + json_number_to_string(d.ratio) + " " + d.note
+                    : d.note);
+    dt.print(std::cout);
+  }
+  std::cout << (rep.clean()
+                    ? "\nclean: deterministic fields agree\n"
+                    : "\nREGRESSION: deterministic drift or wall failure "
+                      "detected\n");
+}
+
+void write_diff_json(const CompareReport& rep, const std::string& path,
+                     const std::string& a, const std::string& b) {
+  std::ofstream out(path);
+  CMVRP_CHECK_MSG(out.good(), "cannot open diff report path: " << path);
+  out << rep.to_json(a, b).dump(2) << "\n";
+  out.flush();
+  CMVRP_CHECK_MSG(out.good(), "failed writing diff report: " << path);
+}
+
+// `compare`: the differential-observability front end (obs/compare.h).
+// Exit 0 clean, 1 drift/regression or unreadable input, 2 usage.
+int cmd_compare(const Args& args) {
+  CLI_USAGE_CHECK(args.positional.size() == 2,
+                  "compare needs exactly two artifacts: compare A B "
+                  "[--kind auto|stream|stats|bench|spans] [--warn-ratio R] "
+                  "[--fail-ratio R] [--min-wall-ms M] [--noise-sigmas S] "
+                  "[--ignore k1,k2] [--json diff.json]; got "
+                      << args.positional.size() << " positional arguments");
+  for (const char* key : {"kind", "warn-ratio", "fail-ratio", "min-wall-ms",
+                          "noise-sigmas", "ignore", "json"}) {
+    CLI_USAGE_CHECK(!args.has(key) || args.get(key, "") != "true",
+                    "--" << key << " needs a value");
+  }
+  const CompareKind kind = parse_compare_kind(args.get("kind", "auto"));
+  const CompareOptions opt = compare_options_from_args(args);
+  const std::string& a = args.positional[0];
+  const std::string& b = args.positional[1];
+  const CompareReport rep = compare_artifacts(read_text_file(a),
+                                              read_text_file(b), kind, opt,
+                                              a, b);
+  print_compare_report(rep, a, b);
+  if (args.has("json")) write_diff_json(rep, args.get("json", ""), a, b);
+  return rep.exit_code();
+}
+
 int cmd_bench(const Args& args) {
   register_builtin_suites();
   // parse_args maps a valueless flag to the sentinel "true"; every bench
   // flag except --list/--scenarios carries a real value, so catch the
   // slip here instead of silently writing a file named "true".
-  for (const char* key : {"suite", "reps", "warmup", "filter", "json"}) {
-    CMVRP_CHECK_MSG(!args.has(key) || args.get(key, "") != "true",
+  for (const char* key : {"suite", "reps", "warmup", "filter", "json",
+                          "baseline", "diff-json"}) {
+    CLI_USAGE_CHECK(!args.has(key) || args.get(key, "") != "true",
                     "--" << key << " needs a value");
   }
   if (args.has("list")) {
@@ -1314,20 +1476,42 @@ int cmd_bench(const Args& args) {
     t.print(std::cout);
     return 0;
   }
-  CMVRP_CHECK_MSG(args.has("suite"),
+  CLI_USAGE_CHECK(args.has("suite"),
                   "--suite <name> is required (or --list / --scenarios)");
+  const std::string suite_name = args.get("suite", "");
+  CLI_USAGE_CHECK(find_suite(suite_name) != nullptr,
+                  "unknown --suite: " << suite_name << " (try --list)");
   RunOptions options;
   options.reps = static_cast<int>(args.get_int("reps", 1));
   options.warmup = static_cast<int>(args.get_int("warmup", 0));
   options.filter = args.get("filter", "");
   options.json_path = args.get("json", "");
-  return run_suite(args.get("suite", ""), options, std::cout);
+  if (!args.has("baseline"))
+    return run_suite(suite_name, options, std::cout);
+
+  // --baseline FILE: run the suite, then diff the fresh cmvrp-bench-v1
+  // document against the committed baseline — deterministic metric drift
+  // fails (exit 1), wall time warns unless --fail-ratio gates it. The
+  // run's own exit (a claim failure) still dominates.
+  Json fresh;
+  const int run_rc = run_suite(suite_name, options, std::cout, &fresh);
+  const std::string baseline_path = args.get("baseline", "");
+  const Json baseline = Json::parse(read_text_file(baseline_path));
+  const CompareOptions opt = compare_options_from_args(args);
+  const CompareReport rep = compare_bench_runs(baseline, fresh, opt);
+  std::cout << "\nbaseline comparison (" << baseline_path
+            << " -> fresh run):\n";
+  print_compare_report(rep, baseline_path, "<fresh run>");
+  if (args.has("diff-json"))
+    write_diff_json(rep, args.get("diff-json", ""), baseline_path,
+                    "<fresh run>");
+  return run_rc != 0 ? run_rc : rep.exit_code();
 }
 
 int usage(std::ostream& os, int exit_code) {
   os << "usage: cmvrp "
          "<bounds|plan|online|won|gen|fig41|stream|record|trace|stats|prof|"
-         "bench> [--flags]\n"
+         "compare|bench> [--flags]\n"
          "  bounds --file d.txt            offline bounds (Thm 1.4.1)\n"
          "  plan   --file d.txt [--ascii]  Lemma 2.2.5 plan + verification\n"
          "  online --file d.txt [--capacity W] [--order o] [--seed s]\n"
@@ -1394,9 +1578,25 @@ int usage(std::ostream& os, int exit_code) {
          "                                 critical-path percentiles on the\n"
          "                                 protocol clock, top-K widest\n"
          "                                 floods, attribution ratio\n"
+         "  compare A B [--kind auto|stream|stats|bench|spans]\n"
+         "          [--warn-ratio R] [--fail-ratio R] [--min-wall-ms M]\n"
+         "          [--noise-sigmas S] [--ignore k1,k2] [--json diff.json]\n"
+         "                                 structural artifact diff: fields\n"
+         "                                 classified by rule (identity |\n"
+         "                                 deterministic | wall | context);\n"
+         "                                 deterministic drift exits 1, wall\n"
+         "                                 time ratio-compares (warn-only\n"
+         "                                 unless --fail-ratio >= 1), emits\n"
+         "                                 cmvrp-diff-v1 with --json\n"
          "  bench  --suite s [--reps N] [--warmup N] [--filter f]\n"
          "         [--json out.json]       run an experiment suite\n"
-         "  bench  --list | --scenarios    list suites / workload scenarios\n";
+         "  bench  --suite s --baseline bench/baselines/B.json\n"
+         "         [--diff-json d.json] [compare thresholds]\n"
+         "                                 run + diff against a committed\n"
+         "                                 cmvrp-bench-v1 baseline (the\n"
+         "                                 regression gate CI runs)\n"
+         "  bench  --list | --scenarios    list suites / workload scenarios\n"
+         "exit codes (all subcommands): 0 ok, 1 data/drift failure, 2 usage\n";
   return exit_code;
 }
 
@@ -1419,9 +1619,13 @@ int main(int argc, char** argv) {
     if (args.command == "trace") return cmd_trace(args);
     if (args.command == "stats") return cmd_stats(args);
     if (args.command == "prof") return cmd_prof(args);
+    if (args.command == "compare") return cmd_compare(args);
     if (args.command == "bench") return cmd_bench(args);
     return usage(std::cerr, 2);
-  } catch (const std::exception& e) {  // check_error, stoll/stod failures
+  } catch (const usage_error& e) {  // malformed flags: exit 2
+    std::cerr << "usage error: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {  // check_error etc.: data failure
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
